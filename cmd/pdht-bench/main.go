@@ -1,0 +1,208 @@
+// pdht-bench regenerates every table and figure of the paper's evaluation,
+// plus the validation and ablation experiments listed in DESIGN.md. It is
+// the one command behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	pdht-bench                    # run everything
+//	pdht-bench -experiment fig1   # one experiment
+//	pdht-bench -scale 2000        # simulator population for V1/S2/A1/A3
+//
+// Experiments: table1 fig1 fig2 fig3 fig4 ttlsens alpha validate sweep
+// adapt backends selftune all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pdht/internal/experiments"
+	"pdht/internal/model"
+	"pdht/internal/sim"
+	"pdht/internal/stats"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id (see doc comment)")
+	scale := flag.Int("scale", 2000, "simulator population for the sim-backed experiments")
+	seed := flag.Uint64("seed", 1, "random seed for the sim-backed experiments")
+	format := flag.String("format", "table", "output format: table | csv")
+	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (want table or csv)\n", *format)
+		os.Exit(2)
+	}
+
+	p := model.DefaultScenario()
+	simBase := simConfigFor(*scale, *seed)
+
+	run := func(name string, fn func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	render := func(t *stats.Table) error {
+		if *format == "csv" {
+			return t.RenderCSV(os.Stdout)
+		}
+		t.Render(os.Stdout)
+		return nil
+	}
+
+	run("table1", func() error { return render(experiments.Table1(p)) })
+	run("fig1", func() error {
+		t, _, err := experiments.Fig1(p)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
+	run("fig2", func() error {
+		t, _, err := experiments.Fig2(p)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
+	run("fig3", func() error {
+		t, _, err := experiments.Fig3(p)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
+	run("fig4", func() error {
+		t, _, err := experiments.Fig4(p)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
+	run("ttlsens", func() error {
+		t, _, err := experiments.TTLSens(p)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
+	run("alpha", func() error {
+		t, err := experiments.AlphaSweep(p, nil)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
+	run("kary", func() error {
+		t, err := experiments.KarySweep(p)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
+	run("maintenance", func() error {
+		t, _, err := experiments.MaintenanceTradeoff(simBase, nil)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
+	run("validate", func() error {
+		t, _, err := experiments.Validate(simBase)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
+	run("sweep", func() error {
+		cfg := simBase
+		cfg.Strategy = sim.StrategyPartialTTL
+		t, _, err := experiments.SimSweep(cfg, nil)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
+	run("adapt", func() error {
+		cfg := simBase
+		cfg.Rounds = 600
+		cfg.WarmupRounds = 100
+		cfg.KeyTtl = 120
+		cfg.TraceEvery = 50
+		t, _, err := experiments.Adaptation(cfg, 400)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
+	run("backends", func() error {
+		t, _, err := experiments.Backends(simBase)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
+	run("selftune", func() error {
+		cfg := simBase
+		cfg.Rounds = 500
+		t, _, err := experiments.SelfTuning(cfg)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
+	run("calibrate", func() error {
+		cfg := simBase
+		cfg.Rounds = 600
+		t, _, err := experiments.Calibration(cfg)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
+
+	if *experiment != "all" && !knownExperiment(*experiment) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n",
+			*experiment, strings.Join(knownExperiments, " "))
+		os.Exit(2)
+	}
+}
+
+var knownExperiments = []string{
+	"table1", "fig1", "fig2", "fig3", "fig4", "ttlsens", "alpha", "kary",
+	"maintenance", "validate", "sweep", "adapt", "backends", "selftune",
+	"calibrate", "all",
+}
+
+func knownExperiment(name string) bool {
+	for _, k := range knownExperiments {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
+
+// simConfigFor scales the Table 1 proportions to the given population:
+// keys = 2·peers, repl = peers/100, matching the paper's
+// 20,000 : 40,000 : 200 ratios.
+func simConfigFor(peers int, seed uint64) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Peers = peers
+	cfg.Keys = 2 * peers
+	cfg.Repl = peers / 100
+	if cfg.Repl < 2 {
+		cfg.Repl = 2
+	}
+	cfg.Rounds = 300
+	cfg.WarmupRounds = 60
+	cfg.Seed = seed
+	return cfg
+}

@@ -1,0 +1,92 @@
+// pdht-model evaluates the paper's analytical cost model (Sections 2–5)
+// and prints the series behind Table 1 and Figures 1–4, plus the keyTtl
+// sensitivity analysis, for any scenario.
+//
+// Usage:
+//
+//	pdht-model [flags]
+//
+// With no flags it reproduces the paper's sample scenario exactly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdht/internal/experiments"
+	"pdht/internal/model"
+)
+
+func main() {
+	base := model.DefaultScenario()
+	peers := flag.Int("peers", base.NumPeers, "total number of peers (numPeers)")
+	keys := flag.Int("keys", base.Keys, "number of unique keys")
+	stor := flag.Int("stor", base.Stor, "index storage capacity per peer")
+	repl := flag.Int("repl", base.Repl, "replication factor")
+	alpha := flag.Float64("alpha", base.Alpha, "Zipf exponent of the query distribution")
+	fQry := flag.Float64("fqry", base.FQry, "queries per peer per second")
+	fUpd := flag.Float64("fupd", base.FUpd, "updates per key per second")
+	env := flag.Float64("env", base.Env, "route maintenance constant")
+	dup := flag.Float64("dup", base.Dup, "duplication factor of unstructured search")
+	dup2 := flag.Float64("dup2", base.Dup2, "duplication factor of replica-subnet floods")
+	flag.Parse()
+
+	p := model.Params{
+		NumPeers: *peers, Keys: *keys, Stor: *stor, Repl: *repl,
+		Alpha: *alpha, FQry: *fQry, FUpd: *fUpd, Env: *env,
+		Dup: *dup, Dup2: *dup2,
+	}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	experiments.Table1(p).Render(os.Stdout)
+	fmt.Println()
+
+	sol, err := model.Solve(p, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("At fQry = %s: cSUnstr = %.1f msg, cSIndx = %.2f msg, cIndKey = %.4f msg/s\n",
+		model.FormatFrequency(p.FQry), sol.CSUnstr, sol.CSIndx, sol.CIndKey)
+	fmt.Printf("fMin = %.3g queries/round → %d of %d keys worth indexing (pIndxd = %.3f)\n\n",
+		sol.FMin, sol.MaxRank, p.Keys, sol.PIndxd)
+
+	if t, _, err := experiments.Fig1(p); err == nil {
+		t.Render(os.Stdout)
+		fmt.Println()
+	} else {
+		fail(err)
+	}
+	if t, _, err := experiments.Fig2(p); err == nil {
+		t.Render(os.Stdout)
+		fmt.Println()
+	} else {
+		fail(err)
+	}
+	if t, _, err := experiments.Fig3(p); err == nil {
+		t.Render(os.Stdout)
+		fmt.Println()
+	} else {
+		fail(err)
+	}
+	if t, _, err := experiments.Fig4(p); err == nil {
+		t.Render(os.Stdout)
+		fmt.Println()
+	} else {
+		fail(err)
+	}
+	if t, _, err := experiments.TTLSens(p); err == nil {
+		t.Render(os.Stdout)
+	} else {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

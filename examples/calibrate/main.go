@@ -1,0 +1,73 @@
+// Calibrate: close the loop between measurement and model. The paper
+// plugs literature constants into its cost model (α = 1.2 from [Srip01]);
+// a real deployment can instead observe its own query stream, recover the
+// workload skew by maximum likelihood, and re-derive fMin, maxRank and
+// keyTtl from what it actually serves. This example runs the selection
+// algorithm, collects per-key query counts, estimates α from them, and
+// compares the calibrated model against the ground truth the simulation
+// was configured with.
+//
+//	go run ./examples/calibrate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdht"
+)
+
+func main() {
+	// Ground truth: a network whose workload skew we pretend not to know.
+	cfg := pdht.DefaultSimConfig()
+	cfg.Strategy = pdht.StrategyPartialTTL
+	cfg.Peers = 2000
+	cfg.Keys = 4000
+	cfg.Repl = 20
+	cfg.Alpha = 1.2
+	cfg.Rounds = 600
+	cfg.WarmupRounds = 100
+	cfg.CollectKeyCounts = true
+
+	res, err := pdht.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observed %d queries over %d rounds\n", res.Queries, res.MeasuredRounds)
+
+	// Step 1: recover the Zipf exponent from the observed counts.
+	alphaHat, err := pdht.EstimateAlpha(res.KeyQueryCounts, cfg.Keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fQryHat := float64(res.Queries) / float64(res.MeasuredRounds) / float64(cfg.Peers)
+	fmt.Printf("estimated α = %.3f (truth: %.3f)\n", alphaHat, cfg.Alpha)
+	fmt.Printf("measured fQry = %.5f 1/s (truth: %.5f)\n\n", fQryHat, cfg.FQry)
+
+	// Step 2: solve the model twice — with the configured truth and with
+	// the measurements — and compare what matters operationally.
+	truth := cfg.ModelParams()
+	measured := truth
+	measured.Alpha = alphaHat
+	measured.FQry = fQryHat
+
+	solTruth, err := pdht.Solve(truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	solHat, err := pdht.Solve(measured)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-28s %12s %12s\n", "derived quantity", "from truth", "from stream")
+	fmt.Printf("%-28s %12.3g %12.3g\n", "fMin [queries/round]", solTruth.FMin, solHat.FMin)
+	fmt.Printf("%-28s %12d %12d\n", "maxRank [keys]", solTruth.MaxRank, solHat.MaxRank)
+	fmt.Printf("%-28s %12.0f %12.0f\n", "keyTtl = 1/fMin [rounds]",
+		pdht.IdealKeyTtl(solTruth), pdht.IdealKeyTtl(solHat))
+	fmt.Printf("%-28s %12.0f %12.0f\n", "partial cost [msg/s]",
+		pdht.PartialCost(solTruth), pdht.PartialCost(solHat))
+
+	fmt.Println("\nno configuration was read to produce the right-hand column —")
+	fmt.Println("the index can tune itself from traffic it observes anyway (§5.1.1/§6)")
+}

@@ -1,0 +1,83 @@
+// Costexplorer: an interactive what-if over the paper's cost model. Sweep
+// any scenario dimension from the command line and see where the
+// crossovers fall — when a DHT stops paying for itself, how workload skew
+// changes the picture, and how big the index wants to be.
+//
+//	go run ./examples/costexplorer                 # the paper's scenario
+//	go run ./examples/costexplorer -peers 100000   # a bigger network
+//	go run ./examples/costexplorer -alpha 0.8      # flatter popularity
+//	go run ./examples/costexplorer -repl 10        # scarcer replicas
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"pdht"
+)
+
+func main() {
+	base := pdht.DefaultScenario()
+	peers := flag.Int("peers", base.NumPeers, "total peers")
+	keys := flag.Int("keys", base.Keys, "unique keys")
+	repl := flag.Int("repl", base.Repl, "replication factor")
+	stor := flag.Int("stor", base.Stor, "index slots per peer")
+	alpha := flag.Float64("alpha", base.Alpha, "Zipf exponent")
+	flag.Parse()
+
+	s := base
+	s.NumPeers, s.Keys, s.Repl, s.Stor, s.Alpha = *peers, *keys, *repl, *stor, *alpha
+	pts, err := pdht.Sweep(s, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scenario: %d peers, %d keys, repl %d, stor %d, α %.2f\n",
+		s.NumPeers, s.Keys, s.Repl, s.Stor, s.Alpha)
+	fmt.Printf("broadcast search costs %.0f msgs\n\n", pdht.NoIndexCost(s)/s.TotalQueries())
+
+	fmt.Printf("%-8s %11s %11s %11s %11s %9s %8s\n",
+		"fQry", "indexAll", "noIndex", "partial", "TTL algo", "idx frac", "winner")
+	var crossover string
+	prevNoIndexWins := false
+	for i, p := range pts {
+		winner := "indexAll"
+		best := p.IndexAll
+		if p.NoIndex < best {
+			winner, best = "noIndex", p.NoIndex
+		}
+		if p.Partial < best {
+			winner = "partial"
+		}
+		noIndexWins := p.NoIndex < p.IndexAll
+		if i > 0 && noIndexWins && !prevNoIndexWins {
+			crossover = pdht.FormatFrequency(p.FQry)
+		}
+		prevNoIndexWins = noIndexWins
+		fmt.Printf("%-8s %11.0f %11.0f %11.0f %11.0f %9.3f %8s\n",
+			pdht.FormatFrequency(p.FQry), p.IndexAll, p.NoIndex, p.Partial,
+			p.PartialTTL, p.IndexFraction, winner)
+	}
+
+	fmt.Println()
+	if crossover != "" {
+		fmt.Printf("baselines cross near fQry = %s: busier than that, maintain a DHT; calmer, just flood\n", crossover)
+	} else {
+		fmt.Println("one baseline dominates across the whole range")
+	}
+	fmt.Println("partial indexing beats both everywhere — it is the adaptive mix of the two")
+
+	// The §5.1.1 robustness check for this scenario.
+	sens, err := pdht.TTLSensitivity(s, nil, []float64{-0.5, 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := 0.0
+	for _, sp := range sens {
+		if d := sp.DeltaSavings; d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("mis-estimating keyTtl by ±50%% costs at most %.3f of the savings here\n", worst)
+}

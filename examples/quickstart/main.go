@@ -1,0 +1,51 @@
+// Quickstart: the to-index-or-not decision and the selection algorithm in
+// thirty lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdht"
+)
+
+func main() {
+	// 1. The analytical model (paper §2–4): at the paper's busy-period
+	// query rate, how much of the key space is worth indexing?
+	scenario := pdht.DefaultScenario()
+	sol, err := pdht.Solve(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario: %d peers, %d keys, one query per peer every 30 s\n",
+		scenario.NumPeers, scenario.Keys)
+	fmt.Printf("broadcast search: %.0f msgs   index search: %.1f msgs\n",
+		sol.CSUnstr, sol.CSIndx)
+	fmt.Printf("indexing threshold fMin: %.2g queries/s → index the top %d keys (%.0f%%)\n",
+		sol.FMin, sol.MaxRank, 100*float64(sol.MaxRank)/float64(scenario.Keys))
+	fmt.Printf("cost: indexAll %.0f, noIndex %.0f, partial %.0f msg/s\n\n",
+		pdht.IndexAllCost(scenario), pdht.NoIndexCost(scenario), pdht.PartialCost(sol))
+
+	// 2. The selection algorithm (paper §5), simulated end to end on a
+	// small network: peers flood on index misses, insert results with a
+	// TTL, and the index converges to the popular keys on its own.
+	cfg := pdht.DefaultSimConfig()
+	cfg.Strategy = pdht.StrategyPartialTTL
+	cfg.Peers = 1000
+	cfg.Keys = 2000
+	cfg.Repl = 10
+	cfg.Rounds = 200
+	cfg.WarmupRounds = 50
+	res, err := pdht.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d peers for %d rounds (keyTtl %d rounds, derived from the model)\n",
+		cfg.Peers, cfg.Rounds, res.KeyTtlUsed)
+	fmt.Printf("measured: %.0f msg/round (model predicts %.0f)\n",
+		res.MsgPerRound, res.ModelMsgPerRound)
+	fmt.Printf("%.1f%% of queries answered from the index; index holds %.0f of %d keys\n",
+		100*res.HitRate, res.MeanIndexedKeys, cfg.Keys)
+}

@@ -1,0 +1,120 @@
+// Package churn drives peer arrivals and departures. The paper stresses
+// that "P2P clients are extremely transient in nature" [ChRa03] and that
+// routing-table maintenance against this churn is the dominant indexing
+// cost; this package supplies the on/off process that the DHT's maintenance
+// machinery (internal/dht) works against.
+//
+// Sessions follow the standard exponential on/off model: a peer stays
+// online for an Exp(1/MeanOnline) number of rounds, then offline for an
+// Exp(1/MeanOffline) number of rounds. The process is initialized in its
+// stationary distribution so measurements need no warm-up.
+package churn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"pdht/internal/netsim"
+)
+
+// Model parameterizes the on/off session process, in rounds.
+type Model struct {
+	// MeanOnline is the mean session length. The Gnutella measurements
+	// behind the paper's env constant correspond to sessions on the
+	// order of an hour.
+	MeanOnline float64
+	// MeanOffline is the mean absence length.
+	MeanOffline float64
+}
+
+// Validate checks the model is well-posed.
+func (m Model) Validate() error {
+	if m.MeanOnline <= 0 || math.IsNaN(m.MeanOnline) || math.IsInf(m.MeanOnline, 0) {
+		return fmt.Errorf("churn: MeanOnline = %v must be positive and finite", m.MeanOnline)
+	}
+	if m.MeanOffline < 0 || math.IsNaN(m.MeanOffline) || math.IsInf(m.MeanOffline, 0) {
+		return fmt.Errorf("churn: MeanOffline = %v must be non-negative and finite", m.MeanOffline)
+	}
+	return nil
+}
+
+// OnlineFraction returns the stationary probability that a peer is online:
+// MeanOnline / (MeanOnline + MeanOffline).
+func (m Model) OnlineFraction() float64 {
+	return m.MeanOnline / (m.MeanOnline + m.MeanOffline)
+}
+
+// Process binds a Model to a network and advances it round by round.
+type Process struct {
+	model    Model
+	net      *netsim.Network
+	rng      *rand.Rand
+	nextFlip []int // round at which each peer changes state
+	flips    int64 // total state changes, for measurement
+}
+
+// NewProcess initializes the churn process in its stationary distribution:
+// each peer is online with probability OnlineFraction(), and its first
+// state change is scheduled with the memoryless residual of its current
+// state. MeanOffline = 0 degenerates to a churn-free network.
+func NewProcess(net *netsim.Network, model Model, rng *rand.Rand) (*Process, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Process{
+		model:    model,
+		net:      net,
+		rng:      rng,
+		nextFlip: make([]int, net.Size()),
+	}
+	for i := 0; i < net.Size(); i++ {
+		id := netsim.PeerID(i)
+		if model.MeanOffline == 0 {
+			net.SetOnline(id, true)
+			p.nextFlip[i] = math.MaxInt
+			continue
+		}
+		online := rng.Float64() < model.OnlineFraction()
+		net.SetOnline(id, online)
+		p.nextFlip[i] = net.Round() + p.duration(online)
+	}
+	return p, nil
+}
+
+// duration draws the length in rounds of a session in the given state,
+// at least 1.
+func (p *Process) duration(online bool) int {
+	mean := p.model.MeanOffline
+	if online {
+		mean = p.model.MeanOnline
+	}
+	d := int(math.Round(p.rng.ExpFloat64() * mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Step advances the process to the network's current round, flipping every
+// peer whose timer expired. Call once per round after
+// Network.AdvanceRound. Returns the number of peers that changed state.
+func (p *Process) Step() int {
+	now := p.net.Round()
+	flipped := 0
+	for i := range p.nextFlip {
+		if p.nextFlip[i] > now {
+			continue
+		}
+		id := netsim.PeerID(i)
+		online := !p.net.Online(id)
+		p.net.SetOnline(id, online)
+		p.nextFlip[i] = now + p.duration(online)
+		flipped++
+		p.flips++
+	}
+	return flipped
+}
+
+// Flips returns the total number of state changes so far.
+func (p *Process) Flips() int64 { return p.flips }

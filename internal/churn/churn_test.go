@@ -1,0 +1,141 @@
+package churn
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"pdht/internal/netsim"
+)
+
+func TestModelValidate(t *testing.T) {
+	cases := []struct {
+		m  Model
+		ok bool
+	}{
+		{Model{MeanOnline: 100, MeanOffline: 50}, true},
+		{Model{MeanOnline: 100, MeanOffline: 0}, true},
+		{Model{MeanOnline: 0, MeanOffline: 50}, false},
+		{Model{MeanOnline: -1, MeanOffline: 50}, false},
+		{Model{MeanOnline: math.NaN(), MeanOffline: 50}, false},
+		{Model{MeanOnline: 100, MeanOffline: -2}, false},
+		{Model{MeanOnline: math.Inf(1), MeanOffline: 1}, false},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%+v): err=%v, want ok=%v", c.m, err, c.ok)
+		}
+	}
+}
+
+func TestOnlineFraction(t *testing.T) {
+	m := Model{MeanOnline: 300, MeanOffline: 100}
+	if got := m.OnlineFraction(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("OnlineFraction = %v, want 0.75", got)
+	}
+}
+
+func TestNewProcessStationaryStart(t *testing.T) {
+	nw := netsim.New(10000)
+	rng := rand.New(rand.NewPCG(1, 2))
+	m := Model{MeanOnline: 300, MeanOffline: 100}
+	if _, err := NewProcess(nw, m, rng); err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(nw.OnlineCount()) / float64(nw.Size())
+	if math.Abs(frac-0.75) > 0.03 {
+		t.Errorf("initial online fraction = %v, want ≈ 0.75", frac)
+	}
+}
+
+func TestNewProcessRejectsBadModel(t *testing.T) {
+	nw := netsim.New(10)
+	rng := rand.New(rand.NewPCG(1, 2))
+	if _, err := NewProcess(nw, Model{}, rng); err == nil {
+		t.Error("NewProcess accepted a zero model")
+	}
+}
+
+func TestNoChurnModel(t *testing.T) {
+	nw := netsim.New(100)
+	rng := rand.New(rand.NewPCG(1, 2))
+	p, err := NewProcess(nw, Model{MeanOnline: 100, MeanOffline: 0}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 500; r++ {
+		nw.AdvanceRound()
+		if flipped := p.Step(); flipped != 0 {
+			t.Fatalf("round %d: %d peers flipped in a churn-free network", r, flipped)
+		}
+	}
+	if nw.OnlineCount() != 100 {
+		t.Errorf("OnlineCount = %d, want 100", nw.OnlineCount())
+	}
+}
+
+func TestStationaryFractionHolds(t *testing.T) {
+	nw := netsim.New(5000)
+	rng := rand.New(rand.NewPCG(7, 8))
+	m := Model{MeanOnline: 60, MeanOffline: 30}
+	p, err := NewProcess(nw, m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const rounds = 400
+	for r := 0; r < rounds; r++ {
+		nw.AdvanceRound()
+		p.Step()
+		sum += float64(nw.OnlineCount()) / float64(nw.Size())
+	}
+	avg := sum / rounds
+	want := m.OnlineFraction()
+	if math.Abs(avg-want) > 0.03 {
+		t.Errorf("mean online fraction over %d rounds = %v, want ≈ %v", rounds, avg, want)
+	}
+	if p.Flips() == 0 {
+		t.Error("no peer ever changed state under churn")
+	}
+}
+
+func TestChurnRateScalesWithSessionLength(t *testing.T) {
+	// Shorter sessions must produce more flips per round.
+	run := func(meanOnline float64) float64 {
+		nw := netsim.New(2000)
+		rng := rand.New(rand.NewPCG(5, 6))
+		p, err := NewProcess(nw, Model{MeanOnline: meanOnline, MeanOffline: meanOnline}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 200; r++ {
+			nw.AdvanceRound()
+			p.Step()
+		}
+		return float64(p.Flips()) / 200
+	}
+	fast := run(20)
+	slow := run(200)
+	if fast <= slow {
+		t.Errorf("flips/round: fast sessions %v not above slow sessions %v", fast, slow)
+	}
+}
+
+func TestStepDeterministic(t *testing.T) {
+	run := func() int64 {
+		nw := netsim.New(500)
+		rng := rand.New(rand.NewPCG(9, 10))
+		p, err := NewProcess(nw, Model{MeanOnline: 50, MeanOffline: 25}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 100; r++ {
+			nw.AdvanceRound()
+			p.Step()
+		}
+		return p.Flips()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced different flip counts: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"pdht/internal/keyspace"
+	"pdht/internal/netsim"
+)
+
+func BenchmarkCachePutGet(b *testing.B) {
+	c, err := NewCache(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]keyspace.Key, 256)
+	for i := range keys {
+		keys[i] = keyspace.Key(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := keys[i%len(keys)]
+		c.Put(key, Value(i), i+100, i)
+		c.Get(key, i)
+	}
+}
+
+func BenchmarkIndexLookupHit(b *testing.B) {
+	pi, net, rng := benchIndex(b)
+	key := keyspace.HashString("hot")
+	pi.Insert(0, key, 1)
+	_ = net
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lr := pi.Lookup(netsim.PeerID(i%256), key)
+		if !lr.Hit {
+			b.Fatal("miss on a hot key")
+		}
+	}
+	_ = rng
+}
+
+func BenchmarkIndexLookupMiss(b *testing.B) {
+	pi, _, rng := benchIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lr := pi.Lookup(netsim.PeerID(i%256), keyspace.Key(rng.Uint64()))
+		if lr.Hit {
+			b.Fatal("hit on a random key")
+		}
+	}
+}
+
+func BenchmarkIndexInsert(b *testing.B) {
+	pi, _, rng := benchIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pi.Insert(netsim.PeerID(i%256), keyspace.Key(rng.Uint64()), Value(i))
+	}
+}
+
+func benchIndex(b *testing.B) (*PartialIndex, *netsim.Network, interface{ Uint64() uint64 }) {
+	b.Helper()
+	pi, net, rng := testIndex(b, IndexConfig{
+		KeyTtl: 1 << 30, PeerCapacity: 4096,
+		FloodOnMiss: true, ResetTTLOnHit: true,
+	}, 99)
+	return pi, net, rng
+}

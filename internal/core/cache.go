@@ -1,0 +1,155 @@
+// Package core implements the paper's primary contribution: the
+// query-adaptive partial DHT (Section 5). Keys enter the distributed index
+// when a broadcast search resolves them, live there with an expiration time
+// keyTtl that is reset whenever the storing peer receives a query for them,
+// and silently fall out when they stop being queried. The effect is that
+// exactly the keys worth indexing — those queried at least about once per
+// keyTtl — stay in the index, with no global coordination.
+//
+// The package is written against the dht.Index interface, so the selection
+// algorithm runs unchanged over the P-Grid-style trie or the Chord-style
+// ring (the paper: "generic enough such that it can be used for any of the
+// DHT based systems").
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"pdht/internal/keyspace"
+)
+
+// Value is the payload stored under an index key. The simulator stores
+// article identifiers/version numbers; real deployments would store
+// pointers to content holders.
+type Value uint64
+
+// NeverExpires is the expiry of entries in a TTL-free index (the
+// index-everything baseline).
+const NeverExpires = math.MaxInt
+
+// cacheEntry is one stored key with its lapse round.
+type cacheEntry struct {
+	value   Value
+	expires int
+}
+
+// Cache is one peer's local index storage: at most capacity key–value
+// pairs, each carrying an expiration round. Expired entries are treated as
+// absent and collected lazily. This is the "cache of 100 key-value pairs
+// that can be used for indexing" each peer contributes in the paper's
+// scenario (stor).
+type Cache struct {
+	capacity int
+	entries  map[keyspace.Key]cacheEntry
+}
+
+// NewCache returns an empty cache with the given capacity.
+func NewCache(capacity int) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("core: cache capacity %d must be positive", capacity)
+	}
+	return &Cache{capacity: capacity, entries: make(map[keyspace.Key]cacheEntry, capacity)}, nil
+}
+
+// Capacity returns the maximum number of entries.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Get returns the value stored under key if it has not expired by round
+// now. An expired entry is deleted on sight.
+func (c *Cache) Get(key keyspace.Key, now int) (Value, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		return 0, false
+	}
+	if e.expires <= now {
+		delete(c.entries, key)
+		return 0, false
+	}
+	return e.value, true
+}
+
+// Put stores key→value until the expires round. When the cache is full, the
+// entry closest to expiry — the least recently queried under TTL-reset
+// semantics — is evicted first; an incoming entry that would expire sooner
+// than everything already stored is rejected. Returns whether the entry was
+// stored.
+func (c *Cache) Put(key keyspace.Key, value Value, expires, now int) bool {
+	if expires <= now {
+		return false
+	}
+	if _, exists := c.entries[key]; !exists && len(c.entries) >= c.capacity {
+		if !c.evictOne(expires, now) {
+			return false
+		}
+	}
+	c.entries[key] = cacheEntry{value: value, expires: expires}
+	return true
+}
+
+// evictOne makes room for an incoming entry: all expired entries are
+// collected, and if none were, the live entry with the earliest expiry
+// (ties broken by key) is evicted — provided it expires no later than the
+// incoming entry. The full sweep and total tie-break keep simulation runs
+// bit-for-bit reproducible despite Go's randomized map iteration.
+func (c *Cache) evictOne(incomingExpires, now int) bool {
+	var victim keyspace.Key
+	best := math.MaxInt
+	collected := false
+	for k, e := range c.entries {
+		if e.expires <= now {
+			delete(c.entries, k)
+			collected = true
+			continue
+		}
+		if e.expires < best || (e.expires == best && k < victim) {
+			best = e.expires
+			victim = k
+		}
+	}
+	if collected {
+		return true
+	}
+	if best > incomingExpires {
+		return false
+	}
+	delete(c.entries, victim)
+	return true
+}
+
+// Refresh resets the expiry of an existing, live entry — the TTL reset a
+// query triggers at the storing peer (§5.1). Returns false if the key is
+// absent or already expired.
+func (c *Cache) Refresh(key keyspace.Key, expires, now int) bool {
+	e, ok := c.entries[key]
+	if !ok || e.expires <= now {
+		delete(c.entries, key)
+		return false
+	}
+	if expires > e.expires {
+		e.expires = expires
+		c.entries[key] = e
+	}
+	return true
+}
+
+// Live returns the number of unexpired entries at round now, collecting
+// expired ones.
+func (c *Cache) Live(now int) int {
+	for k, e := range c.entries {
+		if e.expires <= now {
+			delete(c.entries, k)
+		}
+	}
+	return len(c.entries)
+}
+
+// Expires returns the expiry round of a live entry, with ok=false when the
+// key is absent or expired.
+func (c *Cache) Expires(key keyspace.Key, now int) (int, bool) {
+	e, ok := c.entries[key]
+	if !ok || e.expires <= now {
+		return 0, false
+	}
+	return e.expires, true
+}

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+
+	"pdht/internal/dht"
+	"pdht/internal/keyspace"
+	"pdht/internal/netsim"
+	"pdht/internal/replica"
+	"pdht/internal/stats"
+)
+
+// IndexConfig parameterizes the distributed partial index.
+type IndexConfig struct {
+	// KeyTtl is the expiration time, in rounds, attached to inserted
+	// keys. Zero or negative means entries never expire — the
+	// index-everything mode of the Section-4 baselines.
+	KeyTtl int
+	// PeerCapacity is each active peer's cache size (the paper's stor).
+	PeerCapacity int
+	// SubnetDegree is the gossip degree of each replica subnetwork.
+	// Degree 1 yields mean degree ≈ 2 and a flood duplication near the
+	// paper's dup2 = 1.8. Default 1.
+	SubnetDegree int
+	// FloodOnMiss controls §5's replica-subnet query flood: when the
+	// responsible peer cannot answer, it propagates the query through the
+	// replica subnetwork (the cSIndx2 = cSIndx + repl·dup2 of eq. 16).
+	// The selection algorithm needs it because TTL expiry leaves replicas
+	// poorly synchronized; the proactively updated baselines do not.
+	FloodOnMiss bool
+	// ResetTTLOnHit controls the selection algorithm's defining rule: a
+	// query for a stored key resets its expiration time.
+	ResetTTLOnHit bool
+}
+
+func (c *IndexConfig) setDefaults() {
+	if c.SubnetDegree == 0 {
+		c.SubnetDegree = 1
+	}
+}
+
+func (c IndexConfig) validate() error {
+	if c.PeerCapacity < 1 {
+		return fmt.Errorf("core: PeerCapacity %d must be positive", c.PeerCapacity)
+	}
+	if c.SubnetDegree < 1 {
+		return fmt.Errorf("core: SubnetDegree %d must be positive", c.SubnetDegree)
+	}
+	return nil
+}
+
+// LookupResult reports one index search.
+type LookupResult struct {
+	// RouteOK reports whether routing reached a responsible peer at all.
+	RouteOK bool
+	// Hit reports whether the key was found live in the index.
+	Hit bool
+	// Value is the stored value when Hit.
+	Value Value
+	// AnsweredBy is the peer that held the live entry when Hit.
+	AnsweredBy netsim.PeerID
+	// RouteHops and FloodMsgs break down the message cost (also recorded
+	// on the network counters).
+	RouteHops int
+	FloodMsgs int
+}
+
+// PartialIndex is the distributed index: per-peer TTL caches over the
+// active peers of a DHT, wired together by replica subnetworks for gossip.
+// All methods count their messages on the underlying network.
+type PartialIndex struct {
+	net *netsim.Network
+	idx dht.Index
+	cfg IndexConfig
+	rng *rand.Rand
+
+	caches  map[netsim.PeerID]*Cache
+	subnets map[uint64]*replica.Subnet
+	byKey   map[keyspace.Key]*replica.Subnet
+	// liveUntil tracks, per key, the latest expiry of any replica — the
+	// index-size bookkeeping behind Fig. 3's "index size" series.
+	liveUntil map[keyspace.Key]int
+}
+
+// NewPartialIndex builds the index layer over a DHT.
+func NewPartialIndex(net *netsim.Network, idx dht.Index, cfg IndexConfig, rng *rand.Rand) (*PartialIndex, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pi := &PartialIndex{
+		net:       net,
+		idx:       idx,
+		cfg:       cfg,
+		rng:       rng,
+		caches:    make(map[netsim.PeerID]*Cache),
+		subnets:   make(map[uint64]*replica.Subnet),
+		byKey:     make(map[keyspace.Key]*replica.Subnet),
+		liveUntil: make(map[keyspace.Key]int),
+	}
+	for _, p := range idx.ActivePeers() {
+		c, err := NewCache(cfg.PeerCapacity)
+		if err != nil {
+			return nil, err
+		}
+		pi.caches[p] = c
+	}
+	return pi, nil
+}
+
+// DHT exposes the underlying structured overlay.
+func (pi *PartialIndex) DHT() dht.Index { return pi.idx }
+
+// Config returns the index configuration.
+func (pi *PartialIndex) Config() IndexConfig { return pi.cfg }
+
+// SetKeyTtl changes the TTL attached to future inserts and refreshes —
+// the knob a self-tuning deployment (core.TTLEstimator) turns. Entries
+// already in the index keep their current expiry until their next hit.
+// ttl ≤ 0 means future entries never expire.
+func (pi *PartialIndex) SetKeyTtl(ttl int) { pi.cfg.KeyTtl = ttl }
+
+// expiry converts the configured TTL into an absolute round.
+func (pi *PartialIndex) expiry(now int) int {
+	if pi.cfg.KeyTtl <= 0 {
+		return NeverExpires
+	}
+	return now + pi.cfg.KeyTtl
+}
+
+// groupSignature fingerprints a replica group so subnets are shared between
+// keys with the same group (every key of a trie leaf, for instance).
+func groupSignature(members []netsim.PeerID) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range members {
+		v := uint64(p)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// subnetFor returns (building lazily) the replica subnetwork of key's
+// group.
+func (pi *PartialIndex) subnetFor(key keyspace.Key) (*replica.Subnet, error) {
+	if s, ok := pi.byKey[key]; ok {
+		return s, nil
+	}
+	group := pi.idx.ReplicaGroup(key)
+	sig := groupSignature(group)
+	s, ok := pi.subnets[sig]
+	if !ok {
+		var err error
+		s, err = replica.NewSubnet(pi.net, group, pi.cfg.SubnetDegree, pi.rng)
+		if err != nil {
+			return nil, err
+		}
+		pi.subnets[sig] = s
+	}
+	pi.byKey[key] = s
+	return s, nil
+}
+
+// Lookup searches the index for key on behalf of from: route through the
+// DHT, check the responsible peer's cache, and — in FloodOnMiss mode —
+// propagate the query through the replica subnetwork before giving up.
+// A hit resets the entry's TTL when ResetTTLOnHit is set.
+func (pi *PartialIndex) Lookup(from netsim.PeerID, key keyspace.Key) LookupResult {
+	res := LookupResult{}
+	now := pi.net.Round()
+	rt := pi.idx.Route(from, key, pi.rng)
+	res.RouteHops = rt.Hops
+	if !rt.OK {
+		return res
+	}
+	res.RouteOK = true
+	if v, ok := pi.caches[rt.Responsible].Get(key, now); ok {
+		res.Hit, res.Value, res.AnsweredBy = true, v, rt.Responsible
+		pi.noteHit(key, rt.Responsible, now)
+		return res
+	}
+	if !pi.cfg.FloodOnMiss {
+		return res
+	}
+	subnet, err := pi.subnetFor(key)
+	if err != nil {
+		return res
+	}
+	fs := subnet.Flood(rt.Responsible, func(p netsim.PeerID) bool {
+		_, ok := pi.caches[p].Get(key, now)
+		return ok
+	}, stats.MsgReplicaFlood)
+	res.FloodMsgs = fs.Messages
+	if fs.Found {
+		v, _ := pi.caches[fs.FoundAt].Get(key, now)
+		res.Hit, res.Value, res.AnsweredBy = true, v, fs.FoundAt
+		pi.noteHit(key, fs.FoundAt, now)
+	}
+	return res
+}
+
+// noteHit applies the TTL reset at the answering peer.
+func (pi *PartialIndex) noteHit(key keyspace.Key, at netsim.PeerID, now int) {
+	if !pi.cfg.ResetTTLOnHit || pi.cfg.KeyTtl <= 0 {
+		return
+	}
+	exp := pi.expiry(now)
+	pi.caches[at].Refresh(key, exp, now)
+	if exp > pi.liveUntil[key] {
+		pi.liveUntil[key] = exp
+	}
+}
+
+// InsertResult reports one index insert.
+type InsertResult struct {
+	// OK reports whether the entry reached at least one online replica.
+	OK bool
+	// Stored is how many peers installed the entry.
+	Stored int
+	// RouteHops and GossipMsgs break down the cost.
+	RouteHops  int
+	GossipMsgs int
+}
+
+// Insert routes key to its responsible peer and gossips the entry through
+// the replica subnetwork, installing it with the configured TTL at every
+// online member the rumor reaches — the insert leg of the selection
+// algorithm (the second cSIndx2 of eq. 17).
+func (pi *PartialIndex) Insert(from netsim.PeerID, key keyspace.Key, value Value) InsertResult {
+	res := InsertResult{}
+	now := pi.net.Round()
+	rt := pi.idx.Route(from, key, pi.rng)
+	res.RouteHops = rt.Hops
+	if !rt.OK {
+		return res
+	}
+	subnet, err := pi.subnetFor(key)
+	if err != nil {
+		return res
+	}
+	fs := subnet.Flood(rt.Responsible, nil, stats.MsgReplicaFlood)
+	res.GossipMsgs = fs.Messages
+	exp := pi.expiry(now)
+	for _, p := range subnet.Members() {
+		if !pi.net.Online(p) {
+			continue
+		}
+		if pi.caches[p].Put(key, value, exp, now) {
+			res.Stored++
+		}
+	}
+	if res.Stored > 0 {
+		res.OK = true
+		if exp > pi.liveUntil[key] {
+			pi.liveUntil[key] = exp
+		}
+	}
+	return res
+}
+
+// Seed installs key at every member of its replica group without sending
+// messages: initial state for the index-everything and oracle baselines
+// (their indexes exist before the measurement window opens).
+func (pi *PartialIndex) Seed(key keyspace.Key, value Value) error {
+	subnet, err := pi.subnetFor(key)
+	if err != nil {
+		return err
+	}
+	now := pi.net.Round()
+	exp := pi.expiry(now)
+	for _, p := range subnet.Members() {
+		pi.caches[p].Put(key, value, exp, now)
+	}
+	if exp > pi.liveUntil[key] {
+		pi.liveUntil[key] = exp
+	}
+	return nil
+}
+
+// Update routes a new value for key to its responsible peer and gossips it
+// to the replicas — the proactive consistency traffic (cUpd, eq. 9) the
+// index-everything baseline pays for every key update. Only peers already
+// holding the key (or with room) store the new version.
+func (pi *PartialIndex) Update(from netsim.PeerID, key keyspace.Key, value Value) InsertResult {
+	res := InsertResult{}
+	now := pi.net.Round()
+	rt := pi.idx.Route(from, key, pi.rng)
+	res.RouteHops = rt.Hops
+	if !rt.OK {
+		return res
+	}
+	subnet, err := pi.subnetFor(key)
+	if err != nil {
+		return res
+	}
+	fs := subnet.Flood(rt.Responsible, nil, stats.MsgUpdate)
+	res.GossipMsgs = fs.Messages
+	exp := pi.expiry(now)
+	for _, p := range subnet.Members() {
+		if !pi.net.Online(p) {
+			continue
+		}
+		if pi.caches[p].Put(key, value, exp, now) {
+			res.Stored++
+		}
+	}
+	res.OK = res.Stored > 0
+	if res.OK && exp > pi.liveUntil[key] {
+		pi.liveUntil[key] = exp
+	}
+	return res
+}
+
+// IndexedKeys returns the number of keys currently live in the index — the
+// quantity eq. 15 predicts in expectation. Long-expired bookkeeping is
+// pruned as a side effect.
+func (pi *PartialIndex) IndexedKeys() int {
+	now := pi.net.Round()
+	n := 0
+	for key, exp := range pi.liveUntil {
+		if exp <= now {
+			delete(pi.liveUntil, key)
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// ExactIndexedKeys counts the distinct keys with at least one live replica
+// by scanning every cache — the ground truth IndexedKeys approximates
+// (IndexedKeys can overcount when capacity evictions removed a key's last
+// replica before its bookkeeping expiry). Linear in total cache content;
+// meant for tests and occasional measurements.
+func (pi *PartialIndex) ExactIndexedKeys() int {
+	now := pi.net.Round()
+	live := make(map[keyspace.Key]bool)
+	for _, c := range pi.caches {
+		for key := range c.entries {
+			if live[key] {
+				continue
+			}
+			if _, ok := c.Get(key, now); ok {
+				live[key] = true
+			}
+		}
+	}
+	return len(live)
+}
+
+// Maintain runs one round of DHT routing-table probing.
+func (pi *PartialIndex) Maintain() dht.MaintenanceStats {
+	return pi.idx.Maintain(pi.rng)
+}

@@ -1,0 +1,396 @@
+package dht
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+
+	"pdht/internal/keyspace"
+	"pdht/internal/netsim"
+	"pdht/internal/stats"
+)
+
+// KademliaConfig parameterizes the Kademlia-style XOR-metric DHT. Kademlia
+// postdates the paper's "traditional DHT" list but belongs to the same
+// logarithmic family eq. 7 models; carrying the selection algorithm over it
+// unchanged is the strongest form of the paper's genericity claim this
+// repo exercises.
+type KademliaConfig struct {
+	// K is the bucket width and the replica-group size: a key lives on
+	// the K peers whose node IDs are XOR-closest to it.
+	K int
+	// Alpha is the lookup parallelism (how many contacts an iterative
+	// lookup keeps in flight). Classic Kademlia uses 3.
+	Alpha int
+	// Env is the per-contact per-round probe probability, as elsewhere.
+	Env float64
+}
+
+func (c *KademliaConfig) setDefaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 3
+	}
+}
+
+func (c KademliaConfig) validate(nActive int) error {
+	if c.K < 1 {
+		return fmt.Errorf("dht: K %d must be positive", c.K)
+	}
+	if nActive < 1 {
+		return fmt.Errorf("dht: kademlia needs at least one active peer")
+	}
+	if c.K > nActive {
+		return fmt.Errorf("dht: K %d exceeds active peers %d", c.K, nActive)
+	}
+	if c.Alpha < 1 {
+		return fmt.Errorf("dht: Alpha %d must be positive", c.Alpha)
+	}
+	if c.Env < 0 || c.Env > 1 {
+		return fmt.Errorf("dht: Env %v must be a probability", c.Env)
+	}
+	return nil
+}
+
+// kadNode is one peer's Kademlia state: a 64-bit node ID and 64 buckets,
+// bucket b holding up to K contacts whose IDs differ from ours first at
+// bit 63−b (i.e. XOR distance in [2^b, 2^(b+1))).
+type kadNode struct {
+	id      netsim.PeerID
+	nodeKey uint64
+	buckets [64][]netsim.PeerID
+}
+
+// Kademlia is the XOR-metric DHT: node IDs and keys share one space, a key
+// is stored on the K peers closest to it by XOR, and lookups iterate —
+// the querier itself contacts ever-closer peers learned from responses,
+// paying one message per contacted peer.
+type Kademlia struct {
+	net    *netsim.Network
+	cfg    KademliaConfig
+	active []netsim.PeerID
+	nodes  map[netsim.PeerID]*kadNode
+}
+
+// kadNodeKey derives a peer's node ID.
+func kadNodeKey(p netsim.PeerID) uint64 {
+	return uint64(keyspace.HashString(fmt.Sprintf("kad-peer:%d", p)))
+}
+
+// bucketOf returns the bucket index for a contact at XOR distance d > 0:
+// the position of the highest set bit.
+func bucketOf(d uint64) int { return bits.Len64(d) - 1 }
+
+// NewKademlia builds the routing state over the given active peers. Bucket
+// filling inspects every peer pair (O(n²)); this is construction-time
+// bookkeeping a real network amortizes over its lifetime, not message
+// traffic.
+func NewKademlia(net *netsim.Network, active []netsim.PeerID, cfg KademliaConfig, rng *rand.Rand) (*Kademlia, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(len(active)); err != nil {
+		return nil, err
+	}
+	k := &Kademlia{
+		net:    net,
+		cfg:    cfg,
+		active: append([]netsim.PeerID(nil), active...),
+		nodes:  make(map[netsim.PeerID]*kadNode, len(active)),
+	}
+	for _, p := range k.active {
+		k.nodes[p] = &kadNode{id: p, nodeKey: kadNodeKey(p)}
+	}
+	// Fill buckets from a random permutation so that bucket contents are
+	// not biased by peer-ID order.
+	perm := append([]netsim.PeerID(nil), k.active...)
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	for _, p := range k.active {
+		n := k.nodes[p]
+		for _, q := range perm {
+			if q == p {
+				continue
+			}
+			b := bucketOf(n.nodeKey ^ k.nodes[q].nodeKey)
+			if len(n.buckets[b]) < cfg.K {
+				n.buckets[b] = append(n.buckets[b], q)
+			}
+		}
+	}
+	return k, nil
+}
+
+// ActivePeers implements Index.
+func (k *Kademlia) ActivePeers() []netsim.PeerID { return k.active }
+
+// RoutingEntries implements Index.
+func (k *Kademlia) RoutingEntries() int {
+	total := 0
+	for _, n := range k.nodes {
+		for b := range n.buckets {
+			total += len(n.buckets[b])
+		}
+	}
+	return total
+}
+
+// Member reports whether p participates.
+func (k *Kademlia) Member(p netsim.PeerID) bool {
+	_, ok := k.nodes[p]
+	return ok
+}
+
+// ReplicaGroup implements Index: the K peers XOR-closest to the key,
+// online or not. Linear scan — group identification is the simulator's
+// omniscient bookkeeping, not a message-bearing operation.
+func (k *Kademlia) ReplicaGroup(key keyspace.Key) []netsim.PeerID {
+	type cand struct {
+		p netsim.PeerID
+		d uint64
+	}
+	cands := make([]cand, 0, len(k.active))
+	for _, p := range k.active {
+		cands = append(cands, cand{p, k.nodes[p].nodeKey ^ uint64(key)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	n := k.cfg.K
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]netsim.PeerID, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].p
+	}
+	return out
+}
+
+// closestContacts returns up to want contacts from n's buckets, sorted by
+// XOR distance to target — what a Kademlia node puts in a FIND_NODE
+// response. Contacts whose peers have left the DHT are skipped (they
+// linger in buckets until maintenance collects them).
+func (k *Kademlia) closestContacts(n *kadNode, target uint64, want int) []netsim.PeerID {
+	type cand struct {
+		p netsim.PeerID
+		d uint64
+	}
+	var cands []cand
+	for b := range n.buckets {
+		for _, p := range n.buckets[b] {
+			pn, ok := k.nodes[p]
+			if !ok {
+				continue
+			}
+			cands = append(cands, cand{p, pn.nodeKey ^ target})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	if want > len(cands) {
+		want = len(cands)
+	}
+	out := make([]netsim.PeerID, want)
+	for i := 0; i < want; i++ {
+		out[i] = cands[i].p
+	}
+	return out
+}
+
+// Route implements Index with the iterative Kademlia lookup: the querier
+// keeps a shortlist of the closest contacts it has heard of, contacts the
+// closest not-yet-queried one (one message each, timeouts against offline
+// peers included), merges the response's contacts, and stops when it has
+// queried an online member of the key's replica group.
+func (k *Kademlia) Route(from netsim.PeerID, key keyspace.Key, rng *rand.Rand) RouteResult {
+	res := RouteResult{}
+	target := uint64(key)
+
+	group := make(map[netsim.PeerID]bool, k.cfg.K)
+	for _, p := range k.ReplicaGroup(key) {
+		group[p] = true
+	}
+
+	// The querier's own knowledge seeds the shortlist; outsiders bootstrap
+	// through a random online member (one message, as elsewhere).
+	start, isMember := k.nodes[from]
+	if !isMember || !k.net.Online(from) {
+		entry, ok := randomOnlineOf(k.net, k.active, rng)
+		if !ok {
+			return res
+		}
+		res.Hops++
+		start = k.nodes[entry]
+		if group[entry] {
+			res.OK, res.Responsible = true, entry
+			k.net.Send(stats.MsgIndexLookup, int64(res.Hops))
+			return res
+		}
+	} else if group[from] {
+		res.OK, res.Responsible = true, from
+		k.net.Send(stats.MsgIndexLookup, int64(res.Hops))
+		return res
+	}
+
+	dist := func(p netsim.PeerID) uint64 { return k.nodes[p].nodeKey ^ target }
+	shortlist := k.closestContacts(start, target, k.cfg.K)
+	queried := map[netsim.PeerID]bool{start.id: true}
+	budget := 8*k.cfg.K + 32
+	for hop := 0; hop < budget; hop++ {
+		// Closest unqueried contact on the shortlist.
+		var next netsim.PeerID = -1
+		for _, p := range shortlist {
+			if queried[p] {
+				continue
+			}
+			if next == -1 || dist(p) < dist(next) {
+				next = p
+			}
+		}
+		if next == -1 {
+			break // shortlist exhausted
+		}
+		queried[next] = true
+		res.Hops++ // the FIND message (or its timeout)
+		if !k.net.Online(next) {
+			continue
+		}
+		if group[next] {
+			res.OK, res.Responsible = true, next
+			k.net.Send(stats.MsgIndexLookup, int64(res.Hops))
+			return res
+		}
+		// Merge the response's contacts and keep the K closest.
+		shortlist = mergeClosest(shortlist,
+			k.closestContacts(k.nodes[next], target, k.cfg.K),
+			k.cfg.K, dist)
+	}
+	k.net.Send(stats.MsgIndexLookup, int64(res.Hops))
+	return res
+}
+
+// mergeClosest merges two contact lists, deduplicates, and keeps the n
+// closest under dist.
+func mergeClosest(a, b []netsim.PeerID, n int, dist func(netsim.PeerID) uint64) []netsim.PeerID {
+	seen := make(map[netsim.PeerID]bool, len(a)+len(b))
+	merged := make([]netsim.PeerID, 0, len(a)+len(b))
+	for _, list := range [2][]netsim.PeerID{a, b} {
+		for _, p := range list {
+			if !seen[p] {
+				seen[p] = true
+				merged = append(merged, p)
+			}
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return dist(merged[i]) < dist(merged[j]) })
+	if len(merged) > n {
+		merged = merged[:n]
+	}
+	return merged
+}
+
+// Maintain implements Index: every online peer probes each bucket contact
+// with probability Env; a probe that hits an offline contact evicts it and
+// refills the bucket with a random online peer of the right distance —
+// Kademlia's least-recently-seen eviction collapsed to one round.
+func (k *Kademlia) Maintain(rng *rand.Rand) MaintenanceStats {
+	var ms MaintenanceStats
+	for _, p := range k.active {
+		n := k.nodes[p]
+		if !k.net.Online(p) {
+			continue
+		}
+		for b := range n.buckets {
+			bucket := n.buckets[b]
+			for i := 0; i < len(bucket); i++ {
+				if rng.Float64() >= k.cfg.Env {
+					continue
+				}
+				ms.Probes++
+				if _, member := k.nodes[bucket[i]]; member && k.net.Online(bucket[i]) {
+					continue
+				}
+				ms.Stale++
+				if repl, ok := k.refill(n, b, rng); ok {
+					bucket[i] = repl
+					ms.Repaired++
+				} else {
+					// Nobody suitable: drop the contact.
+					bucket[i] = bucket[len(bucket)-1]
+					bucket = bucket[:len(bucket)-1]
+					n.buckets[b] = bucket
+					i--
+					ms.Repaired++
+				}
+			}
+		}
+	}
+	k.net.Send(stats.MsgMaintenance, int64(ms.Probes))
+	return ms
+}
+
+// Join adds peer p: it fills its own buckets (bookkeeping) and announces
+// itself to the K peers closest to its node ID — K messages of class
+// stats.MsgControl, Kademlia's join lookup collapsed to its effect. Those
+// peers insert the newcomer into the matching bucket if there is room;
+// everyone else learns of it through maintenance refills.
+func (k *Kademlia) Join(p netsim.PeerID, rng *rand.Rand) error {
+	if k.Member(p) {
+		return fmt.Errorf("dht: peer %d is already a kademlia member", p)
+	}
+	n := &kadNode{id: p, nodeKey: kadNodeKey(p)}
+	for _, q := range k.active {
+		b := bucketOf(n.nodeKey ^ k.nodes[q].nodeKey)
+		if len(n.buckets[b]) < k.cfg.K {
+			n.buckets[b] = append(n.buckets[b], q)
+		}
+	}
+	k.nodes[p] = n
+	k.active = append(k.active, p)
+	for _, q := range k.ReplicaGroup(keyspace.Key(n.nodeKey)) {
+		if q == p {
+			continue
+		}
+		qn := k.nodes[q]
+		b := bucketOf(qn.nodeKey ^ n.nodeKey)
+		if len(qn.buckets[b]) < k.cfg.K {
+			qn.buckets[b] = append(qn.buckets[b], p)
+		}
+	}
+	k.net.Send(stats.MsgControl, int64(k.cfg.K))
+	return nil
+}
+
+// Leave removes peer p, crash-style: no messages; its contacts elsewhere
+// go stale and are collected by Maintain. The last member cannot leave.
+func (k *Kademlia) Leave(p netsim.PeerID) error {
+	if !k.Member(p) {
+		return fmt.Errorf("dht: peer %d is not a kademlia member", p)
+	}
+	if len(k.active) == 1 {
+		return fmt.Errorf("dht: peer %d is the last kademlia member and cannot leave", p)
+	}
+	delete(k.nodes, p)
+	for i, m := range k.active {
+		if m == p {
+			k.active[i] = k.active[len(k.active)-1]
+			k.active = k.active[:len(k.active)-1]
+			break
+		}
+	}
+	return nil
+}
+
+// refill looks for a random online peer whose distance to n falls in
+// bucket b and who is not already a contact there.
+func (k *Kademlia) refill(n *kadNode, b int, rng *rand.Rand) (netsim.PeerID, bool) {
+	have := make(map[netsim.PeerID]bool, len(n.buckets[b]))
+	for _, p := range n.buckets[b] {
+		have[p] = true
+	}
+	for tries := 0; tries < 48; tries++ {
+		q := k.active[rng.IntN(len(k.active))]
+		if q == n.id || have[q] || !k.net.Online(q) {
+			continue
+		}
+		if bucketOf(n.nodeKey^k.nodes[q].nodeKey) == b {
+			return q, true
+		}
+	}
+	return 0, false
+}

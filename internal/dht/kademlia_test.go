@@ -1,0 +1,265 @@
+package dht
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pdht/internal/keyspace"
+	"pdht/internal/netsim"
+	"pdht/internal/stats"
+)
+
+var _ Index = (*Kademlia)(nil)
+
+func newTestKademlia(t *testing.T, nNet, nActive int, cfg KademliaConfig, seed uint64) (*Kademlia, *netsim.Network, *rand.Rand) {
+	t.Helper()
+	net := netsim.New(nNet)
+	rng := rand.New(rand.NewPCG(seed, seed^0xcafe))
+	kad, err := NewKademlia(net, activeRange(nActive), cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kad, net, rng
+}
+
+func TestKademliaConfigValidation(t *testing.T) {
+	net := netsim.New(10)
+	rng := rand.New(rand.NewPCG(1, 2))
+	cases := []struct {
+		active []netsim.PeerID
+		cfg    KademliaConfig
+	}{
+		{activeRange(10), KademliaConfig{K: 0}},
+		{activeRange(10), KademliaConfig{K: 11}},
+		{nil, KademliaConfig{K: 1}},
+		{activeRange(10), KademliaConfig{K: 2, Alpha: -1}},
+		{activeRange(10), KademliaConfig{K: 2, Env: 1.5}},
+	}
+	for i, c := range cases {
+		if _, err := NewKademlia(net, c.active, c.cfg, rng); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestKademliaReplicaGroupIsXORClosest(t *testing.T) {
+	kad, _, rng := newTestKademlia(t, 256, 256, KademliaConfig{K: 8, Env: 0.1}, 1)
+	for i := 0; i < 50; i++ {
+		key := keyspace.Key(rng.Uint64())
+		group := kad.ReplicaGroup(key)
+		if len(group) != 8 {
+			t.Fatalf("group size %d", len(group))
+		}
+		// Every non-member must be at least as far as the farthest
+		// member.
+		var maxD uint64
+		inGroup := make(map[netsim.PeerID]bool)
+		for _, p := range group {
+			inGroup[p] = true
+			if d := kadNodeKey(p) ^ uint64(key); d > maxD {
+				maxD = d
+			}
+		}
+		for _, p := range kad.ActivePeers() {
+			if inGroup[p] {
+				continue
+			}
+			if d := kadNodeKey(p) ^ uint64(key); d < maxD {
+				t.Fatalf("peer %d closer than a group member", p)
+			}
+		}
+	}
+}
+
+func TestKademliaRouteNoChurn(t *testing.T) {
+	kad, net, rng := newTestKademlia(t, 1024, 1024, KademliaConfig{K: 16, Env: 0.1}, 2)
+	var hops int
+	const lookups = 300
+	for i := 0; i < lookups; i++ {
+		from := netsim.PeerID(rng.IntN(1024))
+		key := keyspace.Key(rng.Uint64())
+		res := kad.Route(from, key, rng)
+		if !res.OK {
+			t.Fatalf("lookup %d failed without churn", i)
+		}
+		found := false
+		for _, p := range kad.ReplicaGroup(key) {
+			if p == res.Responsible {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("terminated outside the replica group")
+		}
+		hops += res.Hops
+	}
+	mean := float64(hops) / lookups
+	// Iterative Kademlia contacts O(log n) peers; with K=16 buckets the
+	// constant is small.
+	if mean < 1 || mean > 10 {
+		t.Errorf("mean contacted peers = %v, want a few", mean)
+	}
+	if net.Counters().Get(stats.MsgIndexLookup) != int64(hops) {
+		t.Error("lookup counter mismatch")
+	}
+}
+
+func TestKademliaRouteFromOutsider(t *testing.T) {
+	kad, _, rng := newTestKademlia(t, 600, 512, KademliaConfig{K: 8, Env: 0.1}, 3)
+	res := kad.Route(netsim.PeerID(550), keyspace.Key(rng.Uint64()), rng)
+	if !res.OK {
+		t.Fatal("outsider lookup failed")
+	}
+	if res.Hops < 1 {
+		t.Error("outsider lookup cannot be free")
+	}
+}
+
+func TestKademliaRouteUnderChurn(t *testing.T) {
+	kad, net, rng := newTestKademlia(t, 1024, 1024, KademliaConfig{K: 16, Env: 0.1}, 4)
+	for i := 0; i < 1024; i++ {
+		if rng.Float64() < 0.3 {
+			net.SetOnline(netsim.PeerID(i), false)
+		}
+	}
+	ok := 0
+	const lookups = 300
+	for i := 0; i < lookups; i++ {
+		from, found := net.RandomOnline(rng)
+		if !found {
+			t.Fatal("network died")
+		}
+		res := kad.Route(from, keyspace.Key(rng.Uint64()), rng)
+		if res.OK {
+			if !net.Online(res.Responsible) {
+				t.Fatal("terminated at an offline peer")
+			}
+			ok++
+		}
+	}
+	if ok < lookups*90/100 {
+		t.Errorf("only %d/%d lookups succeeded under churn", ok, lookups)
+	}
+}
+
+func TestKademliaRouteAllOffline(t *testing.T) {
+	kad, net, rng := newTestKademlia(t, 64, 64, KademliaConfig{K: 4, Env: 0.1}, 5)
+	for i := 0; i < 64; i++ {
+		net.SetOnline(netsim.PeerID(i), false)
+	}
+	if res := kad.Route(0, keyspace.HashString("k"), rng); res.OK {
+		t.Error("route succeeded on a dead network")
+	}
+}
+
+func TestKademliaMaintenance(t *testing.T) {
+	kad, net, rng := newTestKademlia(t, 512, 512, KademliaConfig{K: 8, Env: 1.0}, 6)
+	for i := 0; i < 512; i++ {
+		if rng.Float64() < 0.2 {
+			net.SetOnline(netsim.PeerID(i), false)
+		}
+	}
+	ms := kad.Maintain(rng)
+	if ms.Probes == 0 || ms.Stale == 0 {
+		t.Fatalf("maintenance found nothing: %+v", ms)
+	}
+	if ms.Repaired < ms.Stale*9/10 {
+		t.Errorf("repaired %d of %d", ms.Repaired, ms.Stale)
+	}
+	ms2 := kad.Maintain(rng)
+	if ms2.Stale > ms.Stale/10 {
+		t.Errorf("second pass still found %d stale contacts", ms2.Stale)
+	}
+	if got := net.Counters().Get(stats.MsgMaintenance); got != int64(ms.Probes+ms2.Probes) {
+		t.Error("maintenance counter mismatch")
+	}
+}
+
+func TestKademliaRoutingEntriesBounded(t *testing.T) {
+	kad, _, _ := newTestKademlia(t, 256, 256, KademliaConfig{K: 8, Env: 0.1}, 7)
+	// Buckets hold at most K contacts each; with 256 peers only ~8
+	// buckets are populated, so entries/peer is a small multiple of K.
+	perPeer := float64(kad.RoutingEntries()) / 256
+	if perPeer < 8 || perPeer > 8*10 {
+		t.Errorf("entries per peer = %v", perPeer)
+	}
+	if !kad.Member(0) || kad.Member(999) {
+		t.Error("membership wrong")
+	}
+}
+
+func TestKademliaJoinLeave(t *testing.T) {
+	kad, net, rng := newTestKademlia(t, 600, 512, KademliaConfig{K: 8, Env: 1.0}, 8)
+	joiner := netsim.PeerID(550)
+	before := net.Counters().Get(stats.MsgControl)
+	if err := kad.Join(joiner, rng); err != nil {
+		t.Fatal(err)
+	}
+	if net.Counters().Get(stats.MsgControl)-before != 8 {
+		t.Error("join should cost K messages")
+	}
+	if err := kad.Join(joiner, rng); err == nil {
+		t.Error("duplicate join accepted")
+	}
+	// The joiner routes and appears in replica groups near its node ID.
+	for i := 0; i < 50; i++ {
+		if res := kad.Route(joiner, keyspace.Key(rng.Uint64()), rng); !res.OK {
+			t.Fatal("joiner's lookup failed")
+		}
+	}
+	group := kad.ReplicaGroup(keyspace.Key(kadNodeKey(joiner)))
+	found := false
+	for _, p := range group {
+		if p == joiner {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("joiner absent from its own neighborhood")
+	}
+
+	// Leave and verify routing still works and maintenance collects the
+	// stale contacts.
+	if err := kad.Leave(joiner); err != nil {
+		t.Fatal(err)
+	}
+	if kad.Member(joiner) {
+		t.Fatal("leaver still a member")
+	}
+	if err := kad.Leave(joiner); err == nil {
+		t.Error("double leave accepted")
+	}
+	ms := kad.Maintain(rng)
+	if ms.Stale == 0 {
+		t.Error("maintenance found no stale contacts after departure")
+	}
+	for i := 0; i < 100; i++ {
+		from, _ := net.RandomOnline(rng)
+		res := kad.Route(from, keyspace.Key(rng.Uint64()), rng)
+		if !res.OK {
+			t.Fatal("lookup failed after leave")
+		}
+		if res.Responsible == joiner {
+			t.Fatal("routed to the departed peer")
+		}
+	}
+}
+
+func TestKademliaLastMemberCannotLeave(t *testing.T) {
+	kad, _, _ := newTestKademlia(t, 4, 1, KademliaConfig{K: 1, Env: 0.1}, 9)
+	if err := kad.Leave(0); err == nil {
+		t.Error("last member left")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	if bucketOf(1) != 0 {
+		t.Errorf("bucketOf(1) = %d", bucketOf(1))
+	}
+	if bucketOf(0x8000000000000000) != 63 {
+		t.Errorf("bucketOf(msb) = %d", bucketOf(0x8000000000000000))
+	}
+	if bucketOf(0b1010) != 3 {
+		t.Errorf("bucketOf(10) = %d", bucketOf(0b1010))
+	}
+}

@@ -1,0 +1,102 @@
+package dht
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"pdht/internal/netsim"
+	"pdht/internal/stats"
+)
+
+// Dynamic trie membership: peers joining and leaving the DHT outright, as
+// opposed to the liveness churn that Maintain copes with. In P-Grid a
+// newcomer bootstraps off an existing peer and adopts (a refinement of) its
+// path; here the trie shape is fixed — leaves were provisioned from the
+// expected index size, per the paper's numActivePeers — so a joiner adopts
+// the path of the least-populated leaf, which keeps replica groups
+// balanced. Leaving is crash-style: no goodbye messages; the departed
+// peer's entries in other routing tables go stale and are collected by the
+// probing maintenance like any churn casualty.
+
+// Join adds peer p to the trie. It costs Depth() messages of class
+// stats.MsgControl: one pairwise exchange per trie level to fill the
+// routing table, following P-Grid's bootstrap. Fails if p is already a
+// member.
+func (t *Trie) Join(p netsim.PeerID, rng *rand.Rand) error {
+	if _, member := t.peers[p]; member {
+		return fmt.Errorf("dht: peer %d is already a trie member", p)
+	}
+	// Adopt the path of the emptiest leaf.
+	leaf := 0
+	for l := 1; l < len(t.leaves); l++ {
+		if len(t.leaves[l]) < len(t.leaves[leaf]) {
+			leaf = l
+		}
+	}
+	t.leaves[leaf] = append(t.leaves[leaf], p)
+	t.peers[p] = len(t.state)
+	t.state = append(t.state, triePeer{id: p, leaf: leaf})
+	t.active = append(t.active, p)
+	t.buildTable(&t.state[len(t.state)-1], rng)
+	t.net.Send(stats.MsgControl, int64(t.depth))
+	return nil
+}
+
+// Leave removes peer p from the trie permanently. Crash semantics: no
+// messages are sent; stale references to p elsewhere are repaired by
+// Maintain. Fails if p is not a member. Removing the last member of a leaf
+// is allowed but leaves that key range unroutable until someone joins —
+// the caller (or a replication controller, which the paper cites as
+// [VaCh02] and scopes out) is responsible for not draining leaves.
+func (t *Trie) Leave(p netsim.PeerID) error {
+	idx, member := t.peers[p]
+	if !member {
+		return fmt.Errorf("dht: peer %d is not a trie member", p)
+	}
+	leaf := t.state[idx].leaf
+
+	// Remove from the leaf membership (order not significant).
+	members := t.leaves[leaf]
+	for i, m := range members {
+		if m == p {
+			members[i] = members[len(members)-1]
+			t.leaves[leaf] = members[:len(members)-1]
+			break
+		}
+	}
+
+	// Remove from the active list.
+	for i, m := range t.active {
+		if m == p {
+			t.active[i] = t.active[len(t.active)-1]
+			t.active = t.active[:len(t.active)-1]
+			break
+		}
+	}
+
+	// Swap-remove from state, fixing the moved peer's index.
+	last := len(t.state) - 1
+	if idx != last {
+		t.state[idx] = t.state[last]
+		t.peers[t.state[idx].id] = idx
+	}
+	t.state = t.state[:last]
+	delete(t.peers, p)
+	return nil
+}
+
+// Member reports whether p currently participates in the trie.
+func (t *Trie) Member(p netsim.PeerID) bool {
+	_, ok := t.peers[p]
+	return ok
+}
+
+// LeafSizes returns the current membership count of every leaf, for
+// balance checks and capacity planning.
+func (t *Trie) LeafSizes() []int {
+	out := make([]int, len(t.leaves))
+	for i, members := range t.leaves {
+		out[i] = len(members)
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package dht
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pdht/internal/keyspace"
+	"pdht/internal/netsim"
+	"pdht/internal/stats"
+)
+
+func TestJoinAddsToEmptiestLeaf(t *testing.T) {
+	trie, net, rng := newTestTrie(t, 600, 512, TrieConfig{GroupSize: 8, Env: 0.1}, 30)
+	before := net.Counters().Get(stats.MsgControl)
+	joiner := netsim.PeerID(512) // outside the original membership
+	if err := trie.Join(joiner, rng); err != nil {
+		t.Fatal(err)
+	}
+	if !trie.Member(joiner) {
+		t.Fatal("joiner not a member")
+	}
+	if got := net.Counters().Get(stats.MsgControl) - before; got != int64(trie.Depth()) {
+		t.Errorf("join cost %d messages, want depth %d", got, trie.Depth())
+	}
+	// Balance: no leaf may now differ from another by more than one.
+	sizes := trie.LeafSizes()
+	min, max := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("leaf sizes unbalanced after join: min %d max %d", min, max)
+	}
+	if len(trie.ActivePeers()) != 513 {
+		t.Errorf("active peers = %d", len(trie.ActivePeers()))
+	}
+}
+
+func TestJoinDuplicateRejected(t *testing.T) {
+	trie, _, rng := newTestTrie(t, 100, 64, TrieConfig{GroupSize: 8, Env: 0.1}, 31)
+	if err := trie.Join(0, rng); err == nil {
+		t.Error("joining an existing member succeeded")
+	}
+}
+
+func TestJoinedPeerRoutesAndIsRoutable(t *testing.T) {
+	trie, _, rng := newTestTrie(t, 600, 512, TrieConfig{GroupSize: 8, Env: 0.1}, 32)
+	joiner := netsim.PeerID(550)
+	if err := trie.Join(joiner, rng); err != nil {
+		t.Fatal(err)
+	}
+	// The joiner can route lookups itself…
+	for i := 0; i < 50; i++ {
+		key := keyspace.Key(rng.Uint64())
+		res := trie.Route(joiner, key, rng)
+		if !res.OK {
+			t.Fatalf("joiner's lookup %d failed", i)
+		}
+	}
+	// …and receives lookups for its leaf's keys.
+	leaf := trie.state[trie.peers[joiner]].leaf
+	hits := 0
+	for i := 0; i < 2000 && hits == 0; i++ {
+		key := keyspace.Key(rng.Uint64())
+		if trie.leafOf(key) != leaf {
+			continue
+		}
+		res := trie.Route(netsim.PeerID(i%512), key, rng)
+		if !res.OK {
+			t.Fatal("lookup to joiner's leaf failed")
+		}
+		if res.Responsible == joiner {
+			hits++
+		}
+	}
+	// The joiner is one of ~9 leaf members; Route picks whichever member
+	// it lands on, so we only require that routing to the leaf works and
+	// the joiner holds the leaf's keys.
+	found := false
+	for _, p := range trie.ReplicaGroup(keyFor(t, trie, leaf, rng)) {
+		if p == joiner {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("joiner absent from its leaf's replica group")
+	}
+}
+
+// keyFor finds a key routed to the given leaf.
+func keyFor(t *testing.T, trie *Trie, leaf int, rng *rand.Rand) keyspace.Key {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		key := keyspace.Key(rng.Uint64())
+		if trie.leafOf(key) == leaf {
+			return key
+		}
+	}
+	t.Fatal("no key found for leaf")
+	return 0
+}
+
+func TestLeaveRemovesCompletely(t *testing.T) {
+	trie, _, rng := newTestTrie(t, 512, 512, TrieConfig{GroupSize: 8, Env: 0.1}, 33)
+	leaver := netsim.PeerID(100)
+	leaf := trie.state[trie.peers[leaver]].leaf
+	if err := trie.Leave(leaver); err != nil {
+		t.Fatal(err)
+	}
+	if trie.Member(leaver) {
+		t.Fatal("leaver still a member")
+	}
+	if len(trie.ActivePeers()) != 511 {
+		t.Errorf("active peers = %d", len(trie.ActivePeers()))
+	}
+	for _, m := range trie.leaves[leaf] {
+		if m == leaver {
+			t.Fatal("leaver still in its leaf")
+		}
+	}
+	// Routing still works everywhere, including the leaver's old leaf.
+	for i := 0; i < 200; i++ {
+		key := keyspace.Key(rng.Uint64())
+		from, _ := trie.net.RandomOnline(rng)
+		res := trie.Route(from, key, rng)
+		if !res.OK {
+			t.Fatalf("lookup failed after leave")
+		}
+		if res.Responsible == leaver {
+			t.Fatal("route terminated at the departed peer")
+		}
+	}
+}
+
+func TestLeaveNonMemberRejected(t *testing.T) {
+	trie, _, _ := newTestTrie(t, 100, 64, TrieConfig{GroupSize: 8, Env: 0.1}, 34)
+	if err := trie.Leave(99); err == nil {
+		t.Error("leaving without membership succeeded")
+	}
+}
+
+func TestMaintenanceCollectsDepartedRefs(t *testing.T) {
+	trie, _, rng := newTestTrie(t, 512, 512, TrieConfig{GroupSize: 8, Env: 1.0}, 35)
+	// Remove 10% of members outright (still online — departed, not
+	// churned). Their refs must be detected and repaired.
+	for i := 0; i < 51; i++ {
+		if err := trie.Leave(netsim.PeerID(i * 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms := trie.Maintain(rng)
+	if ms.Stale == 0 {
+		t.Fatal("maintenance found no stale refs after mass departure")
+	}
+	if ms.Repaired < ms.Stale*9/10 {
+		t.Errorf("repaired %d of %d", ms.Repaired, ms.Stale)
+	}
+	ms2 := trie.Maintain(rng)
+	if ms2.Stale > ms.Stale/10 {
+		t.Errorf("second pass still found %d stale refs", ms2.Stale)
+	}
+}
+
+func TestChurnedMembershipCycle(t *testing.T) {
+	// A full cycle: a quarter of peers leave, the same number join,
+	// routing keeps working throughout.
+	trie, _, rng := newTestTrie(t, 1024, 512, TrieConfig{GroupSize: 8, Env: 0.2}, 36)
+	for i := 0; i < 128; i++ {
+		if err := trie.Leave(netsim.PeerID(i * 4)); err != nil {
+			t.Fatal(err)
+		}
+		if err := trie.Join(netsim.PeerID(512+i), rng); err != nil {
+			t.Fatal(err)
+		}
+		if i%16 == 0 {
+			trie.Maintain(rng)
+			from, _ := trie.net.RandomOnline(rng)
+			if res := trie.Route(from, keyspace.Key(rng.Uint64()), rng); !res.OK {
+				t.Fatalf("routing broke after %d membership changes", 2*i)
+			}
+		}
+	}
+	if got := len(trie.ActivePeers()); got != 512 {
+		t.Errorf("active peers = %d after balanced join/leave", got)
+	}
+	// All leaves still populated.
+	for leaf, size := range trie.LeafSizes() {
+		if size == 0 {
+			t.Errorf("leaf %d drained", leaf)
+		}
+	}
+}
+
+func TestLeaveCanDrainLeaf(t *testing.T) {
+	// Draining a leaf is allowed but documented: its key range becomes
+	// unroutable.
+	trie, _, rng := newTestTrie(t, 32, 16, TrieConfig{GroupSize: 8, Env: 0.1}, 37)
+	if trie.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1", trie.Depth())
+	}
+	leaf0 := append([]netsim.PeerID(nil), trie.leaves[0]...)
+	for _, p := range leaf0 {
+		if err := trie.Leave(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := keyFor(t, trie, 0, rng)
+	from := trie.leaves[1][0]
+	if res := trie.Route(from, key, rng); res.OK {
+		t.Error("route into a drained leaf claimed success")
+	}
+}

@@ -1,0 +1,428 @@
+package dht
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+
+	"pdht/internal/keyspace"
+	"pdht/internal/netsim"
+	"pdht/internal/stats"
+)
+
+// RingConfig parameterizes the Chord-style ring DHT.
+type RingConfig struct {
+	// Repl is the replica-group size: a key is held by the Repl distinct
+	// peers succeeding it on the ring.
+	Repl int
+	// Env is the per-entry per-round probe probability, as in TrieConfig.
+	Env float64
+	// VirtualNodes is how many ring positions each peer occupies.
+	// Chord's arc lengths are exponentially skewed with one position per
+	// peer — the longest arc owner stores Θ(log n) times its fair share
+	// and overflows its cache — so balanced deployments run O(log n)
+	// virtual nodes. Default 4.
+	VirtualNodes int
+}
+
+func (c *RingConfig) setDefaults() {
+	if c.VirtualNodes == 0 {
+		c.VirtualNodes = 4
+	}
+}
+
+func (c RingConfig) validate(nActive int) error {
+	if c.Repl < 1 {
+		return fmt.Errorf("dht: Repl %d must be positive", c.Repl)
+	}
+	if nActive < 1 {
+		return fmt.Errorf("dht: ring needs at least one active peer")
+	}
+	if c.Repl > nActive {
+		return fmt.Errorf("dht: Repl %d exceeds active peers %d", c.Repl, nActive)
+	}
+	if c.Env < 0 || c.Env > 1 {
+		return fmt.Errorf("dht: Env %v must be a probability", c.Env)
+	}
+	if c.VirtualNodes < 1 {
+		return fmt.Errorf("dht: VirtualNodes %d must be positive", c.VirtualNodes)
+	}
+	return nil
+}
+
+// ringFinger is one finger-table entry: the vnode believed to succeed
+// position start. The target is identified by (peer, pos) rather than an
+// index so that membership changes, which splice the vnode array, cannot
+// corrupt finger tables.
+type ringFinger struct {
+	start uint64
+	peer  netsim.PeerID
+	pos   uint64
+}
+
+// ringVnode is one virtual node: a ring position owned by a physical peer,
+// with its own finger table.
+type ringVnode struct {
+	peer    netsim.PeerID
+	pos     uint64
+	fingers []ringFinger
+}
+
+// Ring is a Chord-style DHT: each active peer occupies VirtualNodes hashed
+// positions on a 64-bit ring; a key is owned by the Repl distinct peers
+// succeeding it. Greedy finger routing resolves lookups in O(log n) hops;
+// hops between virtual nodes of the same physical peer are free. Peers can
+// Join and Leave at runtime.
+type Ring struct {
+	net    *netsim.Network
+	cfg    RingConfig
+	active []netsim.PeerID
+	byID   map[netsim.PeerID][]int // peer → its vnode indices
+	state  []ringVnode             // in ring order
+}
+
+// vnodePositions returns the deterministic ring positions of a peer.
+func vnodePositions(p netsim.PeerID, vnodes int) []uint64 {
+	out := make([]uint64, vnodes)
+	for v := 0; v < vnodes; v++ {
+		out[v] = uint64(keyspace.HashString(fmt.Sprintf("ring-peer:%d:%d", p, v)))
+	}
+	return out
+}
+
+// NewRing builds the ring over the given active peers. Positions are
+// hashes of (peer, vnode), so the layout is deterministic.
+func NewRing(net *netsim.Network, active []netsim.PeerID, cfg RingConfig, rng *rand.Rand) (*Ring, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(len(active)); err != nil {
+		return nil, err
+	}
+	r := &Ring{
+		net:    net,
+		cfg:    cfg,
+		active: append([]netsim.PeerID(nil), active...),
+	}
+	r.state = make([]ringVnode, 0, len(active)*cfg.VirtualNodes)
+	for _, p := range active {
+		for _, pos := range vnodePositions(p, cfg.VirtualNodes) {
+			r.state = append(r.state, ringVnode{peer: p, pos: pos})
+		}
+	}
+	sort.Slice(r.state, func(i, j int) bool { return r.state[i].pos < r.state[j].pos })
+	r.rebuildByID()
+	for i := range r.state {
+		r.buildFingers(i)
+	}
+	_ = rng // ring construction is fully deterministic
+	return r, nil
+}
+
+// rebuildByID recomputes the peer → vnode-index map after any splice.
+func (r *Ring) rebuildByID() {
+	r.byID = make(map[netsim.PeerID][]int, len(r.active))
+	for i := range r.state {
+		p := r.state[i].peer
+		r.byID[p] = append(r.byID[p], i)
+	}
+}
+
+// buildFingers computes the classic Chord fingers of one vnode: successors
+// of pos + 2^k, deduplicated by target.
+func (r *Ring) buildFingers(i int) {
+	vn := &r.state[i]
+	vn.fingers = vn.fingers[:0]
+	last := -1
+	for k := 0; k < 64; k++ {
+		start := vn.pos + (uint64(1) << k) // wraps naturally
+		j := r.successorIndex(start)
+		if j == i || j == last {
+			continue
+		}
+		vn.fingers = append(vn.fingers, ringFinger{start: start, peer: r.state[j].peer, pos: r.state[j].pos})
+		last = j
+	}
+}
+
+// successorIndex returns the index of the first vnode at or after position
+// x on the ring.
+func (r *Ring) successorIndex(x uint64) int {
+	n := len(r.state)
+	i := sort.Search(n, func(i int) bool { return r.state[i].pos >= x })
+	if i == n {
+		return 0
+	}
+	return i
+}
+
+// resolve finds the current index of a finger target, ok=false when the
+// vnode no longer exists (its peer left).
+func (r *Ring) resolve(f ringFinger) (int, bool) {
+	i := r.successorIndex(f.pos)
+	if i >= len(r.state) {
+		return 0, false
+	}
+	if r.state[i].pos != f.pos || r.state[i].peer != f.peer {
+		return 0, false
+	}
+	return i, true
+}
+
+// groupIndices returns the vnode indices of the Repl distinct peers
+// succeeding key, in ring order (first vnode of each). Fewer than Repl
+// peers are returned when the ring has shrunk below the replication
+// factor.
+func (r *Ring) groupIndices(key keyspace.Key) []int {
+	n := len(r.state)
+	start := r.successorIndex(uint64(key))
+	seen := make(map[netsim.PeerID]bool, r.cfg.Repl)
+	out := make([]int, 0, r.cfg.Repl)
+	for i := 0; i < n && len(out) < r.cfg.Repl; i++ {
+		vn := (start + i) % n
+		p := r.state[vn].peer
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, vn)
+	}
+	return out
+}
+
+// ReplicaGroup implements Index: the Repl distinct peers succeeding the
+// key.
+func (r *Ring) ReplicaGroup(key keyspace.Key) []netsim.PeerID {
+	idx := r.groupIndices(key)
+	group := make([]netsim.PeerID, len(idx))
+	for i, vn := range idx {
+		group[i] = r.state[vn].peer
+	}
+	return group
+}
+
+// ActivePeers implements Index.
+func (r *Ring) ActivePeers() []netsim.PeerID { return r.active }
+
+// RoutingEntries implements Index.
+func (r *Ring) RoutingEntries() int {
+	total := 0
+	for i := range r.state {
+		total += len(r.state[i].fingers)
+	}
+	return total
+}
+
+// Member reports whether p currently participates in the ring.
+func (r *Ring) Member(p netsim.PeerID) bool {
+	_, ok := r.byID[p]
+	return ok
+}
+
+// ringDist is the clockwise distance from a to b.
+func ringDist(a, b uint64) uint64 { return b - a } // unsigned wraparound
+
+// inGroup reports whether peer p is one of the Repl distinct successors of
+// key.
+func (r *Ring) inGroup(p netsim.PeerID, key keyspace.Key) bool {
+	for _, vn := range r.groupIndices(key) {
+		if r.state[vn].peer == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Route implements Index: greedy Chord routing over virtual nodes. Each
+// inter-peer hop costs one message; moving between virtual nodes of the
+// same peer is local and free. When fingers fail (churn or departures),
+// the lookup walks successors.
+func (r *Ring) Route(from netsim.PeerID, key keyspace.Key, rng *rand.Rand) RouteResult {
+	res := RouteResult{}
+	var curIdx int
+	if vns, ok := r.byID[from]; ok && r.net.Online(from) {
+		curIdx = vns[0]
+	} else {
+		entry, ok := randomOnlineOf(r.net, r.active, rng)
+		if !ok {
+			return res
+		}
+		res.Hops++
+		curIdx = r.byID[entry][0]
+	}
+	target := uint64(key)
+	budget := 4*len(r.state[curIdx].fingers) + 4*r.cfg.VirtualNodes + 32
+	for hop := 0; hop < budget; hop++ {
+		cur := &r.state[curIdx]
+		if r.net.Online(cur.peer) && r.inGroup(cur.peer, key) {
+			res.OK = true
+			res.Responsible = cur.peer
+			r.net.Send(stats.MsgIndexLookup, int64(res.Hops))
+			return res
+		}
+		next, ok := r.bestFinger(cur, curIdx, target)
+		if !ok {
+			next, ok = r.nextOnlineSuccessor(curIdx)
+			if !ok {
+				break
+			}
+		}
+		if r.state[next].peer != cur.peer {
+			res.Hops++
+		}
+		curIdx = next
+	}
+	r.net.Send(stats.MsgIndexLookup, int64(res.Hops))
+	return res
+}
+
+// bestFinger returns the usable finger whose position is closest to the
+// target without passing it (Chord's closest preceding node). The peer's
+// other virtual nodes count as fingers too — their tables are local.
+func (r *Ring) bestFinger(cur *ringVnode, curIdx int, target uint64) (int, bool) {
+	want := ringDist(cur.pos, target)
+	bestIdx := -1
+	var bestDist uint64
+	consider := func(vn int) {
+		cand := &r.state[vn]
+		if !r.net.Online(cand.peer) {
+			return
+		}
+		d := ringDist(cur.pos, cand.pos)
+		if d == 0 || d > want {
+			return // behind us or overshooting the target
+		}
+		if bestIdx == -1 || d > bestDist {
+			bestIdx, bestDist = vn, d
+		}
+	}
+	for _, f := range cur.fingers {
+		if vn, ok := r.resolve(f); ok {
+			consider(vn)
+		}
+	}
+	for _, vn := range r.byID[cur.peer] {
+		if vn != curIdx {
+			consider(vn)
+		}
+	}
+	if bestIdx == -1 {
+		return 0, false
+	}
+	return bestIdx, true
+}
+
+// nextOnlineSuccessor returns the index of the first vnode strictly after
+// idx whose peer is online.
+func (r *Ring) nextOnlineSuccessor(idx int) (int, bool) {
+	n := len(r.state)
+	for i := 1; i < n; i++ {
+		j := (idx + i) % n
+		if r.net.Online(r.state[j].peer) {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// Maintain implements Index: every vnode of every online peer probes each
+// finger with probability Env. A probe finds an entry stale when its
+// target is offline, has left the ring, or is no longer the true successor
+// of the finger's start (membership moved it); repairs re-point at the
+// current online successor and are piggybacked, hence free.
+func (r *Ring) Maintain(rng *rand.Rand) MaintenanceStats {
+	var ms MaintenanceStats
+	for i := range r.state {
+		vn := &r.state[i]
+		if !r.net.Online(vn.peer) {
+			continue
+		}
+		for j := range vn.fingers {
+			if rng.Float64() >= r.cfg.Env {
+				continue
+			}
+			f := &vn.fingers[j]
+			if f.peer == vn.peer {
+				continue // probing yourself is free
+			}
+			ms.Probes++
+			cur, exists := r.resolve(*f)
+			// The entry should point at the *effective* successor
+			// of its start: the first online vnode at or after it.
+			// Comparing against the raw successor would flag a
+			// correctly detoured finger as stale on every probe
+			// while the raw successor is offline.
+			eff := r.successorIndex(f.start)
+			if !r.net.Online(r.state[eff].peer) {
+				var ok bool
+				eff, ok = r.nextOnlineSuccessor(eff)
+				if !ok {
+					continue // nobody online to point at
+				}
+			}
+			if exists && cur == eff && r.net.Online(f.peer) {
+				continue
+			}
+			ms.Stale++
+			if r.state[eff].peer != vn.peer {
+				f.peer = r.state[eff].peer
+				f.pos = r.state[eff].pos
+				ms.Repaired++
+			}
+		}
+	}
+	r.net.Send(stats.MsgMaintenance, int64(ms.Probes))
+	return ms
+}
+
+// Join adds peer p to the ring: its VirtualNodes positions are spliced
+// into the ring and each new vnode builds a finger table, which in Chord
+// costs about ½·log₂(vnodes) lookup messages per finger table — counted as
+// stats.MsgControl. Existing peers' fingers pick up the newcomer lazily
+// through maintenance.
+func (r *Ring) Join(p netsim.PeerID, rng *rand.Rand) error {
+	if r.Member(p) {
+		return fmt.Errorf("dht: peer %d is already a ring member", p)
+	}
+	for _, pos := range vnodePositions(p, r.cfg.VirtualNodes) {
+		i := sort.Search(len(r.state), func(i int) bool { return r.state[i].pos >= pos })
+		r.state = append(r.state, ringVnode{})
+		copy(r.state[i+1:], r.state[i:])
+		r.state[i] = ringVnode{peer: p, pos: pos}
+	}
+	r.active = append(r.active, p)
+	r.rebuildByID()
+	for _, vn := range r.byID[p] {
+		r.buildFingers(vn)
+	}
+	perTable := bits.Len(uint(len(r.state)))/2 + 1
+	r.net.Send(stats.MsgControl, int64(r.cfg.VirtualNodes*perTable))
+	return nil
+}
+
+// Leave removes peer p from the ring permanently, crash-style: no
+// messages; fingers pointing at p go stale and are collected by Maintain.
+// The last member cannot leave (an empty ring has no routing to speak of).
+func (r *Ring) Leave(p netsim.PeerID) error {
+	if !r.Member(p) {
+		return fmt.Errorf("dht: peer %d is not a ring member", p)
+	}
+	if len(r.active) == 1 {
+		return fmt.Errorf("dht: peer %d is the last ring member and cannot leave", p)
+	}
+	kept := r.state[:0]
+	for _, vn := range r.state {
+		if vn.peer != p {
+			kept = append(kept, vn)
+		}
+	}
+	r.state = kept
+	for i, m := range r.active {
+		if m == p {
+			r.active[i] = r.active[len(r.active)-1]
+			r.active = r.active[:len(r.active)-1]
+			break
+		}
+	}
+	r.rebuildByID()
+	return nil
+}

@@ -1,0 +1,146 @@
+package dht
+
+import (
+	"testing"
+
+	"pdht/internal/keyspace"
+	"pdht/internal/netsim"
+	"pdht/internal/stats"
+)
+
+func TestRingJoin(t *testing.T) {
+	ring, net, rng := newTestRing(t, 600, 256, RingConfig{Repl: 8, Env: 0.2}, 50)
+	before := net.Counters().Get(stats.MsgControl)
+	joiner := netsim.PeerID(300)
+	if err := ring.Join(joiner, rng); err != nil {
+		t.Fatal(err)
+	}
+	if !ring.Member(joiner) {
+		t.Fatal("joiner not a member")
+	}
+	if net.Counters().Get(stats.MsgControl) == before {
+		t.Error("join was free")
+	}
+	if got := len(ring.byID[joiner]); got != 4 { // default vnodes
+		t.Errorf("joiner has %d vnodes, want 4", got)
+	}
+	// Ring order still sorted after the splices.
+	for i := 1; i < len(ring.state); i++ {
+		if ring.state[i-1].pos >= ring.state[i].pos {
+			t.Fatal("ring order broken by join")
+		}
+	}
+	// The joiner routes and is routable.
+	for i := 0; i < 100; i++ {
+		key := keyspace.Key(rng.Uint64())
+		if res := ring.Route(joiner, key, rng); !res.OK {
+			t.Fatalf("joiner's lookup failed")
+		}
+	}
+}
+
+func TestRingJoinDuplicateRejected(t *testing.T) {
+	ring, _, rng := newTestRing(t, 100, 64, RingConfig{Repl: 4, Env: 0.1}, 51)
+	if err := ring.Join(0, rng); err == nil {
+		t.Error("joining twice succeeded")
+	}
+}
+
+func TestRingLeave(t *testing.T) {
+	ring, _, rng := newTestRing(t, 256, 256, RingConfig{Repl: 8, Env: 0.2}, 52)
+	leaver := netsim.PeerID(77)
+	if err := ring.Leave(leaver); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Member(leaver) {
+		t.Fatal("leaver still a member")
+	}
+	if len(ring.ActivePeers()) != 255 {
+		t.Errorf("active = %d", len(ring.ActivePeers()))
+	}
+	// No vnode of the leaver survives, and routing never lands on it.
+	for _, vn := range ring.state {
+		if vn.peer == leaver {
+			t.Fatal("leaver's vnode survived")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		key := keyspace.Key(rng.Uint64())
+		from, _ := ring.net.RandomOnline(rng)
+		res := ring.Route(from, key, rng)
+		if !res.OK {
+			t.Fatal("lookup failed after leave")
+		}
+		if res.Responsible == leaver {
+			t.Fatal("routed to the departed peer")
+		}
+	}
+}
+
+func TestRingLeaveGuards(t *testing.T) {
+	ring, _, _ := newTestRing(t, 10, 1, RingConfig{Repl: 1, Env: 0.1}, 53)
+	if err := ring.Leave(5); err == nil {
+		t.Error("leaving without membership succeeded")
+	}
+	if err := ring.Leave(0); err == nil {
+		t.Error("the last member left the ring")
+	}
+}
+
+func TestRingMaintenanceCollectsDepartures(t *testing.T) {
+	ring, _, rng := newTestRing(t, 256, 256, RingConfig{Repl: 8, Env: 1.0}, 54)
+	for i := 0; i < 25; i++ {
+		if err := ring.Leave(netsim.PeerID(i * 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms := ring.Maintain(rng)
+	if ms.Stale == 0 {
+		t.Fatal("no stale fingers found after mass departure")
+	}
+	if ms.Repaired < ms.Stale*8/10 {
+		t.Errorf("repaired %d of %d", ms.Repaired, ms.Stale)
+	}
+	ms2 := ring.Maintain(rng)
+	if ms2.Stale > ms.Stale/5 {
+		t.Errorf("second pass still found %d stale fingers", ms2.Stale)
+	}
+}
+
+func TestRingMembershipCycle(t *testing.T) {
+	ring, _, rng := newTestRing(t, 512, 256, RingConfig{Repl: 8, Env: 0.2}, 55)
+	for i := 0; i < 64; i++ {
+		if err := ring.Leave(netsim.PeerID(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ring.Join(netsim.PeerID(256+i), rng); err != nil {
+			t.Fatal(err)
+		}
+		if i%8 == 0 {
+			ring.Maintain(rng)
+			from, _ := ring.net.RandomOnline(rng)
+			// Skip non-member origins — they enter via a random
+			// member anyway.
+			if res := ring.Route(from, keyspace.Key(rng.Uint64()), rng); !res.OK {
+				t.Fatalf("routing broke after %d membership changes", 2*i)
+			}
+		}
+	}
+	if len(ring.ActivePeers()) != 256 {
+		t.Errorf("active = %d", len(ring.ActivePeers()))
+	}
+}
+
+func TestRingShrinksBelowRepl(t *testing.T) {
+	ring, _, _ := newTestRing(t, 10, 5, RingConfig{Repl: 4, Env: 0.1}, 56)
+	// Shrink to 2 peers: groups degrade to 2 distinct members.
+	for _, p := range []netsim.PeerID{0, 1, 2} {
+		if err := ring.Leave(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	group := ring.ReplicaGroup(keyspace.HashString("k"))
+	if len(group) != 2 {
+		t.Errorf("group size %d after shrink, want 2", len(group))
+	}
+}

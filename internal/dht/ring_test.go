@@ -1,0 +1,282 @@
+package dht
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"pdht/internal/keyspace"
+	"pdht/internal/netsim"
+	"pdht/internal/stats"
+)
+
+func newTestRing(t *testing.T, nNet, nActive int, cfg RingConfig, seed uint64) (*Ring, *netsim.Network, *rand.Rand) {
+	t.Helper()
+	net := netsim.New(nNet)
+	rng := rand.New(rand.NewPCG(seed, seed^0x1234567))
+	ring, err := NewRing(net, activeRange(nActive), cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ring, net, rng
+}
+
+func TestRingConfigValidation(t *testing.T) {
+	net := netsim.New(10)
+	rng := rand.New(rand.NewPCG(1, 2))
+	cases := []struct {
+		active []netsim.PeerID
+		cfg    RingConfig
+	}{
+		{activeRange(10), RingConfig{Repl: 0}},
+		{activeRange(10), RingConfig{Repl: 11}},
+		{nil, RingConfig{Repl: 1}},
+		{activeRange(10), RingConfig{Repl: 2, Env: 2}},
+	}
+	for i, c := range cases {
+		if _, err := NewRing(net, c.active, c.cfg, rng); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRingOrderAndFingers(t *testing.T) {
+	ring, _, _ := newTestRing(t, 1024, 1024, RingConfig{Repl: 8, Env: 0.1}, 1)
+	for i := 1; i < len(ring.state); i++ {
+		if ring.state[i-1].pos >= ring.state[i].pos {
+			t.Fatal("ring positions not strictly sorted")
+		}
+	}
+	if want := 1024 * 4; len(ring.state) != want { // default 4 vnodes
+		t.Fatalf("vnodes = %d, want %d", len(ring.state), want)
+	}
+	// Chord: ~log₂(vnodes) distinct fingers per vnode.
+	mean := float64(ring.RoutingEntries()) / float64(len(ring.state))
+	if mean < 6 || mean > 16 {
+		t.Errorf("mean fingers per vnode = %v, want ≈ log₂(4096) = 12", mean)
+	}
+}
+
+func TestRingReplicaGroupAreDistinctSuccessors(t *testing.T) {
+	ring, _, rng := newTestRing(t, 256, 256, RingConfig{Repl: 5, Env: 0.1}, 2)
+	for i := 0; i < 100; i++ {
+		key := keyspace.Key(rng.Uint64())
+		group := ring.ReplicaGroup(key)
+		if len(group) != 5 {
+			t.Fatalf("group size %d, want 5", len(group))
+		}
+		// Members must be the first 5 *distinct* peers walking the
+		// ring from the key's successor vnode.
+		start := ring.successorIndex(uint64(key))
+		seen := make(map[netsim.PeerID]bool)
+		var want []netsim.PeerID
+		for j := 0; len(want) < 5; j++ {
+			p := ring.state[(start+j)%len(ring.state)].peer
+			if !seen[p] {
+				seen[p] = true
+				want = append(want, p)
+			}
+		}
+		for j := range want {
+			if group[j] != want[j] {
+				t.Fatalf("group[%d] = %d, want %d", j, group[j], want[j])
+			}
+		}
+	}
+}
+
+func TestRingVirtualNodesBalanceLoad(t *testing.T) {
+	// The reason virtual nodes exist: the maximum per-peer share of keys
+	// must come down as vnodes go up.
+	maxShare := func(vnodes int) float64 {
+		ring, _, _ := newTestRing(t, 128, 128, RingConfig{Repl: 1, Env: 0.1, VirtualNodes: vnodes}, 3)
+		counts := make(map[netsim.PeerID]int)
+		for i := 0; i < 4096; i++ {
+			key := keyspace.Key(uint64(i) * 0x9e3779b97f4a7c15)
+			counts[ring.ReplicaGroup(key)[0]]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / 4096
+	}
+	one, eight := maxShare(1), maxShare(8)
+	if eight >= one {
+		t.Errorf("8 vnodes max share %v not below 1 vnode's %v", eight, one)
+	}
+}
+
+func TestRingRouteNoChurn(t *testing.T) {
+	ring, net, rng := newTestRing(t, 1024, 1024, RingConfig{Repl: 8, Env: 0.1}, 3)
+	var hops int
+	const lookups = 500
+	for i := 0; i < lookups; i++ {
+		from := netsim.PeerID(rng.IntN(1024))
+		key := keyspace.Key(rng.Uint64())
+		res := ring.Route(from, key, rng)
+		if !res.OK {
+			t.Fatalf("lookup %d failed without churn", i)
+		}
+		found := false
+		for _, p := range ring.ReplicaGroup(key) {
+			if p == res.Responsible {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("route terminated at non-responsible peer")
+		}
+		hops += res.Hops
+	}
+	mean := float64(hops) / lookups
+	// Greedy Chord converges in ≈ ½·log₂(n) = 5 hops; replication lets
+	// some lookups stop early.
+	if mean < 2 || mean > 8 {
+		t.Errorf("mean hops = %v, want ≈ ½·log₂(1024) = 5", mean)
+	}
+	if net.Counters().Get(stats.MsgIndexLookup) != int64(hops) {
+		t.Error("lookup counter mismatch")
+	}
+}
+
+func TestRingRouteLogarithmicScaling(t *testing.T) {
+	meanHops := func(n int) float64 {
+		ring, _, rng := newTestRing(t, n, n, RingConfig{Repl: 4, Env: 0.1}, 4)
+		total := 0
+		const lookups = 300
+		for i := 0; i < lookups; i++ {
+			res := ring.Route(netsim.PeerID(rng.IntN(n)), keyspace.Key(rng.Uint64()), rng)
+			if !res.OK {
+				t.Fatal("lookup failed")
+			}
+			total += res.Hops
+		}
+		return float64(total) / lookups
+	}
+	small, large := meanHops(128), meanHops(4096)
+	if large <= small {
+		t.Fatalf("hops must grow with n: %v vs %v", small, large)
+	}
+	// 32× more peers is 5 more bits; hops should grow by ≈ 2.5, i.e.
+	// clearly sub-linear.
+	if large > small+5 || large > small*math.Log2(4096)/math.Log2(128)*2 {
+		t.Errorf("hop growth not logarithmic: %v → %v", small, large)
+	}
+}
+
+func TestRingRouteUnderChurn(t *testing.T) {
+	ring, net, rng := newTestRing(t, 1024, 1024, RingConfig{Repl: 16, Env: 0.1}, 5)
+	for i := 0; i < 1024; i++ {
+		if rng.Float64() < 0.3 {
+			net.SetOnline(netsim.PeerID(i), false)
+		}
+	}
+	succeeded := 0
+	const lookups = 300
+	for i := 0; i < lookups; i++ {
+		from, ok := net.RandomOnline(rng)
+		if !ok {
+			t.Fatal("network died")
+		}
+		res := ring.Route(from, keyspace.Key(rng.Uint64()), rng)
+		if res.OK {
+			if !net.Online(res.Responsible) {
+				t.Fatal("terminated at an offline peer")
+			}
+			succeeded++
+		}
+	}
+	if succeeded < lookups*95/100 {
+		t.Errorf("only %d/%d lookups succeeded under churn", succeeded, lookups)
+	}
+}
+
+func TestRingRouteAllOffline(t *testing.T) {
+	ring, net, rng := newTestRing(t, 64, 64, RingConfig{Repl: 4, Env: 0.1}, 6)
+	for i := 0; i < 64; i++ {
+		net.SetOnline(netsim.PeerID(i), false)
+	}
+	if res := ring.Route(0, keyspace.HashString("k"), rng); res.OK {
+		t.Error("route succeeded on a dead network")
+	}
+}
+
+func TestRingMaintenance(t *testing.T) {
+	ring, net, rng := newTestRing(t, 512, 512, RingConfig{Repl: 8, Env: 1.0}, 7)
+	for i := 0; i < 512; i++ {
+		if rng.Float64() < 0.2 {
+			net.SetOnline(netsim.PeerID(i), false)
+		}
+	}
+	ms := ring.Maintain(rng)
+	if ms.Probes == 0 || ms.Stale == 0 {
+		t.Fatalf("maintenance found nothing: %+v", ms)
+	}
+	if ms.Repaired < ms.Stale*9/10 {
+		t.Errorf("repaired %d of %d stale fingers", ms.Repaired, ms.Stale)
+	}
+	ms2 := ring.Maintain(rng)
+	if ms2.Stale > ms.Stale/10 {
+		t.Errorf("second pass still found %d stale fingers", ms2.Stale)
+	}
+	if got := net.Counters().Get(stats.MsgMaintenance); got != int64(ms.Probes+ms2.Probes) {
+		t.Error("maintenance counter mismatch")
+	}
+}
+
+func TestRingSingletonDegenerate(t *testing.T) {
+	ring, _, rng := newTestRing(t, 4, 1, RingConfig{Repl: 1, Env: 0.1}, 8)
+	res := ring.Route(0, keyspace.HashString("k"), rng)
+	if !res.OK || res.Responsible != 0 {
+		t.Errorf("singleton ring route = %+v", res)
+	}
+	if res.Hops != 0 {
+		t.Errorf("singleton lookup should be free, hops = %d", res.Hops)
+	}
+}
+
+func TestRingDeterministicConstruction(t *testing.T) {
+	a, _, _ := newTestRing(t, 128, 128, RingConfig{Repl: 4, Env: 0.1}, 9)
+	b, _, _ := newTestRing(t, 128, 128, RingConfig{Repl: 4, Env: 0.1}, 10)
+	// Positions derive from peer IDs only, so two rings over the same
+	// peers are identical regardless of seed.
+	for i := range a.state {
+		if a.state[i].peer != b.state[i].peer || a.state[i].pos != b.state[i].pos {
+			t.Fatal("ring layout depends on rng, should be deterministic")
+		}
+	}
+}
+
+func TestRingConfigVirtualNodesValidation(t *testing.T) {
+	net := netsim.New(10)
+	rng := rand.New(rand.NewPCG(1, 2))
+	if _, err := NewRing(net, activeRange(10), RingConfig{Repl: 2, VirtualNodes: -1}, rng); err == nil {
+		t.Error("negative VirtualNodes accepted")
+	}
+}
+
+// Cross-implementation property: for the same key both DHTs return a replica
+// group of the configured size with no duplicates.
+func TestGroupsHaveNoDuplicates(t *testing.T) {
+	trie, _, trng := newTestTrie(t, 512, 512, TrieConfig{GroupSize: 8, Env: 0.1}, 11)
+	ring, _, _ := newTestRing(t, 512, 512, RingConfig{Repl: 8, Env: 0.1}, 12)
+	for i := 0; i < 100; i++ {
+		key := keyspace.Key(trng.Uint64())
+		for name, group := range map[string][]netsim.PeerID{
+			"trie": trie.ReplicaGroup(key),
+			"ring": ring.ReplicaGroup(key),
+		} {
+			seen := make(map[netsim.PeerID]bool)
+			for _, p := range group {
+				if seen[p] {
+					t.Fatalf("%s: duplicate peer %d in group", name, p)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package keyspace
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashStringDeterministicAndSpread(t *testing.T) {
+	a := HashString("title=weather iraklion&date=2004/03/14")
+	b := HashString("title=weather iraklion&date=2004/03/14")
+	if a != b {
+		t.Fatal("HashString is not deterministic")
+	}
+	if a == HashString("size=2405") {
+		t.Fatal("distinct predicates collided (astronomically unlikely)")
+	}
+	// First-bit balance over many hashes: should be roughly 50/50 or the
+	// trie would be badly skewed.
+	ones := 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		if HashString(strings.Repeat("k", 1)+string(rune('a'+i%26))+string(rune(i))).Bit(0) == 1 {
+			ones++
+		}
+	}
+	if ones < n/3 || ones > 2*n/3 {
+		t.Errorf("first-bit balance %d/%d is badly skewed", ones, n)
+	}
+}
+
+func TestBitMSBFirst(t *testing.T) {
+	k := Key(0x8000000000000001)
+	if k.Bit(0) != 1 {
+		t.Error("Bit(0) should be the most significant bit")
+	}
+	if k.Bit(63) != 1 {
+		t.Error("Bit(63) should be the least significant bit")
+	}
+	for i := 1; i < 63; i++ {
+		if k.Bit(i) != 0 {
+			t.Errorf("Bit(%d) = 1, want 0", i)
+		}
+	}
+}
+
+func TestBitPanics(t *testing.T) {
+	for _, i := range []int{-1, 64, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit(%d) did not panic", i)
+				}
+			}()
+			Key(0).Bit(i)
+		}()
+	}
+}
+
+func TestBitString(t *testing.T) {
+	k := Key(0xA000000000000000) // 1010...
+	if got := k.BitString(4); got != "1010" {
+		t.Errorf("BitString(4) = %q, want 1010", got)
+	}
+	if got := k.BitString(0); got != "" {
+		t.Errorf("BitString(0) = %q, want empty", got)
+	}
+	if got := Key(0).BitString(3); got != "000" {
+		t.Errorf("zero key BitString(3) = %q", got)
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	k := Key(0xA000000000000000) // 1010...
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"", true},
+		{"1", true},
+		{"10", true},
+		{"1010", true},
+		{"0", false},
+		{"11", false},
+		{"1011", false},
+	}
+	for _, c := range cases {
+		if got := k.HasPrefix(c.path); got != c.want {
+			t.Errorf("HasPrefix(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+	if Key(0).HasPrefix(strings.Repeat("0", 65)) {
+		t.Error("over-long path cannot be a prefix")
+	}
+}
+
+func TestHasPrefixMalformedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("malformed path did not panic")
+		}
+	}()
+	Key(0).HasPrefix("01x")
+}
+
+func TestValidPath(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"", true},
+		{"0101", true},
+		{"012", false},
+		{"ab", false},
+		{strings.Repeat("0", 64), true},
+		{strings.Repeat("0", 65), false},
+	}
+	for _, c := range cases {
+		if got := ValidPath(c.path); got != c.want {
+			t.Errorf("ValidPath(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"0", "1", 0},
+		{"01", "01", 2},
+		{"0110", "0111", 3},
+		{"01", "0110", 2},
+	}
+	for _, c := range cases {
+		if got := CommonPrefixLen(c.a, c.b); got != c.want {
+			t.Errorf("CommonPrefixLen(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFlipAt(t *testing.T) {
+	if got := FlipAt("0110", 0); got != "1" {
+		t.Errorf("FlipAt(0110,0) = %q, want 1", got)
+	}
+	if got := FlipAt("0110", 2); got != "010" {
+		t.Errorf("FlipAt(0110,2) = %q, want 010", got)
+	}
+	if got := FlipAt("0110", 3); got != "0111" {
+		t.Errorf("FlipAt(0110,3) = %q, want 0111", got)
+	}
+}
+
+func TestFlipAtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FlipAt out of range did not panic")
+		}
+	}()
+	FlipAt("01", 2)
+}
+
+// Property: a key always has its own bit-string as a prefix, and flipping
+// any bit of that prefix yields a non-prefix.
+func TestPrefixProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	f := func() bool {
+		k := Key(rng.Uint64())
+		n := rng.IntN(Bits) + 1
+		p := k.BitString(n)
+		if !k.HasPrefix(p) {
+			return false
+		}
+		i := rng.IntN(n)
+		return !k.HasPrefix(FlipAt(p, i))
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CommonPrefixLen is symmetric and bounded by both lengths.
+func TestCommonPrefixLenProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	f := func() bool {
+		a := Key(rng.Uint64()).BitString(rng.IntN(32))
+		b := Key(rng.Uint64()).BitString(rng.IntN(32))
+		n := CommonPrefixLen(a, b)
+		if n != CommonPrefixLen(b, a) {
+			return false
+		}
+		return n <= len(a) && n <= len(b)
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	if got := Key(0xAB).String(); got != "00000000000000ab" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Regression test: raw FNV-64a hashes of strings differing only in the last
+// byte differ by a small multiple of the FNV prime, clustering them within
+// 1/65536 of the key space. The splitmix64 finalizer must spread them —
+// without it, a peer's virtual ring positions all land on one spot and the
+// trie's leaf assignment skews.
+func TestHashStringSuffixAvalanche(t *testing.T) {
+	var keys []uint64
+	for j := 0; j < 16; j++ {
+		keys = append(keys, uint64(HashString(fmt.Sprintf("ring-peer:7:%d", j))))
+	}
+	// Pairwise distances must not cluster: require every pair to be at
+	// least 2^48 apart (raw FNV puts them all within ~δ·2^40).
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			d := keys[i] - keys[j]
+			if d > keys[j]-keys[i] {
+				d = keys[j] - keys[i]
+			}
+			if d < 1<<48 {
+				t.Fatalf("hashes %d and %d are only %d apart — finalizer missing?", i, j, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package metadata
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseQuery parses the paper's query syntax — a conjunction of
+// element = value predicates joined by AND (§1: "Queries may contain
+// predicates on the different metadata attributes, such as
+// element1 = value1 AND element2 = value2") — into a Query.
+//
+//	q, err := ParseQuery(`title=Weather Iráklion AND date=2004/03/14`)
+//
+// Element names and values are trimmed of surrounding whitespace; values
+// may contain '=' (only the first one separates element from value) and
+// internal spaces. The conjunction operator is the uppercase word AND
+// surrounded by spaces, as the paper writes it; a lowercase " and " is
+// literal value text ("title=supply and demand" is one predicate). The
+// canonical key of the result does not depend on predicate order.
+func ParseQuery(s string) (Query, error) {
+	if strings.TrimSpace(s) == "" {
+		return Query{}, fmt.Errorf("metadata: empty query")
+	}
+	parts := splitAnd(s)
+	q := Query{Predicates: make([]Predicate, 0, len(parts))}
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Query{}, fmt.Errorf("metadata: empty predicate in %q", s)
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return Query{}, fmt.Errorf("metadata: predicate %q has no '='", part)
+		}
+		elem := strings.TrimSpace(part[:eq])
+		val := strings.TrimSpace(part[eq+1:])
+		if elem == "" {
+			return Query{}, fmt.Errorf("metadata: predicate %q has no element name", part)
+		}
+		if val == "" {
+			return Query{}, fmt.Errorf("metadata: predicate %q has no value", part)
+		}
+		q.Predicates = append(q.Predicates, Predicate{Element: elem, Value: val})
+	}
+	return q, nil
+}
+
+// splitAnd splits on the uppercase keyword " AND ", leaving lowercase
+// "and" inside values untouched.
+func splitAnd(s string) []string {
+	return strings.Split(s, " AND ")
+}

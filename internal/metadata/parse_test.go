@@ -1,0 +1,94 @@
+package metadata
+
+import "testing"
+
+func TestParseQueryPaperExample(t *testing.T) {
+	q, err := ParseQuery("title=Weather Iráklion AND date=2004/03/14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Predicates) != 2 {
+		t.Fatalf("got %d predicates", len(q.Predicates))
+	}
+	want := Query{Predicates: []Predicate{
+		{ElemTitle, "Weather Iráklion"}, {ElemDate, "2004/03/14"},
+	}}
+	if q.Key() != want.Key() {
+		t.Errorf("parsed key differs from constructed key")
+	}
+}
+
+func TestParseQuerySinglePredicate(t *testing.T) {
+	q, err := ParseQuery("size=2405")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Canonical() != "size=2405" {
+		t.Errorf("canonical = %q", q.Canonical())
+	}
+}
+
+func TestParseQueryLowercaseAndIsLiteral(t *testing.T) {
+	// Lowercase " and " is value text, not the conjunction operator.
+	q, err := ParseQuery("title=supply and demand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Predicates) != 1 {
+		t.Fatalf("got %d predicates: %+v", len(q.Predicates), q.Predicates)
+	}
+	if q.Predicates[0].Value != "supply and demand" {
+		t.Errorf("value = %q", q.Predicates[0].Value)
+	}
+}
+
+func TestParseQueryValueQuirks(t *testing.T) {
+	// Values may contain '=' and the letters "and".
+	q, err := ParseQuery("title=supply and demand AND author=x=y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Predicates) != 2 {
+		t.Fatalf("got %d predicates: %+v", len(q.Predicates), q.Predicates)
+	}
+	if q.Predicates[0].Value != "supply and demand" {
+		t.Errorf("value = %q", q.Predicates[0].Value)
+	}
+	if q.Predicates[1].Value != "x=y" {
+		t.Errorf("value = %q", q.Predicates[1].Value)
+	}
+}
+
+func TestParseQueryWhitespace(t *testing.T) {
+	q, err := ParseQuery("  title =  Weather   AND  date = 2004/03/14 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Predicates[0].Element != "title" || q.Predicates[0].Value != "Weather" {
+		t.Errorf("trimming failed: %+v", q.Predicates[0])
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"   ",
+		"title",
+		"=value",
+		"title=",
+		"a=1 AND ",
+		"a=1 AND b",
+	} {
+		if _, err := ParseQuery(bad); err == nil {
+			t.Errorf("ParseQuery(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseQueryOrderIndependentKey(t *testing.T) {
+	a, _ := ParseQuery("x=1 AND y=2")
+	b, _ := ParseQuery("y=2 AND x=1")
+	if a.Key() != b.Key() {
+		t.Error("predicate order changed the parsed key")
+	}
+}

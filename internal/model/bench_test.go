@@ -1,0 +1,39 @@
+package model
+
+import (
+	"testing"
+
+	"pdht/internal/zipf"
+)
+
+func BenchmarkSolve(b *testing.B) {
+	p := DefaultScenario()
+	dist := zipf.MustNew(p.Alpha, p.Keys)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, dist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveTTL(b *testing.B) {
+	p := DefaultScenario()
+	dist := zipf.MustNew(p.Alpha, p.Keys)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveTTL(p, dist, 1460); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullSweep(b *testing.B) {
+	p := DefaultScenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(p, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

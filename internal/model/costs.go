@@ -1,0 +1,80 @@
+package model
+
+import "math"
+
+// This file implements the per-message-cost components of Section 3:
+// cSUnstr (eq. 6), cSIndx (eq. 7), cRtn (eq. 8), cUpd (eq. 9), cIndKey
+// (eq. 10) and the selection-algorithm search cost cSIndx2 (eq. 16).
+// All costs are in messages (searches) or messages per second (holding
+// costs), exactly as in the paper.
+
+// CSUnstr is eq. 6: the cost of searching the unstructured network,
+// numPeers/repl · dup messages. With random replication factor repl a walk
+// must visit about numPeers/repl peers to find a copy, and the topology
+// duplicates dup of every message.
+func CSUnstr(p Params) float64 {
+	return float64(p.NumPeers) / float64(p.Repl) * p.Dup
+}
+
+// NumActivePeers returns the number of peers that participate in building
+// and maintaining the DHT for an index of indexedKeys keys: each key is
+// replicated repl times and each peer stores stor entries, capped at the
+// total population (the paper: if numPeers > numActivePeers, only
+// numActivePeers build the DHT). The result is at least 2 whenever any key
+// is indexed — a "DHT" of one peer has no routing and breaks every
+// logarithm; the paper implicitly assumes a large index.
+func NumActivePeers(p Params, indexedKeys float64) float64 {
+	if indexedKeys <= 0 {
+		return 0
+	}
+	nap := math.Ceil(indexedKeys * float64(p.Repl) / float64(p.Stor))
+	if nap > float64(p.NumPeers) {
+		nap = float64(p.NumPeers)
+	}
+	if nap < 2 {
+		nap = 2
+	}
+	return nap
+}
+
+// CSIndx is eq. 7: the cost of searching the index, ½·log₂(numActivePeers)
+// messages in a binary key space. Zero if the index is empty.
+func CSIndx(numActivePeers float64) float64 {
+	if numActivePeers < 2 {
+		return 0
+	}
+	return 0.5 * math.Log2(numActivePeers)
+}
+
+// CRtn is eq. 8: the routing-table maintenance cost per key per round —
+// env probe messages per routing entry, log₂(numActivePeers) entries per
+// peer, numActivePeers peers, amortized over the indexedKeys keys the DHT
+// holds. Zero if the index is empty.
+func CRtn(p Params, numActivePeers, indexedKeys float64) float64 {
+	if indexedKeys <= 0 || numActivePeers < 2 {
+		return 0
+	}
+	return p.Env * math.Log2(numActivePeers) * numActivePeers / indexedKeys
+}
+
+// CUpd is eq. 9: the cost of keeping one key's replicas consistent per
+// round — each update (frequency fUpd) costs one index search to reach a
+// responsible peer plus repl·dup2 gossip messages through the replica
+// subnetwork.
+func CUpd(p Params, cSIndx float64) float64 {
+	return (cSIndx + float64(p.Repl)*p.Dup2) * p.FUpd
+}
+
+// CIndKey is eq. 10: the total cost of keeping one key in the index for one
+// round, cRtn + cUpd.
+func CIndKey(p Params, numActivePeers, indexedKeys float64) float64 {
+	cs := CSIndx(numActivePeers)
+	return CRtn(p, numActivePeers, indexedKeys) + CUpd(p, cs)
+}
+
+// CSIndx2 is eq. 16: the index search cost under the selection algorithm.
+// Because TTL expiry leaves replicas poorly synchronized, every index search
+// additionally floods the replica subnetwork: cSIndx + repl·dup2.
+func CSIndx2(p Params, numActivePeers float64) float64 {
+	return CSIndx(numActivePeers) + float64(p.Repl)*p.Dup2
+}

@@ -1,0 +1,118 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+// Hand-computed values for the paper's scenario (Table 1):
+//
+//	cSUnstr = 20000/50 · 1.8 = 720 msg
+//	full index: numActivePeers = 40000·50/100 = 20000
+//	cSIndx = ½·log₂(20000) ≈ 7.1438 msg
+//	cRtn = (1/14)·log₂(20000)·20000/40000 ≈ 0.51027 msg/s
+//	cUpd = (7.1438 + 50·1.8)/86400 ≈ 0.0011243 msg/s
+func TestCostsScenarioValues(t *testing.T) {
+	p := DefaultScenario()
+	approx(t, "cSUnstr", CSUnstr(p), 720, 1e-12)
+
+	nap := NumActivePeers(p, float64(p.Keys))
+	if nap != 20000 {
+		t.Fatalf("NumActivePeers(full) = %v, want 20000", nap)
+	}
+	cs := CSIndx(nap)
+	approx(t, "cSIndx", cs, 0.5*math.Log2(20000), 1e-12)
+	approx(t, "cSIndx(numeric)", cs, 7.1438, 1e-4)
+
+	approx(t, "cRtn", CRtn(p, nap, 40000), (1.0/14.0)*math.Log2(20000)*0.5, 1e-12)
+	approx(t, "cUpd", CUpd(p, cs), (cs+90)/86400, 1e-12)
+	approx(t, "cIndKey", CIndKey(p, nap, 40000),
+		CRtn(p, nap, 40000)+CUpd(p, cs), 1e-12)
+	approx(t, "cSIndx2", CSIndx2(p, nap), cs+90, 1e-12)
+}
+
+func TestNumActivePeersCapAndFloor(t *testing.T) {
+	p := DefaultScenario()
+	// Small index: 100 keys × 50 replicas / 100 per peer = 50 peers.
+	if got := NumActivePeers(p, 100); got != 50 {
+		t.Errorf("NumActivePeers(100) = %v, want 50", got)
+	}
+	// Huge index is capped at the population.
+	if got := NumActivePeers(p, 1e9); got != 20000 {
+		t.Errorf("NumActivePeers(1e9) = %v, want 20000", got)
+	}
+	// Empty index needs nobody.
+	if got := NumActivePeers(p, 0); got != 0 {
+		t.Errorf("NumActivePeers(0) = %v, want 0", got)
+	}
+	if got := NumActivePeers(p, -5); got != 0 {
+		t.Errorf("NumActivePeers(-5) = %v, want 0", got)
+	}
+	// Tiny index still needs two peers for routing to be meaningful.
+	if got := NumActivePeers(p, 1); got != 2 {
+		t.Errorf("NumActivePeers(1) = %v, want 2 (floor)", got)
+	}
+	// Ceil, not floor: 101 keys need 51 peers.
+	if got := NumActivePeers(p, 101); got != 51 {
+		t.Errorf("NumActivePeers(101) = %v, want 51", got)
+	}
+}
+
+func TestCSIndxEdgeCases(t *testing.T) {
+	if CSIndx(0) != 0 || CSIndx(1) != 0 {
+		t.Error("CSIndx of a degenerate index must be 0")
+	}
+	approx(t, "CSIndx(2)", CSIndx(2), 0.5, 1e-12)
+	approx(t, "CSIndx(1024)", CSIndx(1024), 5, 1e-12)
+}
+
+func TestCRtnEdgeCases(t *testing.T) {
+	p := DefaultScenario()
+	if CRtn(p, 0, 0) != 0 {
+		t.Error("CRtn with empty index must be 0")
+	}
+	if CRtn(p, 20000, 0) != 0 {
+		t.Error("CRtn with zero keys must be 0")
+	}
+	// The per-key routing cost grows when fewer keys amortize the same
+	// maintenance traffic.
+	few := CRtn(p, 1000, 100)
+	many := CRtn(p, 1000, 10000)
+	if few <= many {
+		t.Errorf("per-key cRtn should shrink with more keys: %v vs %v", few, many)
+	}
+}
+
+func TestCUpdScalesWithUpdateRate(t *testing.T) {
+	p := DefaultScenario()
+	base := CUpd(p, 7)
+	p.FUpd *= 10
+	if got := CUpd(p, 7); math.Abs(got-10*base) > 1e-12 {
+		t.Errorf("CUpd should be linear in fUpd: %v vs 10×%v", got, base)
+	}
+	p.FUpd = 0
+	if CUpd(p, 7) != 0 {
+		t.Error("CUpd must vanish without updates")
+	}
+}
+
+// Property: searching the unstructured network must be much more expensive
+// than searching the index in any realistically replicated network — the
+// premise the whole paper rests on (Section 3).
+func TestSearchCostOrdering(t *testing.T) {
+	p := DefaultScenario()
+	for _, keys := range []float64{10, 100, 1000, 40000} {
+		nap := NumActivePeers(p, keys)
+		if CSIndx(nap) >= CSUnstr(p) {
+			t.Errorf("cSIndx(%v keys) = %v not below cSUnstr = %v",
+				keys, CSIndx(nap), CSUnstr(p))
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper's footnote 3: "For simplicity we assume a binary key space.
+// However, the analysis can also be generalized for a k-ary key space."
+// This file is that generalization — the Pastry/Tapestry design axis, where
+// a larger branching factor buys shorter lookups (log_k instead of log₂) at
+// the price of bigger routing tables ((k−1) entries per level instead of
+// one) and therefore more probing traffic in eq. 8.
+
+// KaryCSIndx generalizes eq. 7: the expected index search cost in a k-ary
+// key space, ½·log_k(numActivePeers) messages. k = 2 reduces to CSIndx.
+func KaryCSIndx(numActivePeers float64, k int) float64 {
+	if numActivePeers < 2 || k < 2 {
+		return 0
+	}
+	return 0.5 * math.Log(numActivePeers) / math.Log(float64(k))
+}
+
+// KaryCRtn generalizes eq. 8: each routing level holds k−1 entries, so the
+// per-key maintenance cost is env·(k−1)·log_k(numActivePeers)·
+// numActivePeers / indexedKeys. k = 2 reduces to CRtn.
+func KaryCRtn(p Params, numActivePeers, indexedKeys float64, k int) float64 {
+	if indexedKeys <= 0 || numActivePeers < 2 || k < 2 {
+		return 0
+	}
+	levels := math.Log(numActivePeers) / math.Log(float64(k))
+	return p.Env * float64(k-1) * levels * numActivePeers / indexedKeys
+}
+
+// KaryPoint is one branching factor's cost picture at a fixed scenario.
+type KaryPoint struct {
+	K        int
+	CSIndx   float64 // per-lookup messages
+	CRtn     float64 // per-key per-round maintenance messages
+	IndexAll float64 // eq. 11 with k-ary routing
+}
+
+// KarySweep evaluates the k-ary trade-off for the full index at the given
+// scenario: lookups get cheaper with k while maintenance gets more
+// expensive, so total indexAll cost has an interior optimum that moves
+// with the query rate.
+func KarySweep(p Params, ks []int) ([]KaryPoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ks) == 0 {
+		ks = []int{2, 4, 8, 16, 32}
+	}
+	keys := float64(p.Keys)
+	nap := NumActivePeers(p, keys)
+	out := make([]KaryPoint, 0, len(ks))
+	for _, k := range ks {
+		if k < 2 {
+			return nil, fmt.Errorf("model: branching factor %d must be at least 2", k)
+		}
+		cs := KaryCSIndx(nap, k)
+		cr := KaryCRtn(p, nap, keys, k)
+		cUpd := CUpd(p, cs)
+		total := keys*(cr+cUpd) + p.TotalQueries()*cs
+		out = append(out, KaryPoint{K: k, CSIndx: cs, CRtn: cr, IndexAll: total})
+	}
+	return out, nil
+}
+
+// OptimalKary returns the branching factor among ks (default 2..64 powers
+// of two) minimizing the indexAll cost at the scenario.
+func OptimalKary(p Params, ks []int) (KaryPoint, error) {
+	if len(ks) == 0 {
+		ks = []int{2, 4, 8, 16, 32, 64}
+	}
+	pts, err := KarySweep(p, ks)
+	if err != nil {
+		return KaryPoint{}, err
+	}
+	best := pts[0]
+	for _, pt := range pts[1:] {
+		if pt.IndexAll < best.IndexAll {
+			best = pt
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,95 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKaryReducesToBinary(t *testing.T) {
+	p := DefaultScenario()
+	nap := NumActivePeers(p, 40000)
+	approx(t, "KaryCSIndx(2)", KaryCSIndx(nap, 2), CSIndx(nap), 1e-12)
+	approx(t, "KaryCRtn(2)", KaryCRtn(p, nap, 40000, 2), CRtn(p, nap, 40000), 1e-12)
+}
+
+func TestKaryLookupVsMaintenanceTradeoff(t *testing.T) {
+	p := DefaultScenario()
+	nap := NumActivePeers(p, 40000)
+	// Lookups get monotonically cheaper with k, maintenance costlier.
+	prevCS, prevCR := math.Inf(1), 0.0
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		cs := KaryCSIndx(nap, k)
+		cr := KaryCRtn(p, nap, 40000, k)
+		if cs >= prevCS {
+			t.Errorf("k=%d: cSIndx %v did not shrink from %v", k, cs, prevCS)
+		}
+		if cr <= prevCR {
+			t.Errorf("k=%d: cRtn %v did not grow from %v", k, cr, prevCR)
+		}
+		prevCS, prevCR = cs, cr
+	}
+	// Sanity: ½·log₁₆(20000) = ½·log₂(20000)/4.
+	approx(t, "log16", KaryCSIndx(nap, 16), CSIndx(nap)/4, 1e-12)
+}
+
+func TestKaryDegenerate(t *testing.T) {
+	p := DefaultScenario()
+	if KaryCSIndx(1, 4) != 0 || KaryCSIndx(100, 1) != 0 {
+		t.Error("degenerate inputs must cost 0")
+	}
+	if KaryCRtn(p, 0, 100, 4) != 0 || KaryCRtn(p, 100, 0, 4) != 0 {
+		t.Error("degenerate maintenance must cost 0")
+	}
+}
+
+func TestKarySweepShape(t *testing.T) {
+	p := DefaultScenario()
+	pts, err := KarySweep(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// At the paper's query rates maintenance dominates the full index,
+	// so bigger k (more probing) must cost more in total and k = 2 wins.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].IndexAll <= pts[i-1].IndexAll {
+			t.Errorf("k=%d: indexAll %v not above k=%d's %v",
+				pts[i].K, pts[i].IndexAll, pts[i-1].K, pts[i-1].IndexAll)
+		}
+	}
+	best, err := OptimalKary(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.K != 2 {
+		t.Errorf("optimal k = %d, want 2 in a maintenance-dominated scenario", best.K)
+	}
+}
+
+func TestKaryOptimumMovesWithQueryRate(t *testing.T) {
+	// Crank queries up for free maintenance: now lookups dominate and a
+	// bigger branching factor wins.
+	p := DefaultScenario()
+	p.Env = 1e-6
+	p.FQry = 10 // extreme query pressure
+	best, err := OptimalKary(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.K <= 2 {
+		t.Errorf("optimal k = %d, want > 2 in a lookup-dominated scenario", best.K)
+	}
+}
+
+func TestKarySweepValidation(t *testing.T) {
+	p := DefaultScenario()
+	if _, err := KarySweep(p, []int{1}); err == nil {
+		t.Error("branching factor 1 accepted")
+	}
+	p.Keys = 0
+	if _, err := KarySweep(p, nil); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

@@ -1,0 +1,222 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"pdht/internal/zipf"
+)
+
+func TestSolveDefaultScenario(t *testing.T) {
+	sol, err := Solve(DefaultScenario(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-estimated for Table 1 at fQry = 1/30 (see costs_test.go for
+	// the components): fMin ≈ 6.9e-4 queries/round and roughly 25–26k of
+	// the 40k keys worth indexing.
+	if sol.FMin < 5e-4 || sol.FMin > 9e-4 {
+		t.Errorf("FMin = %v, want ≈ 6.9e-4", sol.FMin)
+	}
+	if sol.MaxRank < 23000 || sol.MaxRank > 28000 {
+		t.Errorf("MaxRank = %d, want ≈ 25600", sol.MaxRank)
+	}
+	// Zipf is heavy-headed: the indexed keys answer almost all queries.
+	if sol.PIndxd < 0.97 || sol.PIndxd > 1 {
+		t.Errorf("PIndxd = %v, want ≈ 0.99", sol.PIndxd)
+	}
+	if sol.Iterations > 20 {
+		t.Errorf("fixed point took %d iterations", sol.Iterations)
+	}
+	if sol.CSUnstr != 720 {
+		t.Errorf("CSUnstr = %v, want 720", sol.CSUnstr)
+	}
+	// The fixed point must be self-consistent: re-evaluating the
+	// components at the solved index size reproduces the recorded fMin.
+	nap := NumActivePeers(sol.Params, float64(sol.MaxRank))
+	if math.Abs(nap-sol.NumActivePeers) > 1.5 {
+		t.Errorf("recorded nap %v vs recomputed %v", sol.NumActivePeers, nap)
+	}
+	fMin := CIndKey(sol.Params, nap, float64(sol.MaxRank)) / (sol.CSUnstr - CSIndx(nap))
+	if math.Abs(fMin-sol.FMin) > 0.05*sol.FMin {
+		t.Errorf("recorded fMin %v vs recomputed %v", sol.FMin, fMin)
+	}
+}
+
+func TestSolveMaxRankGrowsWithQueryRate(t *testing.T) {
+	base := DefaultScenario()
+	dist := zipf.MustNew(base.Alpha, base.Keys)
+	prev := -1
+	// Walk the grid from calmest to busiest: more queries make more keys
+	// worth indexing (Fig. 3 read right to left).
+	freqs := FrequencyGrid()
+	for i := len(freqs) - 1; i >= 0; i-- {
+		sol, err := Solve(base.WithFQry(freqs[i]), dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.MaxRank < prev {
+			t.Errorf("fQry=%s: MaxRank %d decreased from %d",
+				FormatFrequency(freqs[i]), sol.MaxRank, prev)
+		}
+		prev = sol.MaxRank
+	}
+}
+
+func TestSolveNothingWorthIndexing(t *testing.T) {
+	// With essentially no queries, probT of even the top key falls below
+	// fMin and the index should stay empty.
+	p := DefaultScenario().WithFQry(1e-12)
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MaxRank != 0 {
+		t.Errorf("MaxRank = %d, want 0 for a dead network", sol.MaxRank)
+	}
+	if sol.PIndxd != 0 {
+		t.Errorf("PIndxd = %v, want 0", sol.PIndxd)
+	}
+}
+
+func TestSolveTinyNetworkIndexesOnlyHotHead(t *testing.T) {
+	// A tiny, heavily replicated network: broadcasting costs only
+	// numPeers/repl·dup = 2·1.8 = 3.6 messages, so almost nothing is
+	// worth indexing — but a handful of hot keys still amortize, because
+	// a tiny index needs only a few active peers and lookups get cheap.
+	p := DefaultScenario()
+	p.NumPeers = 100
+	p.Repl = 50
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MaxRank <= 0 || sol.MaxRank > 100 {
+		t.Errorf("MaxRank = %d, want a small positive head", sol.MaxRank)
+	}
+	// The solution must still be an improvement: partial below noIndex.
+	if pc := PartialCost(sol); pc >= NoIndexCost(p) {
+		t.Errorf("partial %v not below noIndex %v", pc, NoIndexCost(p))
+	}
+}
+
+func TestSolveBroadcastStrictlyCheaperThanLookup(t *testing.T) {
+	// Full replication with one slot per peer: even the first indexed key
+	// needs numPeers active peers, so cSIndx = ½·log₂(20000) ≈ 7.1
+	// exceeds cSUnstr = 1·1.8. Equation 1 can never be positive and the
+	// index must stay empty.
+	p := DefaultScenario()
+	p.Repl = p.NumPeers
+	p.Stor = 1
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MaxRank != 0 {
+		t.Errorf("MaxRank = %d, want 0 when broadcast beats lookup outright", sol.MaxRank)
+	}
+	if !math.IsInf(sol.FMin, 1) {
+		t.Errorf("FMin = %v, want +Inf", sol.FMin)
+	}
+}
+
+func TestSolveRuinousMaintenanceEmptiesIndex(t *testing.T) {
+	// An absurd probing rate at a calm query load: holding any key costs
+	// more than its queries could ever save, so the fixed point settles
+	// on an empty index. (At busy loads even ruinous maintenance can be
+	// amortized by the head keys' hundreds of queries per round — eq. 1
+	// is about counts, not probabilities.)
+	p := DefaultScenario().WithFQry(1.0 / 7200.0)
+	p.Env = 1000
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MaxRank != 0 {
+		t.Errorf("MaxRank = %d, want 0 under ruinous maintenance at calm load", sol.MaxRank)
+	}
+}
+
+func TestSolveBusyHeadAmortizesAnyMaintenance(t *testing.T) {
+	// The flip side: at one query per peer per 30 s the top key receives
+	// ≈133 queries per round; each saves ≈720 broadcast messages, which
+	// amortizes even env = 1000 probing. The probT criterion alone would
+	// saturate at 1 and wrongly empty the index here.
+	p := DefaultScenario()
+	p.Env = 1000
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MaxRank < 1 || sol.MaxRank > 200 {
+		t.Errorf("MaxRank = %d, want a small busy head", sol.MaxRank)
+	}
+}
+
+func TestSolveFreeIndex(t *testing.T) {
+	// With no maintenance and no updates, indexing is free and every key
+	// belongs in the index.
+	p := DefaultScenario()
+	p.Env = 0
+	p.FUpd = 0
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MaxRank != p.Keys {
+		t.Errorf("MaxRank = %d, want all %d keys when indexing is free", sol.MaxRank, p.Keys)
+	}
+	if math.Abs(sol.PIndxd-1) > 1e-12 {
+		t.Errorf("PIndxd = %v, want 1", sol.PIndxd)
+	}
+}
+
+func TestSolveValidatesParams(t *testing.T) {
+	p := DefaultScenario()
+	p.Keys = 0
+	if _, err := Solve(p, nil); err == nil {
+		t.Error("Solve accepted invalid params")
+	}
+}
+
+func TestSolveRejectsMismatchedDistribution(t *testing.T) {
+	p := DefaultScenario()
+	dist := zipf.MustNew(p.Alpha, p.Keys/2)
+	if _, err := Solve(p, dist); err == nil {
+		t.Error("Solve accepted a distribution over the wrong number of keys")
+	}
+}
+
+func TestMaxRankForBoundaries(t *testing.T) {
+	dist := zipf.MustNew(1.2, 1000)
+	qualifies := func(rank int, total, fMin float64) bool {
+		return dist.QueryProb(rank, total) >= fMin || total*dist.PMF(rank) >= fMin
+	}
+	if got := maxRankFor(dist, 100, 0); got != 1000 {
+		t.Errorf("fMin=0 should index everything, got %d", got)
+	}
+	// fMin above 1: probT saturates, but head keys with several expected
+	// queries per round still qualify via eq. 1's count criterion.
+	if got := maxRankFor(dist, 100, 2); got == 0 {
+		t.Error("busy head keys should qualify even at fMin > 1")
+	}
+	// And with essentially no traffic, nothing qualifies.
+	if got := maxRankFor(dist, 0.001, 2); got != 0 {
+		t.Errorf("fMin=2 at dead load indexed %d ranks", got)
+	}
+	// Threshold exactly at rank 1's probT: rank 1 still qualifies.
+	pT := dist.QueryProb(1, 100)
+	if got := maxRankFor(dist, 100, pT); got < 1 {
+		t.Errorf("rank 1 at exact threshold should qualify, got %d", got)
+	}
+	// Result is the *highest* qualifying rank: everything up to it
+	// qualifies, everything above it does not.
+	fMin := dist.QueryProb(500, 100)
+	r := maxRankFor(dist, 100, fMin)
+	if !qualifies(r, 100, fMin) {
+		t.Errorf("rank %d does not meet its own threshold", r)
+	}
+	if r < dist.Keys() && qualifies(r+1, 100, fMin) {
+		t.Errorf("rank %d should have been included", r+1)
+	}
+}

@@ -1,0 +1,74 @@
+package model
+
+import (
+	"fmt"
+
+	"pdht/internal/zipf"
+)
+
+// This file implements the three total-cost strategies of Section 4:
+// indexing everything (eq. 11), broadcasting everything (eq. 12) and ideal
+// partial indexing (eq. 13). Costs are total messages per second across the
+// whole network.
+
+// IndexAllCost is eq. 11: the cost of the full index per second
+// (keys · cIndKey, with every key indexed) plus the cost of answering all
+// fQry·numPeers queries from the index.
+func IndexAllCost(p Params) float64 {
+	keys := float64(p.Keys)
+	nap := NumActivePeers(p, keys)
+	return keys*CIndKey(p, nap, keys) + p.TotalQueries()*CSIndx(nap)
+}
+
+// NoIndexCost is eq. 12: every query is answered by a search in the
+// unstructured network.
+func NoIndexCost(p Params) float64 {
+	return p.TotalQueries() * CSUnstr(p)
+}
+
+// PartialCost is eq. 13: maintain the maxRank keys worth indexing; answer
+// the pIndxd fraction of queries from the index and broadcast the rest.
+// It is evaluated on a Solution so the cost components are the ones the
+// fixed point settled on.
+func PartialCost(sol Solution) float64 {
+	q := sol.Params.TotalQueries()
+	return float64(sol.MaxRank)*sol.CIndKey +
+		sol.PIndxd*q*sol.CSIndx +
+		(1-sol.PIndxd)*q*sol.CSUnstr
+}
+
+// Savings returns 1 − cost/baseline: the fraction of messages saved
+// relative to a baseline strategy (the y-axis of Figures 2 and 4). A
+// negative value means the strategy costs more than the baseline. A zero
+// baseline yields zero savings by definition (nothing to save).
+func Savings(cost, baseline float64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return 1 - cost/baseline
+}
+
+// StrategyCosts bundles the three Section-4 strategies at one operating
+// point.
+type StrategyCosts struct {
+	Params   Params
+	Solution Solution
+	IndexAll float64 // eq. 11
+	NoIndex  float64 // eq. 12
+	Partial  float64 // eq. 13
+}
+
+// CostsAt solves the model at p and evaluates all three strategies.
+func CostsAt(p Params, dist *zipf.Distribution) (StrategyCosts, error) {
+	sol, err := Solve(p, dist)
+	if err != nil {
+		return StrategyCosts{}, fmt.Errorf("model: solving partial index: %w", err)
+	}
+	return StrategyCosts{
+		Params:   p,
+		Solution: sol,
+		IndexAll: IndexAllCost(p),
+		NoIndex:  NoIndexCost(p),
+		Partial:  PartialCost(sol),
+	}, nil
+}

@@ -1,0 +1,120 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"pdht/internal/zipf"
+)
+
+func TestIndexAllCostHandValue(t *testing.T) {
+	// eq. 11 at Table 1 with fQry = 1/30:
+	// 40000·cIndKey + (20000/30)·cSIndx
+	p := DefaultScenario()
+	nap := NumActivePeers(p, 40000)
+	want := 40000*CIndKey(p, nap, 40000) + (20000.0/30.0)*CSIndx(nap)
+	approx(t, "IndexAllCost", IndexAllCost(p), want, 1e-12)
+	// ≈ 25.2k msg/s, dominated by maintenance.
+	approx(t, "IndexAllCost(numeric)", IndexAllCost(p), 25219, 0.01)
+}
+
+func TestNoIndexCostHandValue(t *testing.T) {
+	// eq. 12: (20000/30)·720 = 480,000 msg/s.
+	p := DefaultScenario()
+	approx(t, "NoIndexCost", NoIndexCost(p), 480000, 1e-9)
+}
+
+func TestIndexAllAlmostFlatInFQry(t *testing.T) {
+	// Fig. 1: the indexAll curve is nearly flat — maintenance dominates.
+	p := DefaultScenario()
+	busy := IndexAllCost(p.WithFQry(1.0 / 30.0))
+	calm := IndexAllCost(p.WithFQry(1.0 / 7200.0))
+	if busy < calm {
+		t.Errorf("indexAll should not decrease with load: %v vs %v", busy, calm)
+	}
+	if (busy-calm)/busy > 0.25 {
+		t.Errorf("indexAll varies too much to be 'flat': busy=%v calm=%v", busy, calm)
+	}
+}
+
+func TestPartialBeatsBothBaselinesOnGrid(t *testing.T) {
+	// Fig. 1/2: "Ideal partial indexing is considerably cheaper for all
+	// query frequencies."
+	base := DefaultScenario()
+	dist := zipf.MustNew(base.Alpha, base.Keys)
+	for _, f := range FrequencyGrid() {
+		c, err := CostsAt(base.WithFQry(f), dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Partial >= c.IndexAll {
+			t.Errorf("fQry=%s: partial %v not below indexAll %v",
+				FormatFrequency(f), c.Partial, c.IndexAll)
+		}
+		if c.Partial >= c.NoIndex {
+			t.Errorf("fQry=%s: partial %v not below noIndex %v",
+				FormatFrequency(f), c.Partial, c.NoIndex)
+		}
+	}
+}
+
+func TestPartialCostDegenerateCases(t *testing.T) {
+	base := DefaultScenario()
+	// Empty index: partial degenerates to noIndex.
+	sol, err := Solve(base.WithFQry(1e-12), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MaxRank != 0 {
+		t.Fatalf("expected empty index, got %d", sol.MaxRank)
+	}
+	approx(t, "partial(empty index)", PartialCost(sol), NoIndexCost(sol.Params), 1e-9)
+
+	// Full index: partial degenerates to indexAll (pIndxd = 1).
+	p := base
+	p.Env = 0
+	p.FUpd = 0
+	sol, err = Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MaxRank != p.Keys {
+		t.Fatalf("expected full index, got %d", sol.MaxRank)
+	}
+	approx(t, "partial(full index)", PartialCost(sol), IndexAllCost(p), 1e-9)
+}
+
+func TestSavings(t *testing.T) {
+	if got := Savings(30, 100); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("Savings(30,100) = %v, want 0.7", got)
+	}
+	if got := Savings(200, 100); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Savings(200,100) = %v, want -1", got)
+	}
+	if got := Savings(5, 0); got != 0 {
+		t.Errorf("Savings with zero baseline = %v, want 0", got)
+	}
+}
+
+func TestCostsAtPropagatesErrors(t *testing.T) {
+	p := DefaultScenario()
+	p.NumPeers = 0
+	if _, err := CostsAt(p, nil); err == nil {
+		t.Error("CostsAt accepted invalid params")
+	}
+}
+
+// Crossover property (Fig. 1): at high query rates indexAll beats noIndex;
+// at low rates noIndex beats indexAll. The crossover falls inside the
+// paper's plotted range.
+func TestIndexAllNoIndexCrossover(t *testing.T) {
+	p := DefaultScenario()
+	busyAll, busyNone := IndexAllCost(p.WithFQry(1.0/30)), NoIndexCost(p.WithFQry(1.0/30))
+	if busyAll >= busyNone {
+		t.Errorf("at 1/30 indexAll (%v) should beat noIndex (%v)", busyAll, busyNone)
+	}
+	calmAll, calmNone := IndexAllCost(p.WithFQry(1.0/7200)), NoIndexCost(p.WithFQry(1.0/7200))
+	if calmNone >= calmAll {
+		t.Errorf("at 1/7200 noIndex (%v) should beat indexAll (%v)", calmNone, calmAll)
+	}
+}

@@ -1,0 +1,140 @@
+package model
+
+import (
+	"fmt"
+
+	"pdht/internal/zipf"
+)
+
+// SweepPoint is one x-axis position of Figures 1–4: all strategy costs,
+// savings and index statistics at one query frequency.
+type SweepPoint struct {
+	// FQry is the per-peer query frequency (x-axis of every figure).
+	FQry float64
+
+	// Figure 1: total messages per second.
+	IndexAll float64
+	NoIndex  float64
+	Partial  float64
+
+	// Figure 2: savings of ideal partial indexing.
+	SavingsVsIndexAll float64
+	SavingsVsNoIndex  float64
+
+	// Figure 3: fraction of keys worth indexing and hit probability.
+	IndexFraction float64 // maxRank / keys ("index size", solid)
+	PIndxd        float64 // eq. 5 ("pIndxd", dashed)
+
+	// Figure 4: the selection algorithm.
+	PartialTTL           float64 // eq. 17
+	TTLSavingsVsIndexAll float64
+	TTLSavingsVsNoIndex  float64
+
+	// Underlying solutions, for callers that need the components.
+	Solution Solution
+	TTL      TTLSolution
+}
+
+// Sweep evaluates the full model — ideal partial indexing and the TTL
+// selection algorithm — at each query frequency, holding every other
+// parameter of base fixed. It reproduces the series of Figures 1–4 in one
+// pass. freqs defaults to FrequencyGrid() when nil.
+func Sweep(base Params, freqs []float64) ([]SweepPoint, error) {
+	if freqs == nil {
+		freqs = FrequencyGrid()
+	}
+	dist, err := zipf.New(base.Alpha, base.Keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, 0, len(freqs))
+	for _, f := range freqs {
+		p := base.WithFQry(f)
+		costs, err := CostsAt(p, dist)
+		if err != nil {
+			return nil, fmt.Errorf("model: sweep at fQry=%v: %w", f, err)
+		}
+		ttl, err := SolveTTL(p, dist, IdealKeyTtl(costs.Solution))
+		if err != nil {
+			return nil, fmt.Errorf("model: TTL sweep at fQry=%v: %w", f, err)
+		}
+		out = append(out, SweepPoint{
+			FQry:                 f,
+			IndexAll:             costs.IndexAll,
+			NoIndex:              costs.NoIndex,
+			Partial:              costs.Partial,
+			SavingsVsIndexAll:    Savings(costs.Partial, costs.IndexAll),
+			SavingsVsNoIndex:     Savings(costs.Partial, costs.NoIndex),
+			IndexFraction:        float64(costs.Solution.MaxRank) / float64(p.Keys),
+			PIndxd:               costs.Solution.PIndxd,
+			PartialTTL:           ttl.Cost,
+			TTLSavingsVsIndexAll: Savings(ttl.Cost, costs.IndexAll),
+			TTLSavingsVsNoIndex:  Savings(ttl.Cost, costs.NoIndex),
+			Solution:             costs.Solution,
+			TTL:                  ttl,
+		})
+	}
+	return out, nil
+}
+
+// TTLSensitivityPoint is one row of the §5.1.1 sensitivity analysis: the
+// selection algorithm evaluated with a mis-estimated keyTtl.
+type TTLSensitivityPoint struct {
+	FQry              float64
+	Error             float64 // relative estimation error, e.g. −0.5 or +0.5
+	KeyTtl            float64 // the mis-estimated TTL actually used
+	Cost              float64
+	SavingsVsNoIndex  float64
+	SavingsVsIndexAll float64
+	// DeltaSavings is the loss (positive) or gain relative to the
+	// correctly estimated TTL, measured on savings vs noIndex.
+	DeltaSavings float64
+}
+
+// TTLSensitivity reproduces the §5.1.1 claim: for each query frequency and
+// each relative estimation error, evaluate the selection algorithm with
+// keyTtl = ideal·(1+error) and report how much of the savings survives.
+// errors of ±0.5 correspond to the paper's "±50% of the ideal keyTtl".
+func TTLSensitivity(base Params, freqs, errors []float64) ([]TTLSensitivityPoint, error) {
+	if freqs == nil {
+		freqs = FrequencyGrid()
+	}
+	if len(errors) == 0 {
+		errors = []float64{-0.5, 0, 0.5}
+	}
+	dist, err := zipf.New(base.Alpha, base.Keys)
+	if err != nil {
+		return nil, err
+	}
+	var out []TTLSensitivityPoint
+	for _, f := range freqs {
+		p := base.WithFQry(f)
+		costs, err := CostsAt(p, dist)
+		if err != nil {
+			return nil, err
+		}
+		ideal := IdealKeyTtl(costs.Solution)
+		ref, err := SolveTTL(p, dist, ideal)
+		if err != nil {
+			return nil, err
+		}
+		refSavings := Savings(ref.Cost, costs.NoIndex)
+		for _, e := range errors {
+			ttl, err := SolveTTL(p, dist, ideal*(1+e))
+			if err != nil {
+				return nil, err
+			}
+			s := Savings(ttl.Cost, costs.NoIndex)
+			out = append(out, TTLSensitivityPoint{
+				FQry:              f,
+				Error:             e,
+				KeyTtl:            ideal * (1 + e),
+				Cost:              ttl.Cost,
+				SavingsVsNoIndex:  s,
+				SavingsVsIndexAll: Savings(ttl.Cost, costs.IndexAll),
+				DeltaSavings:      refSavings - s,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSweepGridShapes(t *testing.T) {
+	pts, err := Sweep(DefaultScenario(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("sweep returned %d points, want 8", len(pts))
+	}
+
+	for i, p := range pts {
+		// Fig. 1: partial below both baselines everywhere.
+		if p.Partial >= p.IndexAll || p.Partial >= p.NoIndex {
+			t.Errorf("point %d: partial %v not below indexAll %v / noIndex %v",
+				i, p.Partial, p.IndexAll, p.NoIndex)
+		}
+		// Fig. 2: savings strictly positive.
+		if p.SavingsVsIndexAll <= 0 || p.SavingsVsNoIndex <= 0 {
+			t.Errorf("point %d: non-positive ideal savings %v / %v",
+				i, p.SavingsVsIndexAll, p.SavingsVsNoIndex)
+		}
+		// Fig. 3: fractions in range.
+		if p.IndexFraction < 0 || p.IndexFraction > 1 {
+			t.Errorf("point %d: index fraction %v out of [0,1]", i, p.IndexFraction)
+		}
+		if p.PIndxd < 0 || p.PIndxd > 1 {
+			t.Errorf("point %d: pIndxd %v out of [0,1]", i, p.PIndxd)
+		}
+		// Fig. 4: the selection algorithm always beats broadcasting
+		// on this grid.
+		if p.TTLSavingsVsNoIndex <= 0 {
+			t.Errorf("point %d: TTL savings vs noIndex %v not positive",
+				i, p.TTLSavingsVsNoIndex)
+		}
+	}
+
+	for i := 1; i < len(pts); i++ {
+		// noIndex falls linearly with query rate.
+		if pts[i].NoIndex >= pts[i-1].NoIndex {
+			t.Errorf("noIndex not decreasing at point %d", i)
+		}
+		// Fig. 3: the index shrinks as queries get rarer.
+		if pts[i].IndexFraction > pts[i-1].IndexFraction {
+			t.Errorf("index fraction not shrinking at point %d", i)
+		}
+		// Fig. 2: savings vs indexAll grow as queries get rarer.
+		if pts[i].SavingsVsIndexAll < pts[i-1].SavingsVsIndexAll {
+			t.Errorf("savings vs indexAll not growing at point %d", i)
+		}
+		// Fig. 2: savings vs noIndex shrink as queries get rarer.
+		if pts[i].SavingsVsNoIndex > pts[i-1].SavingsVsNoIndex {
+			t.Errorf("savings vs noIndex not shrinking at point %d", i)
+		}
+	}
+
+	// Fig. 3 headline: "even a small index can answer a high percentage
+	// of queries" — at the calmest point ~1% of keys answer >80%.
+	last := pts[len(pts)-1]
+	if last.IndexFraction > 0.02 {
+		t.Errorf("calm index fraction = %v, want ≤ 0.02", last.IndexFraction)
+	}
+	if last.PIndxd < 0.8 {
+		t.Errorf("calm pIndxd = %v, want ≥ 0.8", last.PIndxd)
+	}
+
+	// Fig. 4 caveat: at the busiest frequencies the selection algorithm
+	// is costlier than indexAll ("except for very high query
+	// frequencies"), but wins at average ones.
+	if pts[0].TTLSavingsVsIndexAll >= 0 {
+		t.Errorf("at 1/30 TTL should lose to indexAll, savings = %v",
+			pts[0].TTLSavingsVsIndexAll)
+	}
+	for _, p := range pts[3:] { // 1/300 and calmer
+		if p.TTLSavingsVsIndexAll <= 0 {
+			t.Errorf("fQry=%s: TTL should beat indexAll, savings = %v",
+				FormatFrequency(p.FQry), p.TTLSavingsVsIndexAll)
+		}
+	}
+}
+
+func TestSweepCustomFrequencies(t *testing.T) {
+	pts, err := Sweep(DefaultScenario(), []float64{1.0 / 100.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1", len(pts))
+	}
+	if math.Abs(pts[0].FQry-0.01) > 1e-15 {
+		t.Errorf("FQry = %v", pts[0].FQry)
+	}
+}
+
+func TestSweepInvalidParams(t *testing.T) {
+	p := DefaultScenario()
+	p.Keys = -1
+	if _, err := Sweep(p, nil); err == nil {
+		t.Error("Sweep accepted invalid params")
+	}
+}
+
+func TestTTLSensitivityPaperClaim(t *testing.T) {
+	// §5.1.1: "an estimation error of ±50% of the ideal keyTtl decreases
+	// the savings only slightly." We quantify "slightly" as ≤ 0.1
+	// absolute savings (measured: ≤ 0.085 at the calmest point).
+	pts, err := TTLSensitivity(DefaultScenario(), nil, []float64{-0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 16 {
+		t.Fatalf("got %d sensitivity points, want 16", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(p.DeltaSavings) > 0.1 {
+			t.Errorf("fQry=%s err=%v: savings shifted by %v — not 'slightly'",
+				FormatFrequency(p.FQry), p.Error, p.DeltaSavings)
+		}
+	}
+}
+
+func TestTTLSensitivityDirection(t *testing.T) {
+	// §5.1.1: "A too small value results in fewer savings at high query
+	// frequencies, a too big value at lower frequencies."
+	pts, err := TTLSensitivity(DefaultScenario(),
+		[]float64{1.0 / 30.0, 1.0 / 7200.0}, []float64{-0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[[2]float64]TTLSensitivityPoint)
+	for _, p := range pts {
+		byKey[[2]float64{p.FQry, p.Error}] = p
+	}
+	busyLow := byKey[[2]float64{1.0 / 30.0, -0.5}]
+	if busyLow.DeltaSavings <= 0 {
+		t.Errorf("too-small TTL at 1/30 should cost savings, delta = %v", busyLow.DeltaSavings)
+	}
+	calmHigh := byKey[[2]float64{1.0 / 7200.0, 0.5}]
+	if calmHigh.DeltaSavings <= 0 {
+		t.Errorf("too-big TTL at 1/7200 should cost savings, delta = %v", calmHigh.DeltaSavings)
+	}
+}
+
+func TestTTLSensitivityDefaults(t *testing.T) {
+	pts, err := TTLSensitivity(DefaultScenario(), []float64{1.0 / 600.0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 { // default errors −0.5, 0, +0.5
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	for _, p := range pts {
+		if p.Error == 0 && math.Abs(p.DeltaSavings) > 1e-12 {
+			t.Errorf("zero error must have zero delta, got %v", p.DeltaSavings)
+		}
+	}
+}
+
+func TestTTLSensitivityInvalidParams(t *testing.T) {
+	p := DefaultScenario()
+	p.Repl = 0
+	if _, err := TTLSensitivity(p, nil, nil); err == nil {
+		t.Error("TTLSensitivity accepted invalid params")
+	}
+}

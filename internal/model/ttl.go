@@ -1,0 +1,130 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"pdht/internal/zipf"
+)
+
+// This file implements the Section-5 model of the decentralized selection
+// algorithm: keys enter the index on a query miss and expire after keyTtl
+// rounds without a query. Equations 14 (hit probability), 15 (expected index
+// size), 16 (degraded index search cost) and 17 (total cost).
+
+// TTLSolution is the resolved selection-algorithm model at one operating
+// point.
+type TTLSolution struct {
+	Params Params
+	// KeyTtl is the expiration time in rounds that peers attach to
+	// inserted keys.
+	KeyTtl float64
+	// PIndxd is eq. 14: the probability that a query finds its key in the
+	// index, i.e. that the key was queried at least once in the last
+	// keyTtl rounds.
+	PIndxd float64
+	// IndexSize is eq. 15: the expected number of keys in the index.
+	IndexSize float64
+	// NumActivePeers, CSIndx2 and CRtn are the cost components evaluated
+	// at IndexSize; CSIndx2 is eq. 16.
+	NumActivePeers float64
+	CSIndx2        float64
+	CRtn           float64
+	// Cost is eq. 17: total messages per second.
+	Cost float64
+}
+
+// probInTTL returns 1 − (1 − probT)^keyTtl: the probability that a key with
+// per-round query probability probT was queried at least once in the last
+// keyTtl rounds and therefore sits in the index. Computed via expm1/log1p so
+// deep-tail keys (probT ~ 1e-9) with large TTLs don't collapse to 0 or 1.
+func probInTTL(probT, keyTtl float64) float64 {
+	if probT <= 0 || keyTtl <= 0 {
+		return 0
+	}
+	if probT >= 1 {
+		return 1
+	}
+	return -math.Expm1(keyTtl * math.Log1p(-probT))
+}
+
+// SolveTTL evaluates the selection-algorithm model with the given keyTtl.
+// dist may be nil (constructed from p), as in Solve.
+//
+// Under the selection algorithm proactive updates are unnecessary — a stale
+// key simply expires and is re-fetched on the next miss — so the holding
+// cost is cRtn alone, and every index search pays the replica-subnet flood
+// of eq. 16. A miss costs a failed index search, a broadcast, and a
+// re-insert: cSIndx2 + cSUnstr + cSIndx2 (eq. 17).
+func SolveTTL(p Params, dist *zipf.Distribution, keyTtl float64) (TTLSolution, error) {
+	if err := p.Validate(); err != nil {
+		return TTLSolution{}, err
+	}
+	if keyTtl < 0 || math.IsNaN(keyTtl) {
+		return TTLSolution{}, fmt.Errorf("model: keyTtl = %v must be non-negative", keyTtl)
+	}
+	if dist == nil {
+		var err error
+		dist, err = zipf.New(p.Alpha, p.Keys)
+		if err != nil {
+			return TTLSolution{}, err
+		}
+	}
+	if dist.Keys() != p.Keys {
+		return TTLSolution{}, fmt.Errorf("model: distribution has %d keys, params have %d", dist.Keys(), p.Keys)
+	}
+
+	q := p.TotalQueries()
+	var pIndxd, indexSize float64
+	for rank := 1; rank <= p.Keys; rank++ {
+		in := probInTTL(dist.QueryProb(rank, q), keyTtl)
+		indexSize += in
+		pIndxd += in * dist.PMF(rank)
+	}
+
+	nap := NumActivePeers(p, indexSize)
+	cSIndx2 := CSIndx2(p, nap)
+	cRtn := CRtn(p, nap, indexSize)
+	cSUnstr := CSUnstr(p)
+
+	cost := indexSize*cRtn +
+		pIndxd*q*cSIndx2 +
+		(1-pIndxd)*q*(cSIndx2+cSUnstr+cSIndx2)
+
+	return TTLSolution{
+		Params:         p,
+		KeyTtl:         keyTtl,
+		PIndxd:         pIndxd,
+		IndexSize:      indexSize,
+		NumActivePeers: nap,
+		CSIndx2:        cSIndx2,
+		CRtn:           cRtn,
+		Cost:           cost,
+	}, nil
+}
+
+// IdealKeyTtl returns the paper's choice of expiration time, keyTtl = 1/fMin
+// (§5.1, reason I), computed from the ideal-partial solution at the same
+// operating point. If nothing is worth indexing (fMin = +Inf) the TTL is 0:
+// keys should not linger in the index at all.
+func IdealKeyTtl(sol Solution) float64 {
+	if math.IsInf(sol.FMin, 1) || sol.FMin <= 0 {
+		return 0
+	}
+	return 1 / sol.FMin
+}
+
+// SolveTTLAuto solves the ideal-partial fixed point to obtain
+// keyTtl = 1/fMin and then evaluates the selection-algorithm model with it.
+// It returns both solutions.
+func SolveTTLAuto(p Params, dist *zipf.Distribution) (Solution, TTLSolution, error) {
+	sol, err := Solve(p, dist)
+	if err != nil {
+		return Solution{}, TTLSolution{}, err
+	}
+	ttl, err := SolveTTL(p, dist, IdealKeyTtl(sol))
+	if err != nil {
+		return Solution{}, TTLSolution{}, err
+	}
+	return sol, ttl, nil
+}

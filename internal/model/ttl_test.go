@@ -1,0 +1,159 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"pdht/internal/zipf"
+)
+
+func TestProbInTTL(t *testing.T) {
+	if probInTTL(0.5, 0) != 0 {
+		t.Error("zero TTL keeps nothing in the index")
+	}
+	if probInTTL(0, 100) != 0 {
+		t.Error("never-queried keys are never in the index")
+	}
+	if probInTTL(1, 5) != 1 {
+		t.Error("every-round keys are always in the index")
+	}
+	// One round of TTL = the per-round query probability itself.
+	approx(t, "probInTTL(p,1)", probInTTL(0.3, 1), 0.3, 1e-12)
+	// Two rounds: 1-(1-0.3)² = 0.51.
+	approx(t, "probInTTL(0.3,2)", probInTTL(0.3, 2), 0.51, 1e-12)
+	// Tiny probabilities with large TTLs stay accurate: 1-(1-1e-9)^1e6 ≈ 1e-3.
+	approx(t, "probInTTL(1e-9,1e6)", probInTTL(1e-9, 1e6), 9.995e-4, 1e-3)
+	// Monotone in both arguments.
+	if probInTTL(0.2, 10) <= probInTTL(0.1, 10) {
+		t.Error("probInTTL must grow with query probability")
+	}
+	if probInTTL(0.1, 20) <= probInTTL(0.1, 10) {
+		t.Error("probInTTL must grow with TTL")
+	}
+}
+
+func TestSolveTTLDefaultScenario(t *testing.T) {
+	p := DefaultScenario()
+	sol, ttl, err := SolveTTLAuto(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// keyTtl = 1/fMin ≈ 1460 rounds at fQry = 1/30.
+	approx(t, "KeyTtl", ttl.KeyTtl, 1/sol.FMin, 1e-12)
+	if ttl.KeyTtl < 1000 || ttl.KeyTtl > 2000 {
+		t.Errorf("KeyTtl = %v, want ≈ 1460", ttl.KeyTtl)
+	}
+	// The TTL index holds *more* keys than ideal (reason II of §5.1:
+	// unworthy keys get inserted for keyTtl rounds after a query).
+	if ttl.IndexSize <= float64(sol.MaxRank) {
+		t.Errorf("TTL index size %v should exceed ideal maxRank %d",
+			ttl.IndexSize, sol.MaxRank)
+	}
+	// And answers at least as many queries.
+	if ttl.PIndxd < sol.PIndxd-0.01 {
+		t.Errorf("TTL pIndxd %v well below ideal %v", ttl.PIndxd, sol.PIndxd)
+	}
+	// The selection algorithm is costlier than ideal partial indexing
+	// (reasons I–IV of §5.1) but still far below noIndex at 1/30.
+	ideal := PartialCost(sol)
+	if ttl.Cost <= ideal {
+		t.Errorf("TTL cost %v should exceed ideal cost %v", ttl.Cost, ideal)
+	}
+	if ttl.Cost >= NoIndexCost(p) {
+		t.Errorf("TTL cost %v should be far below noIndex %v", ttl.Cost, NoIndexCost(p))
+	}
+}
+
+func TestSolveTTLZeroTTL(t *testing.T) {
+	p := DefaultScenario()
+	ttl, err := SolveTTL(p, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttl.IndexSize != 0 || ttl.PIndxd != 0 {
+		t.Errorf("TTL=0: size=%v pIndxd=%v, want 0/0", ttl.IndexSize, ttl.PIndxd)
+	}
+	// Every query pays a (free, empty-index) lookup, a broadcast, and a
+	// re-insert; with an empty index cSIndx2 = repl·dup2 = 90.
+	q := p.TotalQueries()
+	want := q * (90 + 720 + 90)
+	approx(t, "cost(TTL=0)", ttl.Cost, want, 1e-9)
+}
+
+func TestSolveTTLInfiniteTTLIndexesEverything(t *testing.T) {
+	p := DefaultScenario()
+	ttl, err := SolveTTL(p, nil, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every key that can be queried eventually sticks.
+	if ttl.IndexSize < float64(p.Keys)*0.999 {
+		t.Errorf("IndexSize = %v, want ≈ %d", ttl.IndexSize, p.Keys)
+	}
+	if ttl.PIndxd < 0.999 {
+		t.Errorf("PIndxd = %v, want ≈ 1", ttl.PIndxd)
+	}
+}
+
+func TestSolveTTLMonotoneInTTL(t *testing.T) {
+	p := DefaultScenario()
+	dist := zipf.MustNew(p.Alpha, p.Keys)
+	prevSize, prevHit := -1.0, -1.0
+	for _, ttlRounds := range []float64{10, 100, 1000, 10000} {
+		ttl, err := SolveTTL(p, dist, ttlRounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ttl.IndexSize < prevSize {
+			t.Errorf("index size not monotone in TTL at %v", ttlRounds)
+		}
+		if ttl.PIndxd < prevHit {
+			t.Errorf("pIndxd not monotone in TTL at %v", ttlRounds)
+		}
+		prevSize, prevHit = ttl.IndexSize, ttl.PIndxd
+	}
+}
+
+func TestSolveTTLValidation(t *testing.T) {
+	p := DefaultScenario()
+	if _, err := SolveTTL(p, nil, -1); err == nil {
+		t.Error("negative TTL accepted")
+	}
+	if _, err := SolveTTL(p, nil, math.NaN()); err == nil {
+		t.Error("NaN TTL accepted")
+	}
+	bad := p
+	bad.Stor = 0
+	if _, err := SolveTTL(bad, nil, 100); err == nil {
+		t.Error("invalid params accepted")
+	}
+	wrongDist := zipf.MustNew(p.Alpha, 7)
+	if _, err := SolveTTL(p, wrongDist, 100); err == nil {
+		t.Error("mismatched distribution accepted")
+	}
+}
+
+func TestIdealKeyTtl(t *testing.T) {
+	sol := Solution{FMin: 0.001}
+	approx(t, "IdealKeyTtl", IdealKeyTtl(sol), 1000, 1e-12)
+	if IdealKeyTtl(Solution{FMin: math.Inf(1)}) != 0 {
+		t.Error("infinite fMin must yield TTL 0")
+	}
+	if IdealKeyTtl(Solution{FMin: 0}) != 0 {
+		t.Error("zero fMin must yield TTL 0")
+	}
+}
+
+// eq. 17 consistency: recompute the cost from the solution's own components.
+func TestSolveTTLCostSelfConsistent(t *testing.T) {
+	p := DefaultScenario()
+	ttl, err := SolveTTL(p, nil, 1460)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.TotalQueries()
+	want := ttl.IndexSize*ttl.CRtn +
+		ttl.PIndxd*q*ttl.CSIndx2 +
+		(1-ttl.PIndxd)*q*(2*ttl.CSIndx2+CSUnstr(p))
+	approx(t, "eq17", ttl.Cost, want, 1e-12)
+}

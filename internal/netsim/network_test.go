@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pdht/internal/stats"
+)
+
+func TestNewAllOnline(t *testing.T) {
+	nw := New(10)
+	if nw.Size() != 10 {
+		t.Errorf("Size = %d, want 10", nw.Size())
+	}
+	if nw.OnlineCount() != 10 {
+		t.Errorf("OnlineCount = %d, want 10", nw.OnlineCount())
+	}
+	for i := 0; i < 10; i++ {
+		if !nw.Online(PeerID(i)) {
+			t.Errorf("peer %d should start online", i)
+		}
+	}
+}
+
+func TestNewInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestSetOnlineMaintainsCount(t *testing.T) {
+	nw := New(5)
+	nw.SetOnline(2, false)
+	if nw.OnlineCount() != 4 {
+		t.Errorf("OnlineCount = %d, want 4", nw.OnlineCount())
+	}
+	// Idempotent.
+	nw.SetOnline(2, false)
+	if nw.OnlineCount() != 4 {
+		t.Errorf("OnlineCount after repeat = %d, want 4", nw.OnlineCount())
+	}
+	nw.SetOnline(2, true)
+	if nw.OnlineCount() != 5 {
+		t.Errorf("OnlineCount = %d, want 5", nw.OnlineCount())
+	}
+}
+
+func TestPeerRangeChecks(t *testing.T) {
+	nw := New(3)
+	for _, p := range []PeerID{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Online(%d) did not panic", p)
+				}
+			}()
+			nw.Online(p)
+		}()
+	}
+}
+
+func TestRounds(t *testing.T) {
+	nw := New(2)
+	if nw.Round() != 0 {
+		t.Errorf("initial round = %d", nw.Round())
+	}
+	if r := nw.AdvanceRound(); r != 1 || nw.Round() != 1 {
+		t.Errorf("AdvanceRound = %d, Round = %d", r, nw.Round())
+	}
+}
+
+func TestSendCounts(t *testing.T) {
+	nw := New(2)
+	nw.Send(stats.MsgBroadcast, 7)
+	nw.Send(stats.MsgIndexLookup, 3)
+	if got := nw.Counters().Get(stats.MsgBroadcast); got != 7 {
+		t.Errorf("broadcast count = %d, want 7", got)
+	}
+	if got := nw.Counters().Total(); got != 10 {
+		t.Errorf("total = %d, want 10", got)
+	}
+}
+
+func TestRandomOnline(t *testing.T) {
+	nw := New(10)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 10; i++ {
+		if i != 4 {
+			nw.SetOnline(PeerID(i), false)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		p, ok := nw.RandomOnline(rng)
+		if !ok || p != 4 {
+			t.Fatalf("RandomOnline = %d,%v — only peer 4 is online", p, ok)
+		}
+	}
+	nw.SetOnline(4, false)
+	if _, ok := nw.RandomOnline(rng); ok {
+		t.Error("RandomOnline reported success on a dead network")
+	}
+}
+
+func TestRandomOnlineUniformish(t *testing.T) {
+	nw := New(4)
+	rng := rand.New(rand.NewPCG(3, 4))
+	counts := make([]int, 4)
+	const n = 8000
+	for i := 0; i < n; i++ {
+		p, ok := nw.RandomOnline(rng)
+		if !ok {
+			t.Fatal("network is fully online")
+		}
+		counts[p]++
+	}
+	for i, c := range counts {
+		if c < n/8 || c > n/2 {
+			t.Errorf("peer %d drawn %d times of %d — far from uniform", i, c, n)
+		}
+	}
+}

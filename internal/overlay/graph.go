@@ -1,0 +1,102 @@
+// Package overlay implements the unstructured peer-to-peer network of the
+// paper's model: a Gnutella-like random topology in which "each peer has a
+// few open connections to other peers" (§3.1), searched either by flooding
+// or — as the paper assumes for its cost model — by multiple random walks
+// [LvCa02]. Content is replicated at random peers with a given factor, and
+// search cost is measured in messages, including the duplicates the
+// topology inflicts (the paper's dup factor).
+package overlay
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"pdht/internal/netsim"
+)
+
+// Graph is an undirected random overlay over a network's peers. Edges are
+// static for the lifetime of the graph (Gnutella connections are long-
+// lived relative to queries); liveness is consulted per operation through
+// the network.
+type Graph struct {
+	net *netsim.Network
+	adj [][]netsim.PeerID
+}
+
+// NewRandomGraph builds a random overlay in which every peer opens `degree`
+// connections to distinct uniformly random other peers; since connections
+// are symmetric, the mean total degree is about twice that. degree must be
+// at least 1 and below the network size.
+func NewRandomGraph(net *netsim.Network, degree int, rng *rand.Rand) (*Graph, error) {
+	n := net.Size()
+	if degree < 1 || degree >= n {
+		return nil, fmt.Errorf("overlay: degree %d out of [1,%d)", degree, n)
+	}
+	g := &Graph{net: net, adj: make([][]netsim.PeerID, n)}
+	seen := make([]map[netsim.PeerID]bool, n)
+	for i := range seen {
+		seen[i] = make(map[netsim.PeerID]bool, 2*degree)
+	}
+	for i := 0; i < n; i++ {
+		from := netsim.PeerID(i)
+		for opened := 0; opened < degree; {
+			to := netsim.PeerID(rng.IntN(n))
+			if to == from || seen[i][to] {
+				// Resample; with degree ≪ n this terminates
+				// quickly, and duplicate edges would distort
+				// the dup factor.
+				continue
+			}
+			seen[i][to] = true
+			seen[to][from] = true
+			g.adj[i] = append(g.adj[i], to)
+			g.adj[to] = append(g.adj[to], from)
+			opened++
+		}
+	}
+	return g, nil
+}
+
+// Net returns the underlying network.
+func (g *Graph) Net() *netsim.Network { return g.net }
+
+// Neighbors returns p's adjacency list (online or not). The slice is owned
+// by the graph; callers must not mutate it.
+func (g *Graph) Neighbors(p netsim.PeerID) []netsim.PeerID {
+	return g.adj[p]
+}
+
+// Degree returns the number of connections of p.
+func (g *Graph) Degree(p netsim.PeerID) int { return len(g.adj[p]) }
+
+// MeanDegree returns the average degree across all peers.
+func (g *Graph) MeanDegree() float64 {
+	var total int
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return float64(total) / float64(len(g.adj))
+}
+
+// onlineNeighbor returns a uniformly random online neighbor of p other than
+// exclude, or ok=false if there is none. exclude < 0 excludes nobody.
+func (g *Graph) onlineNeighbor(p netsim.PeerID, exclude netsim.PeerID, rng *rand.Rand) (netsim.PeerID, bool) {
+	adj := g.adj[p]
+	// Reservoir-style single pass keeps this allocation-free on the hot
+	// path (every random-walk step calls it).
+	var pick netsim.PeerID
+	count := 0
+	for _, q := range adj {
+		if q == exclude || !g.net.Online(q) {
+			continue
+		}
+		count++
+		if rng.IntN(count) == 0 {
+			pick = q
+		}
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return pick, true
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBackendString(t *testing.T) {
+	if BackendTrie.String() != "trie" || BackendRing.String() != "ring" ||
+		BackendKademlia.String() != "kademlia" {
+		t.Error("backend names wrong")
+	}
+}
+
+func TestKademliaBackendRuns(t *testing.T) {
+	cfg := quickConfig(StrategyPartialTTL)
+	cfg.Backend = BackendKademlia
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answered != res.Queries {
+		t.Errorf("kademlia backend answered %d of %d", res.Answered, res.Queries)
+	}
+	if res.HitRate < 0.6 {
+		t.Errorf("kademlia backend hit rate = %v", res.HitRate)
+	}
+}
+
+func TestRingBackendRuns(t *testing.T) {
+	// A1 ablation: the selection algorithm must work unchanged over a
+	// Chord-style ring — the paper's DHT-genericity claim.
+	cfg := quickConfig(StrategyPartialTTL)
+	cfg.Backend = BackendRing
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answered != res.Queries {
+		t.Errorf("ring backend answered %d of %d", res.Answered, res.Queries)
+	}
+	if res.HitRate < 0.6 {
+		t.Errorf("ring backend hit rate = %v", res.HitRate)
+	}
+}
+
+func TestBackendsAgreeOnDynamics(t *testing.T) {
+	// Same scenario on all three backends: hit rates and index sizes
+	// must be close — the selection dynamics do not depend on the DHT
+	// flavor.
+	base := quickConfig(StrategyPartialTTL)
+	results := make(map[Backend]Result)
+	for _, b := range []Backend{BackendTrie, BackendRing, BackendKademlia} {
+		cfg := base
+		cfg.Backend = b
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		results[b] = res
+	}
+	ref := results[BackendTrie]
+	for _, b := range []Backend{BackendRing, BackendKademlia} {
+		if math.Abs(ref.HitRate-results[b].HitRate) > 0.1 {
+			t.Errorf("hit rates diverge: trie=%v %v=%v",
+				ref.HitRate, b, results[b].HitRate)
+		}
+		ratio := ref.MeanIndexedKeys / results[b].MeanIndexedKeys
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("index sizes diverge: trie=%v %v=%v",
+				ref.MeanIndexedKeys, b, results[b].MeanIndexedKeys)
+		}
+	}
+}
+
+func TestInvalidBackendRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Backend = Backend(9)
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func TestSelfTuningConvergesTowardModelTTL(t *testing.T) {
+	// The self-tuner starts from a coarse 600-round guess; after enough
+	// observations its TTL must land in the same decade as the paper's
+	// 1/fMin choice.
+	cfg := quickConfig(StrategyPartialTTL)
+	cfg.SelfTuneTTL = true
+	cfg.Rounds = 400
+	cfg.TunePeriod = 40
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := Run(quickConfig(StrategyPartialTTL)) // model-derived TTL
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KeyTtlUsed == 600 {
+		t.Fatal("self-tuner never adjusted the TTL")
+	}
+	ratio := float64(res.KeyTtlUsed) / float64(reference.KeyTtlUsed)
+	if ratio < 0.1 || ratio > 10 {
+		t.Errorf("tuned TTL %d vs model TTL %d — off by more than a decade",
+			res.KeyTtlUsed, reference.KeyTtlUsed)
+	}
+	// And the tuned system must still perform: §5.1.1 says ±50% TTL
+	// error barely dents savings, so even rough tuning keeps the hit
+	// rate close to the reference.
+	if math.Abs(res.HitRate-reference.HitRate) > 0.15 {
+		t.Errorf("self-tuned hit rate %v far from reference %v",
+			res.HitRate, reference.HitRate)
+	}
+}
+
+func TestSelfTuningValidation(t *testing.T) {
+	cfg := quickConfig(StrategyPartialTTL)
+	cfg.TunePeriod = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative TunePeriod accepted")
+	}
+}

@@ -1,0 +1,364 @@
+// Package sim runs message-level simulations of the paper's scenario: a
+// population of churning peers holding randomly replicated content,
+// querying with Zipf-distributed frequencies, under one of four strategies —
+// broadcast everything (noIndex, eq. 12), index everything (indexAll,
+// eq. 11), ideal partial indexing with oracle knowledge (eq. 13), and the
+// decentralized TTL selection algorithm (eq. 17, the paper's contribution).
+//
+// It is the measurement side of the reproduction: the analytical package
+// predicts message rates, this package counts actual messages from actual
+// floods, walks, lookups, gossip and probes over the substrates in
+// internal/overlay, internal/dht and internal/replica.
+package sim
+
+import (
+	"fmt"
+
+	"pdht/internal/churn"
+	"pdht/internal/model"
+	"pdht/internal/stats"
+	"pdht/internal/workload"
+)
+
+// Strategy selects how queries are answered.
+type Strategy int
+
+const (
+	// StrategyNoIndex answers every query with an unstructured search.
+	StrategyNoIndex Strategy = iota
+	// StrategyIndexAll maintains a DHT over all keys and answers every
+	// query from it, paying proactive update propagation.
+	StrategyIndexAll
+	// StrategyPartialIdeal is the Section-4 oracle: peers know which
+	// keys are indexed (the maxRank most popular); queries for them go
+	// to the index, the rest go straight to broadcast.
+	StrategyPartialIdeal
+	// StrategyPartialTTL is the Section-5 selection algorithm: no
+	// global knowledge, TTL-cached entries, insert-on-miss.
+	StrategyPartialTTL
+)
+
+// String names the strategy as the paper does.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNoIndex:
+		return "noIndex"
+	case StrategyIndexAll:
+		return "indexAll"
+	case StrategyPartialIdeal:
+		return "partial"
+	case StrategyPartialTTL:
+		return "partialTTL"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy resolves a strategy name as printed by String.
+func ParseStrategy(name string) (Strategy, error) {
+	for _, s := range []Strategy{StrategyNoIndex, StrategyIndexAll, StrategyPartialIdeal, StrategyPartialTTL} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown strategy %q (want noIndex, indexAll, partial or partialTTL)", name)
+}
+
+// ParseBackend resolves a backend name as printed by Backend.String.
+func ParseBackend(name string) (Backend, error) {
+	for _, b := range []Backend{BackendTrie, BackendRing, BackendKademlia} {
+		if b.String() == name {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown backend %q (want trie, ring or kademlia)", name)
+}
+
+// Backend selects the structured overlay under the index — the paper's
+// scheme is DHT-agnostic, and running all backends through the same
+// experiments demonstrates it.
+type Backend int
+
+const (
+	// BackendTrie is the P-Grid-style binary-trie DHT [Aber01].
+	BackendTrie Backend = iota
+	// BackendRing is the Chord-style ring DHT [StMo01].
+	BackendRing
+	// BackendKademlia is the XOR-metric DHT with iterative lookups.
+	BackendKademlia
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendTrie:
+		return "trie"
+	case BackendRing:
+		return "ring"
+	case BackendKademlia:
+		return "kademlia"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
+// KeySource selects where the simulated key universe comes from.
+type KeySource int
+
+const (
+	// KeysSynthetic uses hashed synthetic identifiers ("key:0" …) —
+	// cheap and sufficient for the cost experiments.
+	KeysSynthetic KeySource = iota
+	// KeysCorpus draws keys from a generated news corpus: the metadata
+	// predicates of synthetic articles, exactly the key population the
+	// paper's news system would index (2,000 articles × 20 keys).
+	KeysCorpus
+)
+
+// String names the key source.
+func (k KeySource) String() string {
+	switch k {
+	case KeysSynthetic:
+		return "synthetic"
+	case KeysCorpus:
+		return "corpus"
+	default:
+		return fmt.Sprintf("keysource(%d)", int(k))
+	}
+}
+
+// Config describes one simulation run. The zero value is not runnable; use
+// DefaultConfig as a starting point.
+type Config struct {
+	Strategy Strategy
+	// Backend selects the DHT implementation (default BackendTrie).
+	Backend Backend
+	// KeySource selects the key universe (default KeysSynthetic).
+	KeySource KeySource
+
+	// Scenario parameters, mirroring model.Params/Table 1.
+	Peers int
+	Keys  int
+	Stor  int
+	Repl  int
+	Alpha float64
+	FQry  float64
+	FUpd  float64
+	Env   float64
+	Dup   float64 // used only for the model prediction columns
+	Dup2  float64
+
+	// Substrate knobs.
+	OverlayDegree int // unstructured graph connections per peer
+	SubnetDegree  int // replica gossip connections per member
+	Walkers       int // random-walk search width
+	// Redundancy is the trie's refs per routing level. The model's
+	// routing-table size is log₂(numActivePeers) ≈ depth·1.7, so 2 keeps
+	// the probing volume near eq. 8 while surviving churn.
+	Redundancy int
+
+	// KeyTtl for StrategyPartialTTL, in rounds. Zero derives the paper's
+	// choice 1/fMin from the analytical model.
+	KeyTtl int
+	// SelfTuneTTL replaces the model-derived keyTtl with the online
+	// estimator (core.TTLEstimator): the run starts from a deliberately
+	// coarse initial TTL and retunes every TunePeriod rounds from
+	// observed costs — the paper's §5.1.1 future-work mechanism.
+	SelfTuneTTL bool
+	// TunePeriod is the retuning interval in rounds (default 50).
+	TunePeriod int
+
+	// Run length.
+	Rounds       int
+	WarmupRounds int
+
+	// Churn; a zero model means a static network.
+	Churn churn.Model
+
+	// Shifts optionally rearranges query popularity mid-run.
+	Shifts workload.Schedule
+
+	// TraceEvery > 0 records a TracePoint every that many rounds
+	// (including warmup), for time-series plots such as the adaptation
+	// experiment.
+	TraceEvery int
+
+	// CollectKeyCounts records per-key query counts over the measurement
+	// window (Result.KeyQueryCounts) — the observable a deployment would
+	// feed zipf.EstimateAlpha to calibrate the model from live traffic.
+	CollectKeyCounts bool
+
+	Seed uint64
+}
+
+// TracePoint is one time-series sample of a traced run.
+type TracePoint struct {
+	Round       int
+	HitRate     float64 // fraction of window queries answered from the index
+	AnswerRate  float64 // fraction of window queries answered at all
+	IndexedKeys int
+	MsgPerRound float64 // window message rate
+}
+
+// DefaultConfig returns a laptop-scale version of the paper's scenario:
+// the Table 1 proportions at one-tenth population, which keeps every
+// cost relationship intact while letting the full strategy × frequency
+// sweep run in seconds.
+func DefaultConfig() Config {
+	return Config{
+		Strategy:      StrategyPartialTTL,
+		Peers:         2000,
+		Keys:          4000,
+		Stor:          100,
+		Repl:          20,
+		Alpha:         1.2,
+		FQry:          1.0 / 30.0,
+		FUpd:          1.0 / 86400.0,
+		Env:           1.0 / 14.0,
+		Dup:           1.8,
+		Dup2:          1.8,
+		OverlayDegree: 4,
+		SubnetDegree:  1,
+		Walkers:       16,
+		Redundancy:    2,
+		Rounds:        300,
+		WarmupRounds:  50,
+		Seed:          1,
+	}
+}
+
+// ModelParams translates the scenario into the analytical model's Params.
+func (c Config) ModelParams() model.Params {
+	return model.Params{
+		NumPeers: c.Peers,
+		Keys:     c.Keys,
+		Stor:     c.Stor,
+		Repl:     c.Repl,
+		Alpha:    c.Alpha,
+		FQry:     c.FQry,
+		FUpd:     c.FUpd,
+		Env:      c.Env,
+		Dup:      c.Dup,
+		Dup2:     c.Dup2,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.ModelParams().Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	switch {
+	case c.Strategy < StrategyNoIndex || c.Strategy > StrategyPartialTTL:
+		return fmt.Errorf("sim: unknown strategy %d", int(c.Strategy))
+	case c.OverlayDegree < 1 || c.OverlayDegree >= c.Peers:
+		return fmt.Errorf("sim: OverlayDegree %d out of [1,%d)", c.OverlayDegree, c.Peers)
+	case c.SubnetDegree < 1:
+		return fmt.Errorf("sim: SubnetDegree %d must be positive", c.SubnetDegree)
+	case c.Walkers < 1:
+		return fmt.Errorf("sim: Walkers %d must be positive", c.Walkers)
+	case c.Redundancy < 1:
+		return fmt.Errorf("sim: Redundancy %d must be positive", c.Redundancy)
+	case c.TraceEvery < 0:
+		return fmt.Errorf("sim: TraceEvery %d must be non-negative", c.TraceEvery)
+	case c.Rounds < 1:
+		return fmt.Errorf("sim: Rounds %d must be positive", c.Rounds)
+	case c.WarmupRounds < 0:
+		return fmt.Errorf("sim: WarmupRounds %d must be non-negative", c.WarmupRounds)
+	case c.KeyTtl < 0:
+		return fmt.Errorf("sim: KeyTtl %d must be non-negative", c.KeyTtl)
+	case c.Backend != BackendTrie && c.Backend != BackendRing && c.Backend != BackendKademlia:
+		return fmt.Errorf("sim: unknown backend %d", int(c.Backend))
+	case c.KeySource != KeysSynthetic && c.KeySource != KeysCorpus:
+		return fmt.Errorf("sim: unknown key source %d", int(c.KeySource))
+	case c.TunePeriod < 0:
+		return fmt.Errorf("sim: TunePeriod %d must be non-negative", c.TunePeriod)
+	}
+	if c.Churn.MeanOnline != 0 || c.Churn.MeanOffline != 0 {
+		if err := c.Churn.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	return nil
+}
+
+// Result is the measured outcome of one run.
+type Result struct {
+	Config Config
+	// MeasuredRounds is the number of rounds inside the measurement
+	// window.
+	MeasuredRounds int
+	// MsgPerRound is the measured total message rate — the quantity on
+	// Fig. 1's y-axis.
+	MsgPerRound float64
+	// ByClass breaks the rate down into the model's cost components.
+	ByClass map[stats.MsgClass]float64
+	// Queries and Answered count query outcomes in the window.
+	Queries  int
+	Answered int
+	// HitRate is the fraction of queries answered from the index — the
+	// measured pIndxd.
+	HitRate float64
+	// MeanIndexedKeys is the time-averaged number of live index keys —
+	// the measured eq. 15.
+	MeanIndexedKeys float64
+	// MeanLookupHops is the measured per-lookup routing cost — the
+	// quantity eq. 7 models as ½·log₂(numActivePeers).
+	MeanLookupHops float64
+	// RouteFailures counts lookups that never reached a responsible
+	// peer (stale routing state under churn).
+	RouteFailures int
+	// ActivePeers is how many peers the DHT was provisioned with (0 for
+	// noIndex).
+	ActivePeers int
+	// KeyTtlUsed is the TTL the run actually used (derived or given).
+	KeyTtlUsed int
+	// ModelMsgPerRound is the analytical prediction for this strategy at
+	// these parameters, for side-by-side comparison.
+	ModelMsgPerRound float64
+	// Trace holds the time series when Config.TraceEvery > 0.
+	Trace []TracePoint
+	// KeyQueryCounts holds per-key query counts over the measurement
+	// window when Config.CollectKeyCounts is set, indexed by key index.
+	KeyQueryCounts []int
+}
+
+// IndexFraction returns the measured mean index size as a fraction of all
+// keys (Fig. 3's solid curve).
+func (r Result) IndexFraction() float64 {
+	if r.Config.Keys == 0 {
+		return 0
+	}
+	return r.MeanIndexedKeys / float64(r.Config.Keys)
+}
+
+// numActiveFor sizes the DHT for an expected steady-state index of
+// expectedKeys keys. The model's numActivePeers = keys·repl/stor assumes
+// perfect packing; a binary trie needs a power-of-two leaf count, and every
+// leaf member replicates every key of the leaf, so leaves are chosen
+// capacity-first: the smallest power of two with leaves·stor ≥ expectedKeys,
+// at repl peers per leaf. The result slightly over-provisions relative to
+// the model (documented in EXPERIMENTS.md) but never overflows peer caches.
+func numActiveFor(p model.Params, expectedKeys float64) int {
+	if expectedKeys < 1 {
+		expectedKeys = 1
+	}
+	leaves := 1
+	for float64(leaves)*float64(p.Stor) < expectedKeys {
+		leaves <<= 1
+	}
+	active := leaves * p.Repl
+	if active > p.NumPeers {
+		// Population-bound: fall back to the largest power-of-two
+		// leaf count the population can fill, accepting evictions.
+		leaves = 1
+		for (leaves<<1)*p.Repl <= p.NumPeers {
+			leaves <<= 1
+		}
+		active = leaves * p.Repl
+	}
+	if active < p.Repl {
+		active = p.Repl
+	}
+	return active
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestKeySourceString(t *testing.T) {
+	if KeysSynthetic.String() != "synthetic" || KeysCorpus.String() != "corpus" {
+		t.Error("key source names wrong")
+	}
+}
+
+func TestCorpusKeysUniqueAndSized(t *testing.T) {
+	keys, err := corpusKeys(2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2000 {
+		t.Fatalf("got %d keys, want 2000", len(keys))
+	}
+	seen := make(map[uint64]bool, len(keys))
+	for _, k := range keys {
+		if seen[uint64(k)] {
+			t.Fatal("duplicate key in corpus universe")
+		}
+		seen[uint64(k)] = true
+	}
+}
+
+func TestCorpusKeysDeterministic(t *testing.T) {
+	a, err := corpusKeys(500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := corpusKeys(500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("corpus keys differ across runs with the same seed")
+		}
+	}
+}
+
+func TestCorpusBackedSimulation(t *testing.T) {
+	cfg := quickConfig(StrategyPartialTTL)
+	cfg.KeySource = KeysCorpus
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answered != res.Queries || res.Queries == 0 {
+		t.Errorf("corpus run answered %d of %d", res.Answered, res.Queries)
+	}
+	if res.HitRate < 0.6 {
+		t.Errorf("corpus run hit rate = %v", res.HitRate)
+	}
+	// The cost picture must stay in the same ballpark as synthetic keys —
+	// the model does not care what the keys mean. (Exact equality is not
+	// expected: a different key population lands on different trie
+	// leaves, which changes flood orders and cache pressure.)
+	synth, err := Run(quickConfig(StrategyPartialTTL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.MsgPerRound / synth.MsgPerRound
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("corpus vs synthetic cost ratio %v", ratio)
+	}
+	if hitDiff := res.HitRate - synth.HitRate; hitDiff > 0.1 || hitDiff < -0.1 {
+		t.Errorf("corpus vs synthetic hit rates diverge: %v vs %v", res.HitRate, synth.HitRate)
+	}
+}
+
+func TestInvalidKeySourceRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KeySource = KeySource(7)
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown key source accepted")
+	}
+}

@@ -1,0 +1,30 @@
+package sim
+
+import "testing"
+
+func TestParseStrategy(t *testing.T) {
+	for _, s := range []Strategy{StrategyNoIndex, StrategyIndexAll, StrategyPartialIdeal, StrategyPartialTTL} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	if _, err := ParseStrategy(""); err == nil {
+		t.Error("empty strategy accepted")
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for _, b := range []Backend{BackendTrie, BackendRing} {
+		got, err := ParseBackend(b.String())
+		if err != nil || got != b {
+			t.Errorf("ParseBackend(%q) = %v, %v", b.String(), got, err)
+		}
+	}
+	if _, err := ParseBackend("chord"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}

@@ -1,0 +1,172 @@
+// Package stats provides the measurement plumbing shared by the simulator,
+// the benchmarks and the example programs: message counters keyed by class,
+// streaming mean/variance accumulators, fixed-bucket histograms and plain-text
+// table rendering.
+//
+// The paper's unit of cost is the number of messages sent per round (one
+// round = one second), broken down by what the message was for. MsgClass
+// enumerates those purposes; Counters accumulates per-class totals so that a
+// simulation run can be compared line-by-line against the analytical model.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MsgClass identifies what a simulated message was sent for. The classes
+// mirror the cost components of the paper's model: unstructured search
+// (cSUnstr), index search (cSIndx), routing-table maintenance (cRtn), update
+// propagation (cUpd) and replica-subnet flooding (the repl·dup2 term of
+// cSIndx2).
+type MsgClass int
+
+const (
+	// MsgBroadcast counts messages of a search in the unstructured
+	// network (flooding or random walks) — the cSUnstr component.
+	MsgBroadcast MsgClass = iota
+	// MsgIndexLookup counts routing hops of a DHT lookup — cSIndx.
+	MsgIndexLookup
+	// MsgMaintenance counts routing-table probe messages — cRtn.
+	MsgMaintenance
+	// MsgUpdate counts update/insert messages between replicas — cUpd.
+	MsgUpdate
+	// MsgReplicaFlood counts messages flooded through the replica
+	// subnetwork during a query or insert — the repl·dup2 term.
+	MsgReplicaFlood
+	// MsgControl counts everything else (joins, key transfers, eviction
+	// notices). The analytical model has no such term; keeping them
+	// separate makes the comparison honest.
+	MsgControl
+
+	numMsgClasses
+)
+
+// String returns the short label used in tables and logs.
+func (c MsgClass) String() string {
+	switch c {
+	case MsgBroadcast:
+		return "broadcast"
+	case MsgIndexLookup:
+		return "lookup"
+	case MsgMaintenance:
+		return "maintenance"
+	case MsgUpdate:
+		return "update"
+	case MsgReplicaFlood:
+		return "replica-flood"
+	case MsgControl:
+		return "control"
+	default:
+		return fmt.Sprintf("msgclass(%d)", int(c))
+	}
+}
+
+// Classes lists all message classes in display order.
+func Classes() []MsgClass {
+	out := make([]MsgClass, numMsgClasses)
+	for i := range out {
+		out[i] = MsgClass(i)
+	}
+	return out
+}
+
+// Counters accumulates message counts by class. The zero value is ready to
+// use. Counters is safe for concurrent use.
+type Counters struct {
+	mu     sync.Mutex
+	counts [numMsgClasses]int64
+}
+
+// Add records n messages of class c. n may be any non-negative count;
+// negative values are rejected with a panic because a message, once sent,
+// cannot be unsent.
+func (ct *Counters) Add(c MsgClass, n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("stats: negative message count %d for class %s", n, c))
+	}
+	if c < 0 || c >= numMsgClasses {
+		panic(fmt.Sprintf("stats: unknown message class %d", int(c)))
+	}
+	ct.mu.Lock()
+	ct.counts[c] += n
+	ct.mu.Unlock()
+}
+
+// Inc records a single message of class c.
+func (ct *Counters) Inc(c MsgClass) { ct.Add(c, 1) }
+
+// Get returns the accumulated count for class c.
+func (ct *Counters) Get(c MsgClass) int64 {
+	if c < 0 || c >= numMsgClasses {
+		panic(fmt.Sprintf("stats: unknown message class %d", int(c)))
+	}
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.counts[c]
+}
+
+// Total returns the sum over all classes.
+func (ct *Counters) Total() int64 {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	var t int64
+	for _, v := range ct.counts {
+		t += v
+	}
+	return t
+}
+
+// Snapshot returns a copy of the per-class counts, indexed by MsgClass.
+func (ct *Counters) Snapshot() map[MsgClass]int64 {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	out := make(map[MsgClass]int64, numMsgClasses)
+	for i, v := range ct.counts {
+		out[MsgClass(i)] = v
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (ct *Counters) Reset() {
+	ct.mu.Lock()
+	ct.counts = [numMsgClasses]int64{}
+	ct.mu.Unlock()
+}
+
+// Diff returns the per-class difference ct − prev. It is used to compute
+// per-round rates from two snapshots of cumulative counters.
+func Diff(cur, prev map[MsgClass]int64) map[MsgClass]int64 {
+	out := make(map[MsgClass]int64, len(cur))
+	for c, v := range cur {
+		out[c] = v - prev[c]
+	}
+	return out
+}
+
+// FormatSnapshot renders a snapshot as "class=count" pairs in display order,
+// omitting zero classes. Useful in test failure messages.
+func FormatSnapshot(snap map[MsgClass]int64) string {
+	keys := make([]MsgClass, 0, len(snap))
+	for c := range snap {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var b strings.Builder
+	for _, c := range keys {
+		if snap[c] == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", c, snap[c])
+	}
+	if b.Len() == 0 {
+		return "(no messages)"
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersAddGet(t *testing.T) {
+	var c Counters
+	c.Add(MsgBroadcast, 5)
+	c.Inc(MsgBroadcast)
+	c.Add(MsgIndexLookup, 3)
+	if got := c.Get(MsgBroadcast); got != 6 {
+		t.Errorf("Get(MsgBroadcast) = %d, want 6", got)
+	}
+	if got := c.Get(MsgIndexLookup); got != 3 {
+		t.Errorf("Get(MsgIndexLookup) = %d, want 3", got)
+	}
+	if got := c.Get(MsgUpdate); got != 0 {
+		t.Errorf("Get(MsgUpdate) = %d, want 0", got)
+	}
+	if got := c.Total(); got != 9 {
+		t.Errorf("Total() = %d, want 9", got)
+	}
+}
+
+func TestCountersNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with negative count did not panic")
+		}
+	}()
+	var c Counters
+	c.Add(MsgBroadcast, -1)
+}
+
+func TestCountersUnknownClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with unknown class did not panic")
+		}
+	}()
+	var c Counters
+	c.Add(MsgClass(99), 1)
+}
+
+func TestCountersReset(t *testing.T) {
+	var c Counters
+	c.Add(MsgMaintenance, 7)
+	c.Reset()
+	if got := c.Total(); got != 0 {
+		t.Errorf("Total() after Reset = %d, want 0", got)
+	}
+}
+
+func TestCountersSnapshotAndDiff(t *testing.T) {
+	var c Counters
+	c.Add(MsgBroadcast, 10)
+	s1 := c.Snapshot()
+	c.Add(MsgBroadcast, 5)
+	c.Add(MsgUpdate, 2)
+	s2 := c.Snapshot()
+	d := Diff(s2, s1)
+	if d[MsgBroadcast] != 5 {
+		t.Errorf("Diff broadcast = %d, want 5", d[MsgBroadcast])
+	}
+	if d[MsgUpdate] != 2 {
+		t.Errorf("Diff update = %d, want 2", d[MsgUpdate])
+	}
+	if d[MsgMaintenance] != 0 {
+		t.Errorf("Diff maintenance = %d, want 0", d[MsgMaintenance])
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc(MsgBroadcast)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get(MsgBroadcast); got != workers*per {
+		t.Errorf("concurrent count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestMsgClassString(t *testing.T) {
+	for _, c := range Classes() {
+		if s := c.String(); strings.HasPrefix(s, "msgclass(") {
+			t.Errorf("class %d has no name", int(c))
+		}
+	}
+	if s := MsgClass(42).String(); s != "msgclass(42)" {
+		t.Errorf("unknown class string = %q", s)
+	}
+}
+
+func TestFormatSnapshot(t *testing.T) {
+	var c Counters
+	if got := FormatSnapshot(c.Snapshot()); got != "(no messages)" {
+		t.Errorf("empty snapshot = %q", got)
+	}
+	c.Add(MsgBroadcast, 3)
+	c.Add(MsgUpdate, 1)
+	got := FormatSnapshot(c.Snapshot())
+	if !strings.Contains(got, "broadcast=3") || !strings.Contains(got, "update=1") {
+		t.Errorf("snapshot = %q, want broadcast=3 and update=1", got)
+	}
+	if strings.Contains(got, "maintenance") {
+		t.Errorf("snapshot %q should omit zero classes", got)
+	}
+}

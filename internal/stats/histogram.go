@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-boundary histogram over float64 samples. Boundaries
+// are upper bounds: a sample x lands in the first bucket whose bound is
+// ≥ x; samples above the last bound land in the overflow bucket.
+//
+// It is used to characterize simulated quantities the analytical model only
+// treats in expectation — lookup hop counts, flood reach, replica staleness.
+type Histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is overflow
+	total  int64
+	sum    float64
+}
+
+// NewHistogram returns a histogram with the given strictly increasing upper
+// bounds. It panics if bounds is empty or not strictly increasing, because a
+// histogram with a malformed axis silently misclassifies every sample.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram bounds not increasing at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// LinearBounds returns n evenly spaced bounds covering (0, max].
+func LinearBounds(max float64, n int) []float64 {
+	if n <= 0 || max <= 0 {
+		panic("stats: LinearBounds needs positive max and n")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = max * float64(i+1) / float64(n)
+	}
+	return out
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i]++
+	h.total++
+	h.sum += x
+}
+
+// N returns the number of samples observed.
+func (h *Histogram) N() int64 { return h.total }
+
+// Mean returns the mean of all observed samples (not bucket midpoints).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Count returns the count in bucket i, where i indexes the bounds and
+// len(bounds) is the overflow bucket.
+func (h *Histogram) Count(i int) int64 { return h.counts[i] }
+
+// Buckets returns the number of buckets including overflow.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) using the
+// bucket boundaries: the bound of the first bucket whose cumulative count
+// reaches q·N. For the overflow bucket it returns +Inf via the last bound
+// doubled, which is deliberate: a quantile that escaped the axis should look
+// alarming, not plausible.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1] * 2
+		}
+	}
+	return h.bounds[len(h.bounds)-1] * 2
+}
+
+// String renders a compact one-line summary.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.2f p50≤%.3g p95≤%.3g p99≤%.3g",
+		h.total, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, x := range []float64{0.5, 1.0, 1.5, 2.0, 3.9, 4.0, 100} {
+		h.Observe(x)
+	}
+	// bounds are upper-inclusive: 0.5,1.0 → bucket0; 1.5,2.0 → bucket1;
+	// 3.9,4.0 → bucket2; 100 → overflow.
+	want := []int64{2, 2, 2, 1}
+	for i, w := range want {
+		if got := h.Count(i); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.N() != 7 {
+		t.Errorf("N = %d, want 7", h.N())
+	}
+	if h.Buckets() != 4 {
+		t.Errorf("Buckets = %d, want 4", h.Buckets())
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(2)
+	h.Observe(4)
+	if !almostEqual(h.Mean(), 3, 1e-12) {
+		t.Errorf("Mean = %v, want 3", h.Mean())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 2, 3, 4, 5)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%5) + 0.5) // 20 samples per bucket
+	}
+	if q := h.Quantile(0.5); q != 3 {
+		t.Errorf("p50 = %v, want 3", q)
+	}
+	if q := h.Quantile(0.01); q != 1 {
+		t.Errorf("p1 = %v, want 1", q)
+	}
+	if q := h.Quantile(1.0); q != 5 {
+		t.Errorf("p100 = %v, want 5", q)
+	}
+}
+
+func TestHistogramQuantileOverflow(t *testing.T) {
+	h := NewHistogram(1)
+	h.Observe(50)
+	if q := h.Quantile(0.99); q != 2 { // last bound doubled
+		t.Errorf("overflow quantile = %v, want 2", q)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(1, 2)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {2, 1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestHistogramBadQuantilePanics(t *testing.T) {
+	h := NewHistogram(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile(1.5) did not panic")
+		}
+	}()
+	h.Quantile(1.5)
+}
+
+func TestLinearBounds(t *testing.T) {
+	b := LinearBounds(10, 5)
+	want := []float64{2, 4, 6, 8, 10}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("LinearBounds[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestLinearBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LinearBounds(0, 0) did not panic")
+		}
+	}()
+	LinearBounds(0, 0)
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(0.5)
+	s := h.String()
+	if !strings.Contains(s, "n=1") {
+		t.Errorf("String() = %q, want n=1", s)
+	}
+}

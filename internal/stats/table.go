@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders aligned plain-text tables: the output format of every
+// experiment binary in this repository. Columns are right-aligned except the
+// first, which is left-aligned (row labels).
+type Table struct {
+	header []string
+	rows   [][]string
+	title  string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: append([]string(nil), header...)}
+}
+
+// AddRow appends a row. Cells are formatted with %v; float64 cells are
+// formatted with 4 significant digits, which is what the paper's plots
+// resolve to.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v != v: // NaN
+		return "NaN"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1 || v <= -1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	ncol := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	if t.title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.title)
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < ncol; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(w, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(w, "  %*s", widths[i], cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.header)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+}
+
+// RenderString returns the rendered table as a string.
+func (t *Table) RenderString() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// RenderCSV writes the table as RFC-4180 CSV: one header record, one record
+// per row. The title is not emitted — CSV consumers name their files.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.header); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

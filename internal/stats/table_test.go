@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value", "note")
+	tb.AddRow("alpha", 1.2, "skew")
+	tb.AddRow("peers", 20000, "total")
+	out := tb.RenderString()
+	if !strings.Contains(out, "== demo ==") {
+		t.Errorf("missing title in %q", out)
+	}
+	for _, want := range []string{"name", "value", "alpha", "1.20", "20000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	if strings.Contains(tb.RenderString(), "==") {
+		t.Error("untitled table rendered a title")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "extra")
+	out := tb.RenderString()
+	if !strings.Contains(out, "extra") {
+		t.Errorf("ragged row lost a cell:\n%s", out)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := NewTable("ignored title", "fQry", "cost")
+	tb.AddRow("1/30", 25219.0)
+	tb.AddRow("value,with,commas", 1.5)
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "ignored title") {
+		t.Error("CSV must not contain the title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), out)
+	}
+	if lines[0] != "fQry,cost" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"value,with,commas"`) {
+		t.Errorf("comma cell not quoted: %q", lines[2])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1234.6, "1235"},
+		{-2000, "-2000"},
+		{3.14159, "3.14"},
+		{0.000123456, "0.0001235"},
+		{0.5, "0.5"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

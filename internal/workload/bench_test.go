@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"testing"
+
+	"pdht/internal/zipf"
+)
+
+func BenchmarkPoissonSmallLambda(b *testing.B) {
+	rng := testRng(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Poisson(rng, 5)
+	}
+}
+
+func BenchmarkPoissonLargeLambda(b *testing.B) {
+	rng := testRng(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Poisson(rng, 667)
+	}
+}
+
+func BenchmarkQueryRound(b *testing.B) {
+	s := zipf.NewSampler(zipf.MustNew(1.2, 40000), testRng(2))
+	g, err := NewQueryGen(s, 20000, 1.0/30.0, testRng(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf []Query
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Round(buf)
+	}
+}

@@ -1,0 +1,87 @@
+package zipf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EstimateAlpha fits a Zipf exponent to observed per-key query counts by
+// maximum likelihood. counts holds how often each key was queried (any
+// order; zeros allowed); keys is the size of the key universe the
+// distribution is defined over, which may exceed len(counts) when unqueried
+// keys were never observed individually.
+//
+// This closes the loop the paper leaves open ("refinements of the
+// analytical model", §6): a deployment can observe its own query stream,
+// recover α, and feed model.Solve with the measured skew instead of the
+// [Srip01] constant.
+//
+// The estimator assigns ranks by sorting counts descending and maximizes
+//
+//	L(α) = −α·Σ cᵢ·ln(rankᵢ) − N·ln H(keys, α)
+//
+// with golden-section search over α ∈ [0, 8]. It needs at least two
+// distinct observed counts; a flat profile is reported as α = 0.
+func EstimateAlpha(counts []int, keys int) (float64, error) {
+	if keys < 2 {
+		return 0, fmt.Errorf("zipf: need at least 2 keys, got %d", keys)
+	}
+	if len(counts) > keys {
+		return 0, fmt.Errorf("zipf: %d counts exceed %d keys", len(counts), keys)
+	}
+	sorted := append([]int(nil), counts...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+
+	var total float64
+	var weighted float64 // Σ cᵢ·ln(rankᵢ)
+	for i, c := range sorted {
+		if c < 0 {
+			return 0, fmt.Errorf("zipf: negative count %d", c)
+		}
+		if c == 0 {
+			break // sorted: everything after is zero too
+		}
+		total += float64(c)
+		weighted += float64(c) * math.Log(float64(i+1))
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("zipf: no observations")
+	}
+
+	negLL := func(alpha float64) float64 {
+		return alpha*weighted + total*math.Log(harmonic(keys, alpha))
+	}
+	return goldenMin(negLL, 0, 8, 1e-4), nil
+}
+
+// harmonic computes the generalized harmonic number H(n, α).
+func harmonic(n int, alpha float64) float64 {
+	var h float64
+	for x := 1; x <= n; x++ {
+		h += math.Pow(float64(x), -alpha)
+	}
+	return h
+}
+
+// goldenMin minimizes a unimodal function on [lo, hi] to the given
+// tolerance by golden-section search.
+func goldenMin(f func(float64) float64, lo, hi, tol float64) float64 {
+	const phi = 0.6180339887498949 // (√5−1)/2
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}

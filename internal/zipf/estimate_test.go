@@ -1,0 +1,97 @@
+package zipf
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// sampleCounts draws n queries from a Zipf(alpha, keys) and returns per-key
+// counts.
+func sampleCounts(alpha float64, keys, n int, seed uint64) []int {
+	s := NewSampler(MustNew(alpha, keys), rand.New(rand.NewPCG(seed, seed^0xb00)))
+	counts := make([]int, keys)
+	for i := 0; i < n; i++ {
+		counts[s.Sample()]++
+	}
+	return counts
+}
+
+func TestEstimateAlphaRecoversTruth(t *testing.T) {
+	for _, alpha := range []float64{0.6, 1.0, 1.2, 1.8} {
+		counts := sampleCounts(alpha, 2000, 200000, 7)
+		got, err := EstimateAlpha(counts, 2000)
+		if err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		if math.Abs(got-alpha) > 0.06 {
+			t.Errorf("alpha=%v: estimated %v", alpha, got)
+		}
+	}
+}
+
+func TestEstimateAlphaUniform(t *testing.T) {
+	counts := make([]int, 500)
+	for i := range counts {
+		counts[i] = 100 // perfectly flat
+	}
+	got, err := EstimateAlpha(counts, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.02 {
+		t.Errorf("flat profile estimated as α=%v, want ≈0", got)
+	}
+}
+
+func TestEstimateAlphaTruncatedObservationBiasesUp(t *testing.T) {
+	// When only the head of the workload is observed (tail queries were
+	// never seen), the dropped tail mass reads as extra skew: the MLE
+	// overestimates α, and must never underestimate it. Deployments
+	// should feed the estimator complete per-key counts where possible.
+	counts := sampleCounts(1.2, 2000, 100000, 9)
+	head := counts[:200]
+	got, err := EstimateAlpha(head, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 1.2 {
+		t.Errorf("truncated observation underestimated α: %v", got)
+	}
+	if got > 1.6 {
+		t.Errorf("truncation bias implausibly large: α=%v", got)
+	}
+}
+
+func TestEstimateAlphaErrors(t *testing.T) {
+	if _, err := EstimateAlpha([]int{1, 2}, 1); err == nil {
+		t.Error("keys<2 accepted")
+	}
+	if _, err := EstimateAlpha([]int{1, 2, 3}, 2); err == nil {
+		t.Error("more counts than keys accepted")
+	}
+	if _, err := EstimateAlpha([]int{0, 0}, 10); err == nil {
+		t.Error("no observations accepted")
+	}
+	if _, err := EstimateAlpha([]int{3, -1}, 10); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestGoldenMin(t *testing.T) {
+	min := goldenMin(func(x float64) float64 { return (x - 2.5) * (x - 2.5) }, 0, 8, 1e-6)
+	if math.Abs(min-2.5) > 1e-4 {
+		t.Errorf("goldenMin = %v, want 2.5", min)
+	}
+}
+
+func BenchmarkEstimateAlpha(b *testing.B) {
+	counts := sampleCounts(1.2, 2000, 100000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateAlpha(counts, 2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

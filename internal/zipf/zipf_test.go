@@ -1,0 +1,194 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		alpha float64
+		keys  int
+		ok    bool
+	}{
+		{1.2, 40000, true},
+		{0, 10, true},
+		{1.2, 0, false},
+		{1.2, -5, false},
+		{-0.1, 10, false},
+		{math.NaN(), 10, false},
+		{math.Inf(1), 10, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.alpha, c.keys)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%v, %d): err=%v, want ok=%v", c.alpha, c.keys, err, c.ok)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(-1, 0) did not panic")
+		}
+	}()
+	MustNew(-1, 0)
+}
+
+func TestPMFNormalization(t *testing.T) {
+	for _, alpha := range []float64{0, 0.5, 1.0, 1.2, 2.0} {
+		d := MustNew(alpha, 1000)
+		var sum float64
+		for r := 1; r <= d.Keys(); r++ {
+			sum += d.PMF(r)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha=%v: PMF sums to %v, want 1", alpha, sum)
+		}
+	}
+}
+
+func TestPMFMonotoneDecreasing(t *testing.T) {
+	d := MustNew(1.2, 500)
+	for r := 2; r <= d.Keys(); r++ {
+		if d.PMF(r) > d.PMF(r-1) {
+			t.Fatalf("PMF(%d)=%v > PMF(%d)=%v", r, d.PMF(r), r-1, d.PMF(r-1))
+		}
+	}
+}
+
+func TestPMFOutOfRange(t *testing.T) {
+	d := MustNew(1.2, 10)
+	if d.PMF(0) != 0 || d.PMF(11) != 0 || d.PMF(-3) != 0 {
+		t.Error("out-of-range ranks must have probability 0")
+	}
+}
+
+func TestUniformCase(t *testing.T) {
+	d := MustNew(0, 4)
+	for r := 1; r <= 4; r++ {
+		if math.Abs(d.PMF(r)-0.25) > 1e-12 {
+			t.Errorf("alpha=0: PMF(%d)=%v, want 0.25", r, d.PMF(r))
+		}
+	}
+}
+
+func TestCDFBoundsAndMonotone(t *testing.T) {
+	d := MustNew(1.2, 200)
+	if d.CDF(0) != 0 {
+		t.Errorf("CDF(0)=%v, want 0", d.CDF(0))
+	}
+	if d.CDF(200) != 1 {
+		t.Errorf("CDF(keys)=%v, want 1", d.CDF(200))
+	}
+	if d.CDF(9999) != 1 {
+		t.Errorf("CDF beyond keys = %v, want 1", d.CDF(9999))
+	}
+	prev := 0.0
+	for r := 1; r <= 200; r++ {
+		c := d.CDF(r)
+		if c < prev {
+			t.Fatalf("CDF(%d)=%v < CDF(%d)=%v", r, c, r-1, prev)
+		}
+		prev = c
+	}
+}
+
+func TestHeadMassMatchesPaperIntuition(t *testing.T) {
+	// With α=1.2 over 40,000 keys the head is heavy: the top 1% of keys
+	// must cover well over half the query mass (this is why a small index
+	// answers most queries — Fig. 3).
+	d := MustNew(1.2, 40000)
+	if hm := d.HeadMass(400); hm < 0.55 {
+		t.Errorf("HeadMass(400) = %v, want > 0.55", hm)
+	}
+	if hm := d.HeadMass(40000); math.Abs(hm-1) > 1e-12 {
+		t.Errorf("HeadMass(all) = %v, want 1", hm)
+	}
+}
+
+func TestQueryProb(t *testing.T) {
+	d := MustNew(1.2, 40000)
+	// Busy round from the paper: 20,000 peers, fQry = 1/30 → ~667
+	// queries/round. The top key is all but certain to be queried.
+	if p := d.QueryProb(1, 20000.0/30.0); p < 0.999999 {
+		t.Errorf("QueryProb(1, 667) = %v, want ≈1", p)
+	}
+	// A deep-tail key is almost never queried.
+	if p := d.QueryProb(40000, 20000.0/30.0); p > 0.01 {
+		t.Errorf("QueryProb(40000, 667) = %v, want small", p)
+	}
+	// Degenerate inputs.
+	if d.QueryProb(1, 0) != 0 || d.QueryProb(0, 100) != 0 {
+		t.Error("QueryProb must be 0 for zero load or invalid rank")
+	}
+}
+
+func TestQueryProbAgainstNaiveFormula(t *testing.T) {
+	d := MustNew(1.0, 100)
+	for _, rank := range []int{1, 10, 100} {
+		for _, q := range []float64{1, 10, 500.5} {
+			p := d.PMF(rank)
+			naive := 1 - math.Pow(1-p, q)
+			got := d.QueryProb(rank, q)
+			if math.Abs(got-naive) > 1e-9 {
+				t.Errorf("QueryProb(%d,%v)=%v, naive=%v", rank, q, got, naive)
+			}
+		}
+	}
+}
+
+func TestQueryProbMonotoneInRank(t *testing.T) {
+	d := MustNew(1.2, 1000)
+	prev := math.Inf(1)
+	for r := 1; r <= 1000; r++ {
+		p := d.QueryProb(r, 50)
+		if p > prev+1e-15 {
+			t.Fatalf("QueryProb increased at rank %d: %v > %v", r, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestRankForInverts(t *testing.T) {
+	d := MustNew(1.2, 1000)
+	if d.RankFor(0) != 1 || d.RankFor(-1) != 1 {
+		t.Error("RankFor(≤0) must be 1")
+	}
+	if d.RankFor(1) != d.Keys() || d.RankFor(2) != d.Keys() {
+		t.Error("RankFor(≥1) must be keys")
+	}
+	// For any u strictly inside a rank's CDF interval, RankFor must
+	// return that rank.
+	for r := 1; r <= 1000; r += 37 {
+		lo, hi := d.CDF(r-1), d.CDF(r)
+		mid := (lo + hi) / 2
+		if got := d.RankFor(mid); got != r {
+			t.Errorf("RankFor(%v) = %d, want %d", mid, got, r)
+		}
+	}
+}
+
+// Property: RankFor(u) always returns the smallest rank with CDF(rank) ≥ u.
+func TestRankForProperty(t *testing.T) {
+	d := MustNew(1.2, 257)
+	f := func(raw float64) bool {
+		u := math.Mod(math.Abs(raw), 1)
+		r := d.RankFor(u)
+		if r < 1 || r > d.Keys() {
+			return false
+		}
+		if d.CDF(r) < u {
+			return false
+		}
+		if r > 1 && d.CDF(r-1) >= u && u > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
