@@ -1,0 +1,154 @@
+// Command pdht-node runs one live peer of the query-adaptive partial DHT:
+// it serves the Join/Query/Insert/Refresh/Broadcast RPCs over TCP, joins an
+// existing cluster through a seed peer, publishes synthetic news articles
+// as local content, and answers metadata queries in the paper's
+// element=value AND element=value syntax with the §5.1 selection algorithm
+// (index search → broadcast on a miss → insert with keyTtl → refresh on a
+// hit).
+//
+// Start a 3-node cluster on one machine:
+//
+//	pdht-node -listen 127.0.0.1:7070 -publish 50 &
+//	pdht-node -listen 127.0.0.1:7071 -seed 127.0.0.1:7070 -publish 50 &
+//	pdht-node -listen 127.0.0.1:7072 -seed 127.0.0.1:7070 \
+//	    -query "title=Weather Iráklion AND date=2004/03/14"
+//
+// Or watch the whole story locally:
+//
+//	pdht-node -demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pdht/internal/metadata"
+	"pdht/internal/node"
+	"pdht/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pdht-node:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with its environment abstracted, so the integration test can
+// drive the binary's real code path.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pdht-node", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		listen      = fs.String("listen", "127.0.0.1:0", "address to serve on")
+		seed        = fs.String("seed", "", "existing cluster member to join")
+		backend     = fs.String("backend", "ring", "structured overlay: ring, trie or kademlia")
+		repl        = fs.Int("repl", 3, "replica-group size (the paper's repl)")
+		keyTtl      = fs.Int("ttl", 120, "expiration time attached to inserted keys, in rounds")
+		capacity    = fs.Int("capacity", 1024, "index cache size (the paper's stor)")
+		round       = fs.Duration("round", time.Second, "wall-time length of one round")
+		publish     = fs.Int("publish", 0, "publish the metadata keys of N synthetic articles")
+		publishSeed = fs.Uint64("publish-seed", 1, "corpus generator seed")
+		query       = fs.String("query", "", "answer one ParseQuery-syntax query, print the report, exit")
+		report      = fs.Duration("report", 30*time.Second, "status report interval while serving")
+		demo        = fs.Bool("demo", false, "run the 3-node TCP-loopback demonstration and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *report <= 0 {
+		return fmt.Errorf("-report interval %v must be positive", *report)
+	}
+	if *demo {
+		return runDemo(out)
+	}
+
+	cfg := node.DefaultConfig()
+	cfg.Addr = *listen
+	cfg.Seed = *seed
+	cfg.Backend = node.Backend(*backend)
+	cfg.Repl = *repl
+	cfg.KeyTtl = *keyTtl
+	cfg.Capacity = *capacity
+	cfg.RoundDuration = *round
+
+	nd, err := node.New(transport.NewTCP(), cfg)
+	if err != nil {
+		return err
+	}
+	defer nd.Close()
+	fmt.Fprintf(out, "serving on %s (%d members known)\n", nd.Addr(), len(nd.Members()))
+
+	if *publish > 0 {
+		n := publishArticles(nd, *publish, *publishSeed)
+		fmt.Fprintf(out, "published %d index keys from %d articles\n", n, *publish)
+	}
+
+	if *query != "" {
+		if err := answer(nd, *query, out); err != nil {
+			return err
+		}
+		fmt.Fprint(out, nd.Report())
+		return nil
+	}
+
+	// Serve until interrupted, reporting periodically.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*report)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Fprint(out, nd.Report())
+			return nil
+		case <-tick.C:
+			fmt.Fprint(out, nd.Report())
+		}
+	}
+}
+
+// publishArticles installs every index key of n generated articles in the
+// node's content store (value = article ID) and returns the key count.
+func publishArticles(nd *node.Node, n int, seed uint64) int {
+	arts := metadata.GenerateArticles(n, seed)
+	total := 0
+	for i := range arts {
+		for _, ik := range arts[i].Keys(0) {
+			nd.Publish(uint64(ik.Key), uint64(arts[i].ID))
+			total++
+		}
+	}
+	return total
+}
+
+// answer resolves one ParseQuery-syntax query and prints the outcome.
+func answer(nd *node.Node, text string, out io.Writer) error {
+	q, err := metadata.ParseQuery(text)
+	if err != nil {
+		return err
+	}
+	res := nd.Query(uint64(q.Key()))
+	printResult(out, text, res)
+	return nil
+}
+
+// printResult renders one query outcome the way the demo and the -query
+// flag report it.
+func printResult(out io.Writer, text string, res node.QueryResult) {
+	switch {
+	case res.FromIndex:
+		fmt.Fprintf(out, "%q → article %d, answered from the index by %s (%d msgs)\n",
+			text, res.Value, res.AnsweredBy, res.Total())
+	case res.Answered:
+		fmt.Fprintf(out, "%q → article %d, index miss, answered by broadcast from %s and inserted with keyTtl (%d msgs)\n",
+			text, res.Value, res.AnsweredBy, res.Total())
+	default:
+		fmt.Fprintf(out, "%q → unanswered (%d msgs)\n", text, res.Total())
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"pdht/internal/metadata"
+	"pdht/internal/node"
+	"pdht/internal/transport"
+)
+
+// TestDemoTellsTheWholeStory is the acceptance test of the live subsystem:
+// a 3-node cluster on TCP loopback where a ParseQuery-syntax query misses
+// the index, is answered by broadcast, is inserted with keyTtl, and a
+// repeated query hits the index — with the closing report putting the
+// measured hit rate next to the SolveTTL prediction.
+func TestDemoTellsTheWholeStory(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-demo"}, &buf); err != nil {
+		t.Fatalf("demo failed: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+
+	miss := strings.Index(out, "index miss, answered by broadcast")
+	hit := strings.Index(out, "answered from the index")
+	if miss < 0 {
+		t.Fatalf("demo never showed the miss→broadcast→insert leg:\n%s", out)
+	}
+	if hit < 0 {
+		t.Fatalf("demo never showed the repeat query hitting the index:\n%s", out)
+	}
+	if hit < miss {
+		t.Fatalf("index hit reported before the initial miss:\n%s", out)
+	}
+	for _, want := range []string{
+		"3-node cluster on TCP loopback",
+		"hit rate: measured",
+		"vs predicted",
+		"index size: measured",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("demo output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestQueryFlagAgainstRunningSeed exercises the single-shot CLI path: a
+// seed node with published content is already up; `pdht-node -seed …
+// -query …` joins over TCP, resolves the query by broadcast, and prints
+// its report.
+func TestQueryFlagAgainstRunningSeed(t *testing.T) {
+	cfg := node.DefaultConfig()
+	cfg.RoundDuration = 100 * time.Millisecond
+	seed, err := node.New(transport.NewTCP(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	arts := metadata.GenerateArticles(5, 1)
+	for i := range arts {
+		for _, ik := range arts[i].Keys(0) {
+			seed.Publish(uint64(ik.Key), uint64(arts[i].ID))
+		}
+	}
+
+	text := fmt.Sprintf("title=%s", arts[2].Title)
+	var buf bytes.Buffer
+	err = run([]string{
+		"-seed", seed.Addr(),
+		"-round", "100ms",
+		"-query", text,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, fmt.Sprintf("article %d", arts[2].ID)) {
+		t.Fatalf("query did not resolve to article %d:\n%s", arts[2].ID, out)
+	}
+	if !strings.Contains(out, "answered by broadcast") {
+		t.Fatalf("cold query should have been answered by broadcast:\n%s", out)
+	}
+	if !strings.Contains(out, "queries 1") {
+		t.Fatalf("report not printed:\n%s", out)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-backend", "osmosis", "-query", "a=b"}, &buf); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestBadQuerySyntax(t *testing.T) {
+	cfg := node.DefaultConfig()
+	seed, err := node.New(transport.NewTCP(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", seed.Addr(), "-query", "no predicate here"}, &buf); err == nil {
+		t.Fatal("malformed query accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module pdht
+
+go 1.24

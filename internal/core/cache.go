@@ -144,6 +144,21 @@ func (c *Cache) Live(now int) int {
 	return len(c.entries)
 }
 
+// Keys returns the keys of all unexpired entries at round now, collecting
+// expired ones. Order is unspecified. Live-node measurement plumbing: the
+// cluster-wide distinct-key count is the ground truth behind eq. 15.
+func (c *Cache) Keys(now int) []keyspace.Key {
+	out := make([]keyspace.Key, 0, len(c.entries))
+	for k, e := range c.entries {
+		if e.expires <= now {
+			delete(c.entries, k)
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
 // Expires returns the expiry round of a live entry, with ok=false when the
 // key is absent or expired.
 func (c *Cache) Expires(key keyspace.Key, now int) (int, bool) {

@@ -1,0 +1,84 @@
+package node
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"pdht/internal/keyspace"
+	"pdht/internal/transport"
+)
+
+// benchCluster boots a 3-node cluster on the in-memory transport with a
+// TTL long enough that nothing expires mid-benchmark.
+func benchCluster(b *testing.B, capacity int) *Cluster {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.RoundDuration = time.Second
+	cfg.KeyTtl = 1 << 20
+	cfg.Capacity = capacity
+	c, err := NewCluster(transport.NewMemory(), 3, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		full := true
+		for i := 0; i < c.Size(); i++ {
+			if len(c.Node(i).Members()) != 3 {
+				full = false
+			}
+		}
+		if full {
+			return c
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Fatal("cluster never reached full membership")
+	return nil
+}
+
+// BenchmarkNodeQuery measures the live serve path — the node-level
+// baseline future transport or selection changes are compared against.
+// The hit variant is the steady-state hot path (route + index probe +
+// refresh); the miss variant pays the full selection loop (failed index
+// search, broadcast fan-out, replica insert) on a fresh key each
+// iteration.
+func BenchmarkNodeQuery(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		c := benchCluster(b, 1024)
+		defer c.Close()
+		const key = 424242
+		c.Node(1).Publish(key, 7)
+		if res := c.Node(0).Query(key); !res.Answered {
+			b.Fatal("warm-up query unanswered")
+		}
+		if res := c.Node(0).Query(key); !res.FromIndex {
+			b.Fatal("warm-up repeat did not hit the index")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := c.Node(0).Query(key); !res.FromIndex {
+				b.Fatal("steady-state query missed the index")
+			}
+		}
+	})
+
+	b.Run("miss", func(b *testing.B) {
+		c := benchCluster(b, 1<<21)
+		defer c.Close()
+		keys := make([]uint64, b.N)
+		for i := range keys {
+			keys[i] = uint64(keyspace.HashString("bench-miss:" + strconv.Itoa(i)))
+			c.Node(1).Publish(keys[i], uint64(i))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := c.Node(0).Query(keys[i]); !res.Answered || res.FromIndex {
+				b.Fatalf("iteration %d: want a broadcast-answered miss, got %+v", i, res)
+			}
+		}
+	})
+}

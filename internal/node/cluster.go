@@ -1,0 +1,155 @@
+package node
+
+import (
+	"fmt"
+
+	"pdht/internal/transport"
+)
+
+// Cluster is the multi-node harness: it boots n nodes on one transport,
+// joins them through the first node, and exposes kill/restart so tests can
+// exercise churn. It is test plumbing promoted to the package proper
+// because the CLI's demo mode and future load generators want the same
+// choreography.
+type Cluster struct {
+	tr    transport.Transport
+	cfg   Config
+	nodes []*Node
+	addrs []string
+}
+
+// NewCluster boots n nodes: the first seeds the cluster, the rest join it.
+// cfg.Addr and cfg.Seed are overwritten per node; all other fields apply to
+// every node.
+func NewCluster(tr transport.Transport, n int, cfg Config) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("node: cluster size %d must be positive", n)
+	}
+	c := &Cluster{tr: tr, cfg: cfg, nodes: make([]*Node, n), addrs: make([]string, n)}
+	for i := 0; i < n; i++ {
+		nodeCfg := cfg
+		nodeCfg.Addr = ""
+		if i == 0 {
+			nodeCfg.Seed = ""
+		} else {
+			nodeCfg.Seed = c.addrs[0]
+		}
+		nd, err := New(tr, nodeCfg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("node: cluster boot %d/%d: %w", i, n, err)
+		}
+		c.nodes[i] = nd
+		c.addrs[i] = nd.Addr()
+	}
+	return c, nil
+}
+
+// Size returns the number of slots (live or killed).
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns the node in slot i, nil while killed.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Addr returns the address of slot i (stable across kill/restart).
+func (c *Cluster) Addr(i int) string { return c.addrs[i] }
+
+// Kill crashes the node in slot i: its endpoint stops answering, modeling
+// an ungraceful departure. No goodbye messages are sent, exactly like the
+// simulator's crash-style Leave.
+func (c *Cluster) Kill(i int) error {
+	if c.nodes[i] == nil {
+		return fmt.Errorf("node: slot %d already killed", i)
+	}
+	err := c.nodes[i].Close()
+	c.nodes[i] = nil
+	return err
+}
+
+// Restart revives slot i at its original address with an empty cache —
+// crash recovery loses volatile state — joining through any live member.
+func (c *Cluster) Restart(i int) error {
+	if c.nodes[i] != nil {
+		return fmt.Errorf("node: slot %d is alive", i)
+	}
+	seed := ""
+	for j, nd := range c.nodes {
+		if j != i && nd != nil {
+			seed = c.addrs[j]
+			break
+		}
+	}
+	cfg := c.cfg
+	cfg.Addr = c.addrs[i]
+	cfg.Seed = seed
+	nd, err := New(c.tr, cfg)
+	if err != nil {
+		return err
+	}
+	c.nodes[i] = nd
+	return nil
+}
+
+// PublishRoundRobin distributes keys across the live nodes' content
+// stores, value = key (the tests only need a recognizable payload).
+func (c *Cluster) PublishRoundRobin(keys []uint64) {
+	live := make([]*Node, 0, len(c.nodes))
+	for _, nd := range c.nodes {
+		if nd != nil {
+			live = append(live, nd)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	for i, k := range keys {
+		live[i%len(live)].Publish(k, k)
+	}
+}
+
+// PublishReplicated installs each key in the content stores of repl
+// distinct live slots (deterministically by slot order), value = key —
+// content replication in the paper's sense, so a single crashed node does
+// not make its share of the corpus unanswerable.
+func (c *Cluster) PublishReplicated(keys []uint64, repl int) {
+	n := len(c.nodes)
+	if repl > n {
+		repl = n
+	}
+	for i, k := range keys {
+		placed := 0
+		for j := 0; j < n && placed < repl; j++ {
+			nd := c.nodes[(i+j)%n]
+			if nd == nil {
+				continue
+			}
+			nd.Publish(k, k)
+			placed++
+		}
+	}
+}
+
+// IndexedKeys returns the number of distinct keys live in any node's index
+// cache — the cluster-wide ground truth for eq. 15.
+func (c *Cluster) IndexedKeys() int {
+	distinct := make(map[uint64]bool)
+	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
+		for _, k := range nd.LiveKeys() {
+			distinct[k] = true
+		}
+	}
+	return len(distinct)
+}
+
+// Close shuts every live node down.
+func (c *Cluster) Close() {
+	for i, nd := range c.nodes {
+		if nd != nil {
+			nd.Close()
+			c.nodes[i] = nil
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package node
+
+import (
+	"math/rand/v2"
+	"strconv"
+	"testing"
+	"time"
+
+	"pdht/internal/keyspace"
+	"pdht/internal/transport"
+	"pdht/internal/zipf"
+)
+
+// TestClusterZipfWorkloadWithChurn is the cluster-path integration test:
+// six nodes on the in-memory transport, a Zipf-skewed workload over a
+// replicated corpus, one node crashed mid-run and later restarted, with
+// the selection algorithm's end-to-end behavior asserted at each phase —
+// miss → broadcast → insert → subsequent hit, service through churn, and
+// TTL expiry of unqueried keys afterwards.
+func TestClusterZipfWorkloadWithChurn(t *testing.T) {
+	const (
+		nodes = 6
+		keys  = 150
+	)
+	cfg := DefaultConfig()
+	cfg.RoundDuration = 50 * time.Millisecond
+	cfg.KeyTtl = 10 // 500ms of lifetime
+	cfg.Repl = 3
+	cfg.Capacity = 4 * keys
+
+	c, err := NewCluster(transport.NewMemory(), nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitFor(t, 5*time.Second, func() bool {
+		for i := 0; i < nodes; i++ {
+			if len(c.Node(i).Members()) != nodes {
+				return false
+			}
+		}
+		return true
+	}, "full membership")
+
+	// A corpus of hashed keys, each replicated at 3 content stores so a
+	// single crash cannot orphan content.
+	corpus := make([]uint64, keys)
+	for i := range corpus {
+		corpus[i] = uint64(keyspace.HashString("article:" + strconv.Itoa(i)))
+	}
+	c.PublishReplicated(corpus, 3)
+
+	// Phase 1: Zipf workload from all live nodes. The skew makes head
+	// keys repeat heavily; repeats inside keyTtl must hit the index.
+	dist, err := zipf.New(1.2, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := zipf.NewSampler(dist, rand.New(rand.NewPCG(7, 11)))
+	rng := rand.New(rand.NewPCG(1, 2))
+	answered, fromIndex := 0, 0
+	for q := 0; q < 600; q++ {
+		res := c.Node(rng.IntN(nodes)).Query(corpus[sampler.Sample()])
+		if res.Answered {
+			answered++
+		}
+		if res.FromIndex {
+			fromIndex++
+		}
+	}
+	if answered != 600 {
+		t.Fatalf("phase 1: %d/600 queries answered; replicated content must always resolve", answered)
+	}
+	// With α=1.2 over 150 keys, well over half the queries are repeats of
+	// the head; almost all of those land within keyTtl. Require a
+	// conservative floor so scheduler jitter cannot flake the test.
+	if fromIndex < 200 {
+		t.Fatalf("phase 1: only %d/600 queries hit the index", fromIndex)
+	}
+
+	// Phase 2: crash a node mid-run (not the seed). Queries keep being
+	// answered: index probes to the dead peer fail over to the replica
+	// flood, broadcasts tolerate the silent member, content is
+	// replicated around the hole.
+	const victim = 3
+	if err := c.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 200; q++ {
+		from := rng.IntN(nodes)
+		if from == victim {
+			from = (victim + 1) % nodes
+		}
+		res := c.Node(from).Query(corpus[sampler.Sample()])
+		if !res.Answered {
+			t.Fatalf("phase 2: query %d unanswered during churn", q)
+		}
+	}
+
+	// Phase 3: restart the victim. It rejoins with an empty cache and
+	// serves again; the whole cluster still answers everything.
+	if err := c.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return len(c.Node(victim).Members()) == nodes }, "restarted node readopting the view")
+	if got := c.Node(victim).Report().IndexedKeys; got != 0 {
+		t.Fatalf("restarted node has %d cached entries, want 0 (crash loses volatile state)", got)
+	}
+	for q := 0; q < 100; q++ {
+		res := c.Node(victim).Query(corpus[sampler.Sample()])
+		if !res.Answered {
+			t.Fatalf("phase 3: query %d from restarted node unanswered", q)
+		}
+	}
+
+	// Phase 4: a freshly-seen cold key walks the full selection path.
+	cold := uint64(keyspace.HashString("cold:never-queried-before"))
+	c.Node(0).Publish(cold, 31415)
+	res := c.Node(1).Query(cold)
+	if !res.Answered || res.FromIndex || res.Value != 31415 {
+		t.Fatalf("cold query = %+v, want broadcast answer 31415", res)
+	}
+	if res.BroadcastMsgs == 0 {
+		t.Fatal("cold query cost no broadcast messages")
+	}
+	res = c.Node(2).Query(cold)
+	if !res.FromIndex {
+		t.Fatalf("repeat of cold key = %+v, want index hit", res)
+	}
+
+	// Phase 5: silence. Every entry must expire within keyTtl; the index
+	// drains to empty with no coordination — the paper's defining claim.
+	if c.IndexedKeys() == 0 {
+		t.Fatal("index already empty before the silence phase — workload too weak")
+	}
+	time.Sleep(2 * time.Duration(cfg.KeyTtl) * cfg.RoundDuration)
+	if got := c.IndexedKeys(); got != 0 {
+		t.Fatalf("%d keys still indexed after %v of silence, want 0", got, 2*time.Duration(cfg.KeyTtl)*cfg.RoundDuration)
+	}
+
+	// The per-node reports must carry the model comparison next to the
+	// measurement (the live Figures 3–4 readout).
+	r := c.Node(0).Report()
+	if r.Model == nil {
+		t.Fatalf("node 0 report lacks the SolveTTL comparison: %+v", r)
+	}
+	t.Logf("node 0 after run:\n%s", r)
+}

@@ -1,0 +1,683 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pdht/internal/core"
+	"pdht/internal/keyspace"
+	"pdht/internal/stats"
+	"pdht/internal/transport"
+)
+
+// Config parameterizes one live node.
+type Config struct {
+	// Addr is the address to serve on; empty lets the transport pick.
+	Addr string
+	// Seed is an existing cluster member to join, empty for the first
+	// node of a cluster.
+	Seed string
+	// Backend selects the structured overlay (default BackendRing).
+	Backend Backend
+	// Repl is the replica-group size (the paper's repl), clamped to the
+	// cluster size. Default 3.
+	Repl int
+	// KeyTtl is the expiration time, in rounds, attached to inserted and
+	// refreshed keys — the paper's keyTtl knob. Default 120.
+	KeyTtl int
+	// Capacity is this node's index cache size (the paper's stor).
+	// Default 1024.
+	Capacity int
+	// RoundDuration maps the paper's one-second round onto wall time.
+	// All nodes of a cluster must agree on it. Default 1s.
+	RoundDuration time.Duration
+	// CallTimeout bounds each outbound RPC. Default 2s.
+	CallTimeout time.Duration
+	// FloodOnMiss extends an index search that misses at the responsible
+	// peer to the rest of the replica group — the cSIndx2 flood the
+	// selection algorithm needs because TTL expiry leaves replicas
+	// loosely synchronized. DefaultConfig turns it on.
+	FloodOnMiss bool
+	// MaintainEnv is the per-entry per-round probe probability of the
+	// local overlay instance (the paper's env). Zero disables probing.
+	MaintainEnv float64
+}
+
+// DefaultConfig returns the configuration a live deployment starts from.
+func DefaultConfig() Config {
+	return Config{
+		Backend:       BackendRing,
+		Repl:          3,
+		KeyTtl:        120,
+		Capacity:      1024,
+		RoundDuration: time.Second,
+		CallTimeout:   2 * time.Second,
+		FloodOnMiss:   true,
+	}
+}
+
+// setDefaults fills zero fields; FloodOnMiss keeps its explicit value.
+func (c *Config) setDefaults() {
+	if c.Backend == "" {
+		c.Backend = BackendRing
+	}
+	if c.Repl == 0 {
+		c.Repl = 3
+	}
+	if c.KeyTtl == 0 {
+		c.KeyTtl = 120
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 1024
+	}
+	if c.RoundDuration == 0 {
+		c.RoundDuration = time.Second
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 2 * time.Second
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Repl < 1:
+		return fmt.Errorf("node: Repl %d must be positive", c.Repl)
+	case c.KeyTtl < 1:
+		return fmt.Errorf("node: KeyTtl %d must be positive", c.KeyTtl)
+	case c.Capacity < 1:
+		return fmt.Errorf("node: Capacity %d must be positive", c.Capacity)
+	case c.RoundDuration < 0:
+		return fmt.Errorf("node: negative RoundDuration")
+	case c.MaintainEnv < 0 || c.MaintainEnv > 1:
+		return fmt.Errorf("node: MaintainEnv %v must be a probability", c.MaintainEnv)
+	}
+	return nil
+}
+
+// Node is one live peer of the partial DHT.
+type Node struct {
+	cfg   Config
+	tr    transport.Transport
+	srv   transport.Server
+	epoch time.Time
+
+	// mu guards the mutable peer state: membership view, index cache,
+	// content store and per-key query counts. RPCs are never issued
+	// while holding it.
+	mu          sync.Mutex
+	view        *view
+	cache       *core.Cache
+	store       map[keyspace.Key]uint64
+	queryCounts map[keyspace.Key]uint64
+
+	// clientsMu guards the outbound connection pool.
+	clientsMu     sync.Mutex
+	clients       map[string]transport.Client
+	clientsClosed bool
+
+	counters stats.Counters
+	queries, hits, misses, broadcasts,
+	broadcastAnswered, inserts, refreshes,
+	unanswered, rpcFailures atomic.Uint64
+	indexSize atomic.Int64 // gauge, updated by the sweeper
+
+	stop      chan struct{}
+	done      sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New starts a node: it serves its RPC endpoint, joins the seed peer if one
+// is configured, and starts the background expiry sweeper.
+func New(tr transport.Transport, cfg Config) (*Node, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cache, err := core.NewCache(cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:         cfg,
+		tr:          tr,
+		epoch:       time.Now(),
+		cache:       cache,
+		store:       make(map[keyspace.Key]uint64),
+		queryCounts: make(map[keyspace.Key]uint64),
+		clients:     make(map[string]transport.Client),
+		stop:        make(chan struct{}),
+	}
+	srv, err := tr.Serve(cfg.Addr, n.handle)
+	if err != nil {
+		return nil, err
+	}
+	n.srv = srv
+	n.cfg.Addr = srv.Addr() // the transport may have picked the address
+	// The endpoint is already reachable (a restarted node reuses a known
+	// address), so the view is installed under the lock; until then
+	// handle() answers "starting".
+	v, err := buildView([]string{n.cfg.Addr}, cfg.Backend, cfg.Repl, cfg.MaintainEnv)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	n.mu.Lock()
+	n.view = v
+	n.mu.Unlock()
+	if cfg.Seed != "" {
+		if err := n.join(cfg.Seed); err != nil {
+			srv.Close()
+			n.closeClients() // join may have pooled a connection to the seed
+			return nil, err
+		}
+	}
+	n.done.Add(1)
+	go n.sweeper()
+	return n, nil
+}
+
+// Addr returns the node's serving address.
+func (n *Node) Addr() string { return n.cfg.Addr }
+
+// Config returns the node's effective configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// now is the node's round clock.
+func (n *Node) now() int { return int(time.Since(n.epoch) / n.cfg.RoundDuration) }
+
+// Close shuts the node down: the endpoint stops accepting, outbound
+// connections close, and the sweeper exits. Idempotent.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		close(n.stop)
+		n.srv.Close()
+		n.closeClients()
+	})
+	n.done.Wait()
+	return nil
+}
+
+// ---- membership ----
+
+// join announces this node to seed and adopts the membership view the seed
+// returns.
+func (n *Node) join(seed string) error {
+	resp, err := n.call(seed, transport.Request{
+		Op: transport.OpJoin, From: n.cfg.Addr, Forward: true,
+	})
+	if err != nil {
+		return fmt.Errorf("node: join %s: %w", seed, err)
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("node: join %s: %s", seed, resp.Err)
+	}
+	n.mergeMembers(append(resp.Peers, seed))
+	return nil
+}
+
+// mergeMembers adds any unknown addresses to the membership and rebuilds
+// the overlay view if it changed.
+func (n *Node) mergeMembers(addrs []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mergeMembersLocked(addrs)
+}
+
+func (n *Node) mergeMembersLocked(addrs []string) {
+	changed := false
+	members := n.view.members
+	for _, a := range addrs {
+		if a == "" {
+			continue
+		}
+		if _, known := n.view.rank[a]; !known {
+			members = append(members, a)
+			// rank is stale until rebuild; mark now to dedupe input.
+			n.view.rank[a] = -1
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	v, err := buildView(members, n.cfg.Backend, n.cfg.Repl, n.cfg.MaintainEnv)
+	if err != nil {
+		// Cannot happen with a non-empty list and a validated config;
+		// keep the old view rather than dying mid-flight.
+		return
+	}
+	n.view = v
+}
+
+// Members returns the node's current membership view, sorted.
+func (n *Node) Members() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.view.members...)
+}
+
+// ---- RPC server side ----
+
+// handle dispatches one inbound request. It runs on a transport goroutine;
+// everything it touches is behind mu.
+func (n *Node) handle(req transport.Request) transport.Response {
+	n.mu.Lock()
+	ready := n.view != nil
+	n.mu.Unlock()
+	if !ready {
+		return transport.Response{Err: "node starting"}
+	}
+	switch req.Op {
+	case transport.OpJoin:
+		return n.handleJoin(req)
+	case transport.OpQuery:
+		n.mu.Lock()
+		v, ok := n.cache.Get(keyspace.Key(req.Key), n.now())
+		n.mu.Unlock()
+		return transport.Response{OK: true, Found: ok, Value: v64(v)}
+	case transport.OpInsert:
+		if req.TTL < 1 {
+			return transport.Response{Err: "insert without ttl"}
+		}
+		now := n.now()
+		n.mu.Lock()
+		stored := n.cache.Put(keyspace.Key(req.Key), core.Value(req.Value), now+req.TTL, now)
+		n.mu.Unlock()
+		return transport.Response{OK: stored}
+	case transport.OpRefresh:
+		if req.TTL < 1 {
+			return transport.Response{Err: "refresh without ttl"}
+		}
+		now := n.now()
+		n.mu.Lock()
+		ok := n.cache.Refresh(keyspace.Key(req.Key), now+req.TTL, now)
+		n.mu.Unlock()
+		if ok {
+			n.refreshes.Add(1)
+		}
+		return transport.Response{OK: ok}
+	case transport.OpBroadcast:
+		n.mu.Lock()
+		v, ok := n.store[keyspace.Key(req.Key)]
+		n.mu.Unlock()
+		return transport.Response{OK: true, Found: ok, Value: v}
+	default:
+		return transport.Response{Err: fmt.Sprintf("unknown op %v", req.Op)}
+	}
+}
+
+// handleJoin records the joiner and, when asked, re-announces it to the
+// members this node already knows (one hop, bounded by Forward=false on
+// the re-announcements).
+func (n *Node) handleJoin(req transport.Request) transport.Response {
+	if req.From == "" {
+		return transport.Response{Err: "join without sender address"}
+	}
+	n.mu.Lock()
+	_, known := n.view.rank[req.From]
+	n.mergeMembersLocked([]string{req.From})
+	members := append([]string(nil), n.view.members...)
+	n.mu.Unlock()
+
+	if req.Forward && !known {
+		for _, m := range members {
+			if m == n.cfg.Addr || m == req.From {
+				continue
+			}
+			m := m
+			go n.call(m, transport.Request{Op: transport.OpJoin, From: req.From})
+		}
+	}
+	return transport.Response{OK: true, Peers: members}
+}
+
+// ---- RPC client side ----
+
+// client returns a pooled connection to addr, dialing on first use. The
+// dial happens outside the pool lock — a slow or blackholed peer must not
+// stall outbound calls to everyone else — so two goroutines can race to
+// dial the same peer; the loser's connection is closed and the winner's
+// kept.
+func (n *Node) client(addr string) (transport.Client, error) {
+	n.clientsMu.Lock()
+	if n.clientsClosed {
+		n.clientsMu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if c, ok := n.clients[addr]; ok {
+		n.clientsMu.Unlock()
+		return c, nil
+	}
+	n.clientsMu.Unlock()
+
+	c, err := n.tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	n.clientsMu.Lock()
+	defer n.clientsMu.Unlock()
+	if n.clientsClosed {
+		c.Close()
+		return nil, transport.ErrClosed
+	}
+	if existing, ok := n.clients[addr]; ok {
+		c.Close()
+		return existing, nil
+	}
+	n.clients[addr] = c
+	return c, nil
+}
+
+// closeClients shuts the outbound pool down for good: existing connections
+// close and client() refuses to dial new ones.
+func (n *Node) closeClients() {
+	n.clientsMu.Lock()
+	n.clientsClosed = true
+	clients := n.clients
+	n.clients = make(map[string]transport.Client)
+	n.clientsMu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+// dropClient discards a connection that returned an error, so the next
+// call re-dials — the reconnect path under churn.
+func (n *Node) dropClient(addr string, c transport.Client) {
+	n.clientsMu.Lock()
+	if n.clients[addr] == c {
+		delete(n.clients, addr)
+	}
+	n.clientsMu.Unlock()
+	c.Close()
+}
+
+// call performs one outbound RPC with the configured timeout. Any failure
+// is returned as an error; the caller treats it as "peer did not answer".
+func (n *Node) call(addr string, req transport.Request) (transport.Response, error) {
+	c, err := n.client(addr)
+	if err != nil {
+		n.rpcFailures.Add(1)
+		return transport.Response{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+	defer cancel()
+	resp, err := c.Call(ctx, req)
+	if err != nil {
+		n.rpcFailures.Add(1)
+		// A timeout means this one call expired, not that the shared
+		// multiplexed connection is broken — tearing it down would fail
+		// every concurrent in-flight call to that peer. Only drop the
+		// pooled client on transport-level errors.
+		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			n.dropClient(addr, c)
+		}
+		return transport.Response{}, err
+	}
+	return resp, nil
+}
+
+// ---- content ----
+
+// Publish installs key→value in this node's local content store — the
+// content the unstructured broadcast searches. It models the node being a
+// content provider; published keys are what broadcasts can resolve.
+func (n *Node) Publish(key uint64, value uint64) {
+	n.mu.Lock()
+	n.store[keyspace.Key(key)] = value
+	n.mu.Unlock()
+}
+
+// StoredKeys returns the size of the local content store.
+func (n *Node) StoredKeys() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.store)
+}
+
+// LiveKeys returns the keys currently live in this node's index cache —
+// test and measurement plumbing for cluster-wide index-size ground truth.
+func (n *Node) LiveKeys() []uint64 {
+	now := n.now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	keys := n.cache.Keys(now)
+	out := make([]uint64, len(keys))
+	for i, k := range keys {
+		out[i] = uint64(k)
+	}
+	return out
+}
+
+// ---- the selection algorithm ----
+
+// QueryResult reports one end-to-end query, mirroring core.QueryOutcome
+// with live-deployment detail.
+type QueryResult struct {
+	// Answered reports whether the query resolved at all; FromIndex
+	// whether the index answered it (the pIndxd events of eq. 14).
+	Answered  bool
+	FromIndex bool
+	Value     uint64
+	// Responsible is the peer routing selected; AnsweredBy the peer that
+	// actually supplied the value (a replica on a flood hit, a content
+	// holder on a broadcast).
+	Responsible string
+	AnsweredBy  string
+	// IndexMsgs, BroadcastMsgs and InsertMsgs break down the cost in the
+	// legs of eq. 17; RefreshMsgs is the reset-on-hit RPC a remote index
+	// hit pays.
+	IndexMsgs     int
+	BroadcastMsgs int
+	InsertMsgs    int
+	RefreshMsgs   int
+}
+
+// Total returns the query's full message cost.
+func (r QueryResult) Total() int {
+	return r.IndexMsgs + r.BroadcastMsgs + r.InsertMsgs + r.RefreshMsgs
+}
+
+// Query resolves key with the selection algorithm of §5.1: search the
+// index (routing locally, asking the responsible peer — and on a miss the
+// rest of the replica group — over the wire), broadcast on a miss, insert
+// the broadcast result with keyTtl, and refresh the TTL on a hit.
+func (n *Node) Query(key uint64) QueryResult {
+	k := keyspace.Key(key)
+	n.queries.Add(1)
+
+	n.mu.Lock()
+	// The per-key counts only feed Report's Zipf fit; cap the tracked
+	// universe so a wide or adversarial key stream cannot grow memory
+	// without bound (the index cache itself is capacity-bounded).
+	if _, tracked := n.queryCounts[k]; tracked || len(n.queryCounts) < 8*n.cfg.Capacity {
+		n.queryCounts[k]++
+	}
+	responsible, hops, routeOK := n.view.route(n.cfg.Addr, k)
+	var probes []string
+	if routeOK {
+		if n.cfg.FloodOnMiss {
+			probes = n.view.replicas(k)
+			// Responsible first; the rest of the group in placement order.
+			sort.SliceStable(probes, func(i, j int) bool { return probes[i] == responsible && probes[j] != responsible })
+		} else {
+			probes = []string{responsible}
+		}
+	}
+	n.mu.Unlock()
+
+	res := QueryResult{Responsible: responsible}
+	res.IndexMsgs = hops
+	n.counters.Add(stats.MsgIndexLookup, int64(hops))
+
+	// 1. Index search: responsible peer, then replica flood.
+	for i, addr := range probes {
+		if i > 0 {
+			// Hops already priced the path to the responsible peer;
+			// each further replica probe is one flood message.
+			res.IndexMsgs++
+			n.counters.Inc(stats.MsgReplicaFlood)
+		}
+		value, ok := n.probeIndex(addr, k)
+		if !ok {
+			continue
+		}
+		res.Answered, res.FromIndex, res.Value, res.AnsweredBy = true, true, value, addr
+		n.hits.Add(1)
+		res.RefreshMsgs = n.refreshHit(addr, k)
+		return res
+	}
+	n.misses.Add(1)
+
+	// 2. Broadcast on miss. The membership snapshot is taken here, not
+	// on the hit fast path, which never needs it.
+	n.mu.Lock()
+	members := append([]string(nil), n.view.members...)
+	n.mu.Unlock()
+	n.broadcasts.Add(1)
+	value, foundAt, msgs := n.broadcast(k, members)
+	res.BroadcastMsgs = msgs
+	if foundAt == "" {
+		n.unanswered.Add(1)
+		return res
+	}
+	n.broadcastAnswered.Add(1)
+	res.Answered, res.Value, res.AnsweredBy = true, value, foundAt
+
+	// 3. Insert the resolved key with keyTtl at every replica.
+	res.InsertMsgs = n.insert(k, value, probes)
+	n.inserts.Add(1)
+	return res
+}
+
+// probeIndex asks one peer (possibly ourselves) whether key is live in its
+// index cache.
+func (n *Node) probeIndex(addr string, k keyspace.Key) (uint64, bool) {
+	if addr == n.cfg.Addr {
+		n.mu.Lock()
+		v, ok := n.cache.Get(k, n.now())
+		n.mu.Unlock()
+		return v64(v), ok
+	}
+	resp, err := n.call(addr, transport.Request{Op: transport.OpQuery, Key: uint64(k)})
+	if err != nil || resp.Err != "" {
+		return 0, false
+	}
+	return resp.Value, resp.Found
+}
+
+// refreshHit applies the reset-on-hit rule at the answering peer,
+// returning the number of messages it cost.
+func (n *Node) refreshHit(addr string, k keyspace.Key) int {
+	if addr == n.cfg.Addr {
+		now := n.now()
+		n.mu.Lock()
+		if n.cache.Refresh(k, now+n.cfg.KeyTtl, now) {
+			n.refreshes.Add(1)
+		}
+		n.mu.Unlock()
+		return 0
+	}
+	n.counters.Inc(stats.MsgUpdate)
+	n.call(addr, transport.Request{Op: transport.OpRefresh, Key: uint64(k), TTL: n.cfg.KeyTtl})
+	return 1
+}
+
+// broadcast fans the query out to every known member — the unstructured
+// search (cSUnstr). The local store is checked first for free; remote
+// members are asked concurrently and the lexicographically first answer
+// wins, keeping the result independent of goroutine scheduling.
+func (n *Node) broadcast(k keyspace.Key, members []string) (value uint64, foundAt string, msgs int) {
+	n.mu.Lock()
+	v, ok := n.store[k]
+	n.mu.Unlock()
+	if ok {
+		return v, n.cfg.Addr, 0
+	}
+	type answer struct {
+		addr  string
+		value uint64
+	}
+	var wg sync.WaitGroup
+	answers := make(chan answer, len(members))
+	for _, m := range members {
+		if m == n.cfg.Addr {
+			continue
+		}
+		msgs++
+		wg.Add(1)
+		go func(m string) {
+			defer wg.Done()
+			resp, err := n.call(m, transport.Request{Op: transport.OpBroadcast, Key: uint64(k)})
+			if err == nil && resp.Found {
+				answers <- answer{m, resp.Value}
+			}
+		}(m)
+	}
+	n.counters.Add(stats.MsgBroadcast, int64(msgs))
+	wg.Wait()
+	close(answers)
+	for a := range answers {
+		if foundAt == "" || a.addr < foundAt {
+			value, foundAt = a.value, a.addr
+		}
+	}
+	return value, foundAt, msgs
+}
+
+// insert installs key→value with keyTtl at every replica, returning the
+// number of messages spent.
+func (n *Node) insert(k keyspace.Key, value uint64, replicas []string) (msgs int) {
+	for _, addr := range replicas {
+		if addr == n.cfg.Addr {
+			now := n.now()
+			n.mu.Lock()
+			n.cache.Put(k, core.Value(value), now+n.cfg.KeyTtl, now)
+			n.mu.Unlock()
+			continue
+		}
+		msgs++
+		n.counters.Inc(stats.MsgUpdate)
+		n.call(addr, transport.Request{Op: transport.OpInsert, Key: uint64(k), Value: value, TTL: n.cfg.KeyTtl})
+	}
+	return msgs
+}
+
+// ---- background work ----
+
+// sweeper is the background expiry loop: once per round it collects
+// expired cache entries (keys that stopped being queried silently fall out
+// — the defining behavior of the selection algorithm), updates the
+// index-size gauge, and runs routing-table maintenance when configured.
+func (n *Node) sweeper() {
+	defer n.done.Done()
+	tick := time.NewTicker(n.cfg.RoundDuration)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-tick.C:
+			now := n.now()
+			n.mu.Lock()
+			live := n.cache.Live(now) // prunes expired entries
+			var probes int
+			if n.cfg.MaintainEnv > 0 {
+				probes = n.view.maintain().Probes
+			}
+			n.mu.Unlock()
+			n.indexSize.Store(int64(live))
+			if probes > 0 {
+				n.counters.Add(stats.MsgMaintenance, int64(probes))
+			}
+		}
+	}
+}
+
+// v64 narrows a core.Value to the wire representation.
+func v64(v core.Value) uint64 { return uint64(v) }

@@ -1,0 +1,325 @@
+package node
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"pdht/internal/transport"
+)
+
+// testConfig shrinks the round to 50ms so TTL behavior is observable in a
+// test run; keyTtl 4 rounds = 200ms of lifetime.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RoundDuration = 50 * time.Millisecond
+	cfg.KeyTtl = 4
+	cfg.CallTimeout = 2 * time.Second
+	return cfg
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSingleNodeMissBroadcastInsertHit(t *testing.T) {
+	nd, err := New(transport.NewMemory(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	nd.Publish(99, 4242)
+
+	first := nd.Query(99)
+	if !first.Answered || first.FromIndex {
+		t.Fatalf("first query = %+v, want answered from broadcast", first)
+	}
+	if first.Value != 4242 {
+		t.Fatalf("first query value = %d, want 4242", first.Value)
+	}
+	second := nd.Query(99)
+	if !second.Answered || !second.FromIndex {
+		t.Fatalf("second query = %+v, want index hit", second)
+	}
+}
+
+func TestClusterMissBroadcastInsertHit(t *testing.T) {
+	c, err := NewCluster(transport.NewMemory(), 3, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitFor(t, 5*time.Second, func() bool {
+		for i := 0; i < c.Size(); i++ {
+			if len(c.Node(i).Members()) != 3 {
+				return false
+			}
+		}
+		return true
+	}, "full membership")
+
+	// Content lives only at node 2; node 0 queries.
+	const key = 7777
+	c.Node(2).Publish(key, 1234)
+
+	first := c.Node(0).Query(key)
+	if !first.Answered || first.FromIndex || first.Value != 1234 {
+		t.Fatalf("first query = %+v, want broadcast answer 1234", first)
+	}
+	if first.BroadcastMsgs != 2 {
+		t.Fatalf("broadcast cost %d messages, want 2 (full fan-out minus self)", first.BroadcastMsgs)
+	}
+	if first.AnsweredBy != c.Node(2).Addr() {
+		t.Fatalf("answered by %s, want the content holder %s", first.AnsweredBy, c.Node(2).Addr())
+	}
+
+	// The insert leg must have installed the key; a repeat query — from a
+	// different node — hits the index without broadcasting.
+	second := c.Node(1).Query(key)
+	if !second.Answered || !second.FromIndex || second.Value != 1234 {
+		t.Fatalf("second query = %+v, want index hit 1234", second)
+	}
+	if second.BroadcastMsgs != 0 {
+		t.Fatalf("index hit still broadcast %d messages", second.BroadcastMsgs)
+	}
+}
+
+func TestUnansweredQuery(t *testing.T) {
+	c, err := NewCluster(transport.NewMemory(), 2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res := c.Node(0).Query(31337) // nobody published it
+	if res.Answered {
+		t.Fatalf("query for unpublished key answered: %+v", res)
+	}
+	if got := c.Node(0).Report().Unanswered; got != 1 {
+		t.Fatalf("unanswered counter = %d, want 1", got)
+	}
+}
+
+// TestTTLRefreshAndExpiry drives the defining TTL behavior end to end: a
+// queried key outlives its original TTL through reset-on-hit, then expires
+// once queries stop.
+func TestTTLRefreshAndExpiry(t *testing.T) {
+	cfg := testConfig() // keyTtl 4 rounds × 50ms = 200ms
+	c, err := NewCluster(transport.NewMemory(), 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const key = 555
+	c.Node(1).Publish(key, 1)
+	if res := c.Node(0).Query(key); !res.Answered {
+		t.Fatal("seed query unanswered")
+	}
+
+	// Query every ~half TTL for 3× the TTL: each hit must refresh the
+	// entry, keeping it alive far beyond the original 200ms.
+	deadline := time.Now().Add(600 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		res := c.Node(0).Query(key)
+		if !res.Answered {
+			t.Fatal("key fell out of the index while being queried")
+		}
+		time.Sleep(80 * time.Millisecond)
+	}
+	if res := c.Node(0).Query(key); !res.FromIndex {
+		t.Fatalf("query after sustained refreshing = %+v, want index hit", res)
+	}
+
+	// Stop querying; after 2× TTL the entry must be gone from every
+	// node's cache, and the next query must fall back to broadcast.
+	time.Sleep(2 * time.Duration(cfg.KeyTtl) * cfg.RoundDuration)
+	if got := c.IndexedKeys(); got != 0 {
+		t.Fatalf("%d keys still indexed after TTL silence, want 0", got)
+	}
+	res := c.Node(0).Query(key)
+	if !res.Answered || res.FromIndex {
+		t.Fatalf("post-expiry query = %+v, want broadcast answer", res)
+	}
+}
+
+func TestRefreshCountsAtStoringPeer(t *testing.T) {
+	c, err := NewCluster(transport.NewMemory(), 3, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const key = 808
+	c.Node(0).Publish(key, 9)
+	c.Node(0).Query(key) // miss → insert
+	res := c.Node(0).Query(key)
+	if !res.FromIndex {
+		t.Fatalf("second query = %+v, want hit", res)
+	}
+	// The reset-on-hit rule is an explicit OpRefresh at the answering
+	// peer; at least one node must have counted it (the answerer may be
+	// the querier itself when it is in the replica group).
+	total := uint64(0)
+	for i := 0; i < 3; i++ {
+		total += c.Node(i).Report().Refreshes
+	}
+	if total == 0 {
+		t.Fatal("no node recorded a TTL refresh after an index hit")
+	}
+}
+
+// TestBackendGenericity runs the miss→insert→hit cycle over all three
+// structured overlays — the paper's claim that the selection algorithm is
+// indifferent to the DHT underneath, now over live RPC.
+func TestBackendGenericity(t *testing.T) {
+	for _, backend := range []Backend{BackendRing, BackendTrie, BackendKademlia} {
+		t.Run(string(backend), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Backend = backend
+			c, err := NewCluster(transport.NewMemory(), 4, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			waitFor(t, 5*time.Second, func() bool {
+				for i := 0; i < c.Size(); i++ {
+					if len(c.Node(i).Members()) != 4 {
+						return false
+					}
+				}
+				return true
+			}, "full membership")
+			for k := uint64(1); k <= 20; k++ {
+				c.Node(int(k)%4).Publish(k, k*10)
+			}
+			for k := uint64(1); k <= 20; k++ {
+				if res := c.Node(0).Query(k); !res.Answered || res.Value != k*10 {
+					t.Fatalf("%s: cold query %d = %+v", backend, k, res)
+				}
+			}
+			hits := 0
+			for k := uint64(1); k <= 20; k++ {
+				if res := c.Node(1).Query(k); res.FromIndex {
+					hits++
+				}
+			}
+			if hits < 15 {
+				t.Fatalf("%s: only %d/20 repeat queries hit the index", backend, hits)
+			}
+		})
+	}
+}
+
+func TestJoinPropagatesMembership(t *testing.T) {
+	tr := transport.NewMemory()
+	cfg := testConfig()
+	seed, err := New(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	cfg2 := cfg
+	cfg2.Seed = seed.Addr()
+	a, err := New(tr, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(tr, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// a joined before b existed; the seed's forwarding must deliver b's
+	// arrival to a without a ever talking to b.
+	waitFor(t, 5*time.Second, func() bool { return len(a.Members()) == 3 }, "join forwarding to earlier member")
+	waitFor(t, 5*time.Second, func() bool { return len(b.Members()) == 3 }, "joiner adopting full view")
+}
+
+func TestReportModelComparison(t *testing.T) {
+	c, err := NewCluster(transport.NewMemory(), 3, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for k := uint64(1); k <= 30; k++ {
+		c.Node(int(k)%3).Publish(k, k)
+	}
+	// A skewed workload: key k queried ~30/k times.
+	for k := uint64(1); k <= 30; k++ {
+		for q := uint64(0); q < 30/k; q++ {
+			c.Node(0).Query(k)
+		}
+	}
+	// The model needs at least one elapsed round for a finite fQry.
+	waitFor(t, 5*time.Second, func() bool { return c.Node(0).Report().Rounds >= 1 }, "round clock to advance")
+	r := c.Node(0).Report()
+	if r.Model == nil {
+		t.Fatalf("report carries no model comparison: %+v", r)
+	}
+	m := r.Model
+	if m.PredictedHitRate < 0 || m.PredictedHitRate > 1 || math.IsNaN(m.PredictedHitRate) {
+		t.Fatalf("predicted hit rate %v out of [0,1]", m.PredictedHitRate)
+	}
+	if m.PredictedIndexSize <= 0 || math.IsNaN(m.PredictedIndexSize) {
+		t.Fatalf("predicted index size %v must be positive", m.PredictedIndexSize)
+	}
+	if m.MeasuredHitRate != r.HitRate {
+		t.Fatalf("measured hit rate %v diverges from report %v", m.MeasuredHitRate, r.HitRate)
+	}
+	if m.Alpha <= 0 {
+		t.Fatalf("fitted alpha %v must be positive", m.Alpha)
+	}
+	// The rendered report must show the two operating points side by side.
+	s := r.String()
+	for _, want := range []string{"measured", "predicted", "hit rate", "index size"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered report lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Repl: -1},
+		{KeyTtl: -5},
+		{Capacity: -1},
+		{MaintainEnv: 2},
+	}
+	for _, cfg := range bad {
+		if _, err := New(transport.NewMemory(), cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := New(transport.NewMemory(), Config{Backend: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestCloseIsIdempotentAndStopsServing(t *testing.T) {
+	tr := transport.NewMemory()
+	nd, err := New(tr, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := nd.Addr()
+	if err := nd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Seed = addr
+	if _, err := New(tr, cfg); err == nil {
+		t.Fatal("joining a closed node succeeded")
+	}
+}

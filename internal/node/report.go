@@ -1,0 +1,175 @@
+package node
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdht/internal/model"
+	"pdht/internal/stats"
+	"pdht/internal/zipf"
+)
+
+// Report is a node's self-measurement: the live counterpart of the
+// simulator's sim.Result, with the analytical prediction alongside so a
+// deployment can see the paper's model and its own traffic on one line.
+type Report struct {
+	Addr    string
+	Members int
+	Rounds  int
+
+	// Query-path counters.
+	Queries, Hits, Misses         uint64
+	Broadcasts, BroadcastAnswered uint64
+	Inserts, Refreshes            uint64
+	Unanswered, RPCFailures       uint64
+
+	// HitRate is Hits/Queries — the measured pIndxd of eq. 14.
+	HitRate float64
+	// IndexedKeys is the number of live entries in this node's cache (the
+	// sweeper's gauge); StoredKeys the local content store size.
+	IndexedKeys int
+	StoredKeys  int
+	// Messages is the per-class message breakdown this node paid.
+	Messages map[stats.MsgClass]int64
+
+	// Model carries the SolveTTL prediction for a scenario fitted to the
+	// observed workload, nil when the node has not seen enough traffic
+	// (fewer than 2 members or no queries) to fit one.
+	Model *ModelComparison
+}
+
+// ModelComparison puts the measured operating point next to the analytical
+// model's, the live analogue of the paper's Figures 3–4 comparison.
+type ModelComparison struct {
+	// The fitted scenario: cluster size, observed distinct keys, the
+	// Zipf exponent max-likelihood-fitted to the node's own query
+	// counts (EstimateAlpha), and the measured per-peer query rate.
+	Peers        int
+	DistinctKeys int
+	Alpha        float64
+	FQry         float64
+	KeyTtl       float64
+	// PredictedHitRate is eq. 14's pIndxd; PredictedIndexSize eq. 15 —
+	// both evaluated at the fitted scenario.
+	PredictedHitRate   float64
+	PredictedIndexSize float64
+	// MeasuredHitRate repeats Report.HitRate; MeasuredIndexSize estimates
+	// the cluster-wide distinct indexed keys from this node's share
+	// (live entries × members ÷ repl).
+	MeasuredHitRate   float64
+	MeasuredIndexSize float64
+}
+
+// Report assembles the node's current self-measurement.
+func (n *Node) Report() Report {
+	n.mu.Lock()
+	members := len(n.view.members)
+	repl := n.view.repl
+	distinct := len(n.queryCounts)
+	counts := make([]int, 0, distinct)
+	for _, c := range n.queryCounts {
+		counts = append(counts, int(c))
+	}
+	stored := len(n.store)
+	live := n.cache.Live(n.now())
+	n.mu.Unlock()
+
+	r := Report{
+		Addr:              n.cfg.Addr,
+		Members:           members,
+		Rounds:            n.now(),
+		Queries:           n.queries.Load(),
+		Hits:              n.hits.Load(),
+		Misses:            n.misses.Load(),
+		Broadcasts:        n.broadcasts.Load(),
+		BroadcastAnswered: n.broadcastAnswered.Load(),
+		Inserts:           n.inserts.Load(),
+		Refreshes:         n.refreshes.Load(),
+		Unanswered:        n.unanswered.Load(),
+		RPCFailures:       n.rpcFailures.Load(),
+		IndexedKeys:       live,
+		StoredKeys:        stored,
+		Messages:          n.counters.Snapshot(),
+	}
+	if r.Queries > 0 {
+		r.HitRate = float64(r.Hits) / float64(r.Queries)
+	}
+	r.Model = n.modelComparison(r, members, repl, distinct, counts)
+	return r
+}
+
+// modelComparison fits the paper's scenario to the observed workload and
+// evaluates SolveTTL at it. Returns nil when the model would be ill-posed.
+func (n *Node) modelComparison(r Report, members, repl, distinct int, counts []int) *ModelComparison {
+	if members < 2 || r.Queries == 0 || distinct == 0 || r.Rounds == 0 {
+		return nil
+	}
+	alpha, err := zipf.EstimateAlpha(counts, distinct)
+	if err != nil {
+		alpha = 1.2 // the paper's literature constant [Srip01]
+	}
+	p := model.Params{
+		NumPeers: members,
+		Keys:     distinct,
+		Stor:     n.cfg.Capacity,
+		Repl:     repl,
+		Alpha:    alpha,
+		// This node's rate stands in for the per-peer average: every
+		// peer of the paper's scenario queries at the same rate.
+		FQry: float64(r.Queries) / float64(r.Rounds),
+		FUpd: 0,
+		Env:  n.cfg.MaintainEnv,
+		Dup:  1.8,
+		Dup2: 1.8,
+	}
+	sol, err := model.SolveTTL(p, nil, float64(n.cfg.KeyTtl))
+	if err != nil {
+		return nil
+	}
+	return &ModelComparison{
+		Peers:              members,
+		DistinctKeys:       distinct,
+		Alpha:              alpha,
+		FQry:               p.FQry,
+		KeyTtl:             sol.KeyTtl,
+		PredictedHitRate:   sol.PIndxd,
+		PredictedIndexSize: sol.IndexSize,
+		MeasuredHitRate:    r.HitRate,
+		MeasuredIndexSize:  float64(r.IndexedKeys) * float64(members) / float64(repl),
+	}
+}
+
+// String renders the report as the multi-line status block the CLI prints.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "node %s: %d members, round %d\n", r.Addr, r.Members, r.Rounds)
+	fmt.Fprintf(&b, "  queries %d  hits %d  misses %d  hit-rate %.1f%%\n",
+		r.Queries, r.Hits, r.Misses, 100*r.HitRate)
+	fmt.Fprintf(&b, "  broadcasts %d (answered %d)  inserts %d  refreshes %d  unanswered %d  rpc-failures %d\n",
+		r.Broadcasts, r.BroadcastAnswered, r.Inserts, r.Refreshes, r.Unanswered, r.RPCFailures)
+	fmt.Fprintf(&b, "  index entries %d  published keys %d\n", r.IndexedKeys, r.StoredKeys)
+	classes := make([]stats.MsgClass, 0, len(r.Messages))
+	for c := range r.Messages {
+		if r.Messages[c] > 0 {
+			classes = append(classes, c)
+		}
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	if len(classes) > 0 {
+		b.WriteString("  messages:")
+		for _, c := range classes {
+			fmt.Fprintf(&b, " %s=%d", c, r.Messages[c])
+		}
+		b.WriteByte('\n')
+	}
+	if m := r.Model; m != nil {
+		fmt.Fprintf(&b, "  model (SolveTTL @ %d peers, %d keys, α=%.2f, fQry=%.3g, keyTtl=%.0f):\n",
+			m.Peers, m.DistinctKeys, m.Alpha, m.FQry, m.KeyTtl)
+		fmt.Fprintf(&b, "    hit rate: measured %.1f%% vs predicted %.1f%%\n",
+			100*m.MeasuredHitRate, 100*m.PredictedHitRate)
+		fmt.Fprintf(&b, "    index size: measured ≈%.0f keys vs predicted %.0f keys\n",
+			m.MeasuredIndexSize, m.PredictedIndexSize)
+	}
+	return b.String()
+}

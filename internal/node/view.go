@@ -1,0 +1,147 @@
+// Package node is the live peer: the paper's selection algorithm
+// (StrategyPartialTTL — query the index, broadcast on a miss, insert the
+// result with keyTtl, refresh on a hit) executed over a real transport
+// instead of simulated rounds.
+//
+// Each Node serves five RPCs (Join/Query/Insert/Refresh/Broadcast, see
+// internal/transport), keeps a TTL index cache (core.Cache) for the key
+// range it is responsible for, a local content store standing in for the
+// unstructured network's content, and a membership view over which it runs
+// a real structured-overlay instance (internal/dht's trie, ring or
+// Kademlia) to decide responsibility and replica placement — the same
+// routing structures the simulator uses, now consulted per live query.
+//
+// Rounds: the paper's clock unit (one round = one second) maps to a
+// configurable RoundDuration. TTLs cross the wire in rounds, so a cluster
+// agrees on expiry behavior as long as its nodes share a RoundDuration —
+// tests shrink it to milliseconds to exercise expiry quickly.
+package node
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"sort"
+	"strings"
+
+	"pdht/internal/dht"
+	"pdht/internal/keyspace"
+	"pdht/internal/netsim"
+)
+
+// Backend selects which structured overlay the membership view runs.
+type Backend string
+
+const (
+	// BackendRing is the Chord-style ring — the default: responsibility
+	// is fully deterministic in the membership list, so every node with
+	// the same view computes identical replica groups.
+	BackendRing Backend = "ring"
+	// BackendTrie is the P-Grid-style binary trie.
+	BackendTrie Backend = "trie"
+	// BackendKademlia is the XOR-metric overlay.
+	BackendKademlia Backend = "kademlia"
+)
+
+// view is a node's local instance of the structured overlay, built over the
+// current membership list. Every member maps to a deterministic
+// netsim.PeerID (its rank in the sorted address list) and the backend is
+// constructed with an rng seeded from the membership itself, so two nodes
+// sharing a view agree on replica groups without exchanging routing state.
+//
+// Routing happens locally — the view walks its own finger/trie/bucket
+// tables and reports the hop count the lookup would have cost (the
+// measured cSIndx of eq. 7) — and only the terminal RPC to the responsible
+// peer crosses the wire. This is the standard client-side-routing
+// compromise: full iterative routing would make every hop a real message
+// without changing which peer answers.
+type view struct {
+	members []string // sorted, includes self
+	rank    map[string]netsim.PeerID
+	net     *netsim.Network
+	idx     dht.Index
+	rng     *rand.Rand
+	repl    int // effective replication (clamped to cluster size)
+}
+
+// viewSeed derives the shared rng seed from the membership list.
+func viewSeed(members []string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(strings.Join(members, "\n")))
+	return h.Sum64()
+}
+
+// buildView constructs the overlay over members. repl is clamped to the
+// cluster size — a 2-node cluster cannot hold 3 replicas.
+func buildView(members []string, backend Backend, repl int, env float64) (*view, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("node: view needs at least one member")
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	if repl > len(sorted) {
+		repl = len(sorted)
+	}
+	if repl < 1 {
+		repl = 1
+	}
+	v := &view{
+		members: sorted,
+		rank:    make(map[string]netsim.PeerID, len(sorted)),
+		net:     netsim.New(len(sorted)),
+		rng:     rand.New(rand.NewPCG(viewSeed(sorted), 0x9e3779b97f4a7c15)),
+		repl:    repl,
+	}
+	active := make([]netsim.PeerID, len(sorted))
+	for i, addr := range sorted {
+		v.rank[addr] = netsim.PeerID(i)
+		active[i] = netsim.PeerID(i)
+	}
+	var err error
+	switch backend {
+	case BackendRing, "":
+		v.idx, err = dht.NewRing(v.net, active, dht.RingConfig{Repl: repl, Env: env}, v.rng)
+	case BackendTrie:
+		v.idx, err = dht.NewTrie(v.net, active, dht.TrieConfig{GroupSize: repl, Env: env}, v.rng)
+	case BackendKademlia:
+		v.idx, err = dht.NewKademlia(v.net, active, dht.KademliaConfig{K: repl, Env: env}, v.rng)
+	default:
+		return nil, fmt.Errorf("node: unknown backend %q", backend)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// route resolves the responsible member for key starting from the member
+// at from, returning the address and the hop count the lookup cost.
+func (v *view) route(from string, key keyspace.Key) (addr string, hops int, ok bool) {
+	pid, known := v.rank[from]
+	if !known {
+		return "", 0, false
+	}
+	rt := v.idx.Route(pid, key, v.rng)
+	if !rt.OK {
+		return "", rt.Hops, false
+	}
+	return v.members[rt.Responsible], rt.Hops, true
+}
+
+// replicas returns the addresses of key's replica group, responsible-peer
+// ordering preserved. The slice is freshly allocated — callers hold it
+// across lock boundaries.
+func (v *view) replicas(key keyspace.Key) []string {
+	group := v.idx.ReplicaGroup(key)
+	out := make([]string, len(group))
+	for i, p := range group {
+		out[i] = v.members[p]
+	}
+	return out
+}
+
+// maintain runs one round of routing-table probing on the local overlay
+// instance and reports its cost.
+func (v *view) maintain() dht.MaintenanceStats {
+	return v.idx.Maintain(v.rng)
+}

@@ -1,0 +1,253 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP is the socket transport: length-prefixed JSON frames (wire.go) over
+// one TCP connection per dialed peer. Concurrent Calls from any number of
+// goroutines are multiplexed on that connection and matched back to their
+// callers by frame ID, so a slow request does not block an unrelated one.
+type TCP struct {
+	// Dialer customizes outbound connections (timeouts, local address).
+	// The zero value is ready to use.
+	Dialer net.Dialer
+}
+
+// NewTCP returns the socket transport.
+func NewTCP() *TCP { return &TCP{} }
+
+// Serve binds addr ("" means "127.0.0.1:0") and serves connections until
+// Close. Each accepted connection gets a reader goroutine; each request on
+// it gets a handler goroutine, so handlers may themselves issue outbound
+// Calls without deadlocking the connection.
+func (t *TCP) Serve(addr string, h Handler) (Server, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler")
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &tcpServer{ln: ln, handler: h, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// defaultDialTimeout bounds Dial when the Dialer has no timeout of its
+// own: a SYN-blackholed peer must fail in seconds, not the OS connect
+// timeout (minutes), because callers treat a dial failure as "peer did not
+// answer" and fall back.
+const defaultDialTimeout = 5 * time.Second
+
+// Dial connects to addr. The connection is established eagerly so that a
+// dead peer surfaces here rather than at the first Call.
+func (t *TCP) Dial(addr string) (Client, error) {
+	d := t.Dialer
+	if d.Timeout == 0 {
+		d.Timeout = defaultDialTimeout
+	}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	c := &tcpClient{conn: conn, pending: make(map[uint64]chan Response)}
+	go c.readLoop()
+	return c, nil
+}
+
+// tcpServer is one listening endpoint.
+type tcpServer struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+}
+
+func (s *tcpServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *tcpServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn reads frames off one connection and dispatches each request to
+// its own goroutine. Responses are written under a per-connection mutex so
+// concurrent handlers cannot interleave frames.
+func (s *tcpServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return // EOF, reset, or garbage: drop the connection
+		}
+		if f.Req == nil {
+			continue // not a request; a confused peer, ignore
+		}
+		s.wg.Add(1)
+		go func(f frame) {
+			defer s.wg.Done()
+			resp := s.handler(*f.Req)
+			writeMu.Lock()
+			err := writeFrame(conn, frame{ID: f.ID, Resp: &resp})
+			writeMu.Unlock()
+			if err != nil {
+				conn.Close() // peer gone; reader loop will exit
+			}
+		}(f)
+	}
+}
+
+// Close stops accepting, closes open connections, and waits for in-flight
+// handlers to return.
+func (s *tcpServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// tcpClient multiplexes calls over one connection.
+type tcpClient struct {
+	conn    net.Conn
+	writeMu sync.Mutex // serializes writeFrame
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan Response
+	err     error // terminal error, set once the read loop exits
+}
+
+// readLoop routes response frames to their waiting callers. On connection
+// death every outstanding and future call fails with the terminal error.
+func (c *tcpClient) readLoop() {
+	for {
+		f, err := readFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrUnreachable, err))
+			return
+		}
+		if f.Resp == nil {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.ID]
+		delete(c.pending, f.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- *f.Resp // buffered; never blocks
+		}
+	}
+}
+
+// fail marks the client dead and unblocks every waiter.
+func (c *tcpClient) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan Response)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+func (c *tcpClient) Call(ctx context.Context, req Request) (Response, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return Response{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan Response, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, frame{ID: id, Req: &req})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		c.fail(fmt.Errorf("%w: %v", ErrUnreachable, err))
+		return Response{}, ErrUnreachable
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return Response{}, err
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return Response{}, ctx.Err()
+	}
+}
+
+// Close tears the connection down; outstanding calls fail.
+func (c *tcpClient) Close() error {
+	err := c.conn.Close()
+	c.fail(ErrClosed)
+	return err
+}

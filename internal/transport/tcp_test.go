@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTCPSlowRequestDoesNotBlockFastOne verifies the multiplexing claim:
+// two calls share one connection, the first is slow, and the second must
+// complete before the first does.
+func TestTCPSlowRequestDoesNotBlockFastOne(t *testing.T) {
+	tr := NewTCP()
+	release := make(chan struct{})
+	srv, err := tr.Serve("", func(req Request) Response {
+		if req.Op == OpBroadcast { // the designated slow op
+			<-release
+		}
+		return Response{OK: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := tr.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := cl.Call(context.Background(), Request{Op: OpBroadcast})
+		slowDone <- err
+	}()
+	// The fast call must finish while the slow one is still parked.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cl.Call(ctx, Request{Op: OpQuery}); err != nil {
+		t.Fatalf("fast call blocked behind slow one: %v", err)
+	}
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow call: %v", err)
+	}
+}
+
+// TestTCPContextCancel checks a caller can abandon a call that the server
+// will never answer, and the client remains usable afterwards.
+func TestTCPContextCancel(t *testing.T) {
+	tr := NewTCP()
+	var hang atomic.Bool
+	hang.Store(true)
+	release := make(chan struct{})
+	srv, err := tr.Serve("", func(req Request) Response {
+		if hang.Load() {
+			<-release
+		}
+		return Response{OK: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(release)
+	cl, err := tr.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Call(ctx, Request{Op: OpQuery}); err == nil {
+		t.Fatal("call outlived its context")
+	}
+	hang.Store(false)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if _, err := cl.Call(ctx2, Request{Op: OpQuery}); err != nil {
+		t.Fatalf("client unusable after a canceled call: %v", err)
+	}
+}
+
+// TestTCPGarbageConnection feeds the server raw garbage and checks it
+// drops the connection without taking the endpoint down.
+func TestTCPGarbageConnection(t *testing.T) {
+	tr := NewTCP()
+	srv, err := tr.Serve("", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oversized length prefix followed by junk.
+	raw.Write([]byte{0xff, 0xff, 0xff, 0xff, 'j', 'u', 'n', 'k'})
+	raw.Close()
+
+	// The endpoint must still serve well-formed clients.
+	cl, err := tr.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cl.Call(ctx, Request{Op: OpQuery, Key: 1}); err != nil {
+		t.Fatalf("endpoint died after garbage connection: %v", err)
+	}
+}
+
+// TestTCPDialUnreachable checks eager dialing reports a dead address.
+func TestTCPDialUnreachable(t *testing.T) {
+	tr := NewTCP()
+	tr.Dialer.Timeout = 2 * time.Second
+	// Bind-then-close yields a port that is very likely unbound.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := tr.Dial(addr); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoHandler answers every request with a response derived from it, so a
+// test can verify the response reached the right caller.
+func echoHandler(req Request) Response {
+	return Response{OK: true, Found: req.Op == OpQuery, Value: req.Key + 1}
+}
+
+// transports enumerates the implementations under test. Every behavior in
+// this file must hold for both.
+func transports(t *testing.T) map[string]Transport {
+	t.Helper()
+	return map[string]Transport{
+		"memory": NewMemory(),
+		"tcp":    NewTCP(),
+	}
+}
+
+func TestCallRoundtrip(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			srv, err := tr.Serve("", echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			cl, err := tr.Dial(srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			resp, err := cl.Call(context.Background(), Request{Op: OpQuery, Key: 41})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resp.OK || !resp.Found || resp.Value != 42 {
+				t.Fatalf("resp = %+v, want OK found value 42", resp)
+			}
+		})
+	}
+}
+
+// TestConcurrentCallsCorrelate drives many goroutines through one client
+// and checks every caller gets its own answer — the request/response
+// correlation the TCP mux exists for. Run with -race in CI.
+func TestConcurrentCallsCorrelate(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			srv, err := tr.Serve("", echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			cl, err := tr.Dial(srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+
+			const callers, callsEach = 16, 50
+			var wg sync.WaitGroup
+			errs := make(chan error, callers)
+			for g := 0; g < callers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < callsEach; i++ {
+						key := uint64(g*1000 + i)
+						resp, err := cl.Call(context.Background(), Request{Op: OpQuery, Key: key})
+						if err != nil {
+							errs <- err
+							return
+						}
+						if resp.Value != key+1 {
+							errs <- fmt.Errorf("caller %d: got value %d for key %d", g, resp.Value, key)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUnreachablePeer(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			srv, err := tr.Serve("", echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr := srv.Addr()
+			cl, err := tr.Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			if _, err := cl.Call(context.Background(), Request{Op: OpQuery}); err != nil {
+				t.Fatalf("call before close: %v", err)
+			}
+			srv.Close()
+			// The established client must observe the peer's death.
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if _, err := cl.Call(ctx, Request{Op: OpQuery}); err == nil {
+				t.Fatal("call to closed endpoint succeeded")
+			}
+			// A fresh dial+call must fail too (memory dials lazily, so
+			// the error may surface at Call instead of Dial).
+			if cl2, err := tr.Dial(addr); err == nil {
+				ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel2()
+				if _, err := cl2.Call(ctx2, Request{Op: OpQuery}); err == nil {
+					t.Fatal("dial+call to closed endpoint succeeded")
+				}
+				cl2.Close()
+			}
+		})
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			srv, err := tr.Serve("", echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			cl, err := tr.Dial(srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl.Close()
+			if _, err := cl.Call(context.Background(), Request{Op: OpQuery}); err == nil {
+				t.Fatal("call on closed client succeeded")
+			}
+		})
+	}
+}
+
+func TestServeRejectsNilHandler(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := tr.Serve("", nil); err == nil {
+				t.Fatal("Serve(nil handler) succeeded")
+			}
+		})
+	}
+}
+
+func TestMemoryAddressCollision(t *testing.T) {
+	m := NewMemory()
+	srv, err := m.Serve("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Serve("a", echoHandler); err == nil {
+		t.Fatal("second Serve on same address succeeded")
+	}
+	// After closing, the name is free again — churn restart semantics.
+	srv.Close()
+	if _, err := m.Serve("a", echoHandler); err != nil {
+		t.Fatalf("Serve after Close: %v", err)
+	}
+}
+
+func TestMemoryIsolation(t *testing.T) {
+	m1, m2 := NewMemory(), NewMemory()
+	srv, err := m1.Serve("shared", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := m2.Dial("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Call(context.Background(), Request{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("cross-network call: err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := frame{ID: 7, Req: &Request{Op: OpInsert, From: "n1", Key: 9, Value: 10, TTL: 30}}
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 7 || out.Resp != nil || out.Req == nil || *out.Req != *in.Req {
+		t.Fatalf("roundtrip: got %+v", out)
+	}
+}
+
+func TestFrameLengthGuard(t *testing.T) {
+	// A length prefix claiming 512 MiB must be rejected before any
+	// allocation, not trusted.
+	hostile := []byte{0x20, 0x00, 0x00, 0x00}
+	if _, err := readFrame(bytes.NewReader(hostile)); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Op identifies what a request asks the receiving node to do. The five
+// operations are the RPC surface of the selection algorithm (§5.1): joining
+// the overlay, searching the index at a responsible peer, inserting a
+// resolved key with its expiration time, refreshing the expiration time on
+// a hit, and the unstructured broadcast fallback.
+type Op uint8
+
+const (
+	// OpJoin announces a node to the cluster. From carries the joiner's
+	// address; the response returns the responder's full membership view.
+	OpJoin Op = iota + 1
+	// OpQuery asks a responsible peer whether Key is live in its index
+	// cache. Found/Value report the outcome; the entry's TTL is NOT
+	// reset — the querier follows up with OpRefresh, making the paper's
+	// reset-on-hit rule an explicit, countable message.
+	OpQuery
+	// OpInsert installs Key→Value with TTL rounds of lifetime in the
+	// receiver's index cache — the insert leg after a broadcast success.
+	OpInsert
+	// OpRefresh resets the expiration time of a live entry to TTL rounds
+	// from now — the reset-on-hit rule of §5.1.
+	OpRefresh
+	// OpBroadcast asks a peer whether it can answer Key from its local
+	// content store — one message of the unstructured search (cSUnstr).
+	OpBroadcast
+)
+
+// String returns the short label used in logs and errors.
+func (o Op) String() string {
+	switch o {
+	case OpJoin:
+		return "join"
+	case OpQuery:
+		return "query"
+	case OpInsert:
+		return "insert"
+	case OpRefresh:
+		return "refresh"
+	case OpBroadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Request is the wire envelope of one call. One struct covers all five
+// operations — fields unused by an op are zero and omitted from the
+// encoding — because the cost of a per-op type hierarchy outweighs five
+// optional fields.
+type Request struct {
+	Op   Op     `json:"op"`
+	From string `json:"from,omitempty"` // sender's own listen address
+	// Forward asks a Join receiver to re-announce the joiner to the
+	// members it already knows. The re-announcements are sent with
+	// Forward=false, which bounds the propagation at one hop.
+	Forward bool   `json:"forward,omitempty"`
+	Key     uint64 `json:"key,omitempty"`
+	Value   uint64 `json:"value,omitempty"`
+	// TTL is the entry lifetime in rounds for OpInsert/OpRefresh.
+	TTL int `json:"ttl,omitempty"`
+}
+
+// Response is the wire envelope of one reply.
+type Response struct {
+	// OK reports that the operation was accepted (an insert stored, a
+	// refresh found a live entry, a join was recorded).
+	OK bool `json:"ok,omitempty"`
+	// Found and Value report a successful OpQuery or OpBroadcast.
+	Found bool   `json:"found,omitempty"`
+	Value uint64 `json:"value,omitempty"`
+	// Peers is the responder's membership view, returned on OpJoin so the
+	// joiner can adopt it.
+	Peers []string `json:"peers,omitempty"`
+	// Err carries an application-level failure (malformed request,
+	// unknown op). Transport-level failures never appear here.
+	Err string `json:"err,omitempty"`
+}
+
+// frame is the unit the TCP codec moves: a correlation ID plus either a
+// request (client→server) or a response (server→client).
+type frame struct {
+	ID   uint64    `json:"id"`
+	Req  *Request  `json:"req,omitempty"`
+	Resp *Response `json:"resp,omitempty"`
+}
+
+// maxFrameSize bounds a frame body so a corrupt or hostile length prefix
+// cannot ask for gigabytes. Responses carry at most a membership list;
+// 1 MiB is three orders of magnitude above any legitimate frame.
+const maxFrameSize = 1 << 20
+
+// writeFrame encodes f as a 4-byte big-endian length prefix followed by the
+// JSON body. The caller serializes writes to w.
+func writeFrame(w io.Writer, f frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("transport: encode frame: %w", err)
+	}
+	if len(body) > maxFrameSize {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", len(body), maxFrameSize)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame from r.
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return frame{}, fmt.Errorf("transport: frame length %d exceeds limit %d", n, maxFrameSize)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, err
+	}
+	var f frame
+	if err := json.Unmarshal(body, &f); err != nil {
+		return frame{}, fmt.Errorf("transport: decode frame: %w", err)
+	}
+	return f, nil
+}
