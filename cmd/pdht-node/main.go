@@ -1,10 +1,11 @@
 // Command pdht-node runs one live peer of the query-adaptive partial DHT:
-// it serves the Join/Query/Insert/Refresh/Broadcast RPCs over TCP, joins an
-// existing cluster through a seed peer, publishes synthetic news articles
-// as local content, and answers metadata queries in the paper's
-// element=value AND element=value syntax with the §5.1 selection algorithm
-// (index search → broadcast on a miss → insert with keyTtl → refresh on a
-// hit).
+// it serves the Query/Insert/Refresh/Broadcast/Gossip RPCs over TCP,
+// bootstraps SWIM gossip membership through a seed peer (and from then on
+// detects crashes, evicts dead peers and hands off moved index keys on its
+// own), publishes synthetic news articles as local content, and answers
+// metadata queries in the paper's element=value AND element=value syntax
+// with the §5.1 selection algorithm (index search → broadcast on a miss →
+// insert with keyTtl → refresh on a hit).
 //
 // Start a 3-node cluster on one machine:
 //
@@ -56,6 +57,10 @@ func run(args []string, out io.Writer) error {
 		publishSeed = fs.Uint64("publish-seed", 1, "corpus generator seed")
 		query       = fs.String("query", "", "answer one ParseQuery-syntax query, print the report, exit")
 		report      = fs.Duration("report", 30*time.Second, "status report interval while serving")
+		gossipEvery = fs.Duration("gossip-interval", 0, "SWIM membership protocol period (0: one round)")
+		suspicion   = fs.Duration("suspicion", 0, "how long an unresponsive peer stays suspect before eviction (0: 4× gossip interval)")
+		syncEvery   = fs.Duration("sync-interval", 0, "anti-entropy full-state exchange period (0: 4× gossip interval)")
+		members     = fs.Bool("members", false, "print the live membership table with each report")
 		demo        = fs.Bool("demo", false, "run the 3-node TCP-loopback demonstration and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,6 +81,9 @@ func run(args []string, out io.Writer) error {
 	cfg.KeyTtl = *keyTtl
 	cfg.Capacity = *capacity
 	cfg.RoundDuration = *round
+	cfg.GossipInterval = *gossipEvery
+	cfg.SuspicionTimeout = *suspicion
+	cfg.SyncInterval = *syncEvery
 
 	nd, err := node.New(transport.NewTCP(), cfg)
 	if err != nil {
@@ -102,14 +110,30 @@ func run(args []string, out io.Writer) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	tick := time.NewTicker(*report)
 	defer tick.Stop()
+	status := func() {
+		fmt.Fprint(out, nd.Report())
+		if *members {
+			printMembers(out, nd)
+		}
+	}
 	for {
 		select {
 		case <-sig:
-			fmt.Fprint(out, nd.Report())
+			status()
 			return nil
 		case <-tick.C:
-			fmt.Fprint(out, nd.Report())
+			status()
 		}
+	}
+}
+
+// printMembers renders the live membership/status table: every peer the
+// gossip layer has ever heard of, its health, and the incarnation that
+// orders conflicting claims about it.
+func printMembers(out io.Writer, nd *node.Node) {
+	fmt.Fprintf(out, "membership of %s (view v%d):\n", nd.Addr(), nd.ViewVersion())
+	for _, m := range nd.Membership() {
+		fmt.Fprintf(out, "  %-28s %-8s incarnation %d\n", m.Addr, m.Status, m.Incarnation)
 	}
 }
 

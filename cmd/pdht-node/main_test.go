@@ -71,6 +71,8 @@ func TestQueryFlagAgainstRunningSeed(t *testing.T) {
 	err = run([]string{
 		"-seed", seed.Addr(),
 		"-round", "100ms",
+		"-gossip-interval", "20ms",
+		"-suspicion", "100ms",
 		"-query", text,
 	}, &buf)
 	if err != nil {
@@ -85,6 +87,11 @@ func TestQueryFlagAgainstRunningSeed(t *testing.T) {
 	}
 	if !strings.Contains(out, "queries 1") {
 		t.Fatalf("report not printed:\n%s", out)
+	}
+	// The report's membership line is the status view: both peers of the
+	// 2-node cluster must appear alive.
+	if !strings.Contains(out, "membership:") || !strings.Contains(out, seed.Addr()+"=alive") {
+		t.Fatalf("report lacks the membership status view:\n%s", out)
 	}
 }
 

@@ -159,6 +159,33 @@ func (c *Cache) Keys(now int) []keyspace.Key {
 	return out
 }
 
+// Entry is one live cache row as Entries snapshots it: the key, its value,
+// and the round it lapses.
+type Entry struct {
+	Key     keyspace.Key
+	Value   Value
+	Expires int
+}
+
+// Entries returns a snapshot of all unexpired entries at round now,
+// collecting expired ones. Order is unspecified. This is the handoff and
+// reporting surface: a caller that needs keys *with* their remaining
+// lifetimes takes one consistent snapshot here instead of interleaving
+// Keys with per-key Expires lookups that the expiry sweeper could race.
+// Re-inserting a snapshot entry elsewhere with TTL = Expires−now preserves
+// the paper's expiry semantics across the transfer.
+func (c *Cache) Entries(now int) []Entry {
+	out := make([]Entry, 0, len(c.entries))
+	for k, e := range c.entries {
+		if e.expires <= now {
+			delete(c.entries, k)
+			continue
+		}
+		out = append(out, Entry{Key: k, Value: e.value, Expires: e.expires})
+	}
+	return out
+}
+
 // Expires returns the expiry round of a live entry, with ok=false when the
 // key is absent or expired.
 func (c *Cache) Expires(key keyspace.Key, now int) (int, bool) {

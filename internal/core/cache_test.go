@@ -191,3 +191,45 @@ func TestCacheInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEntriesSnapshotPreservesTTLAcrossReinsert is the handoff contract: a
+// snapshot taken with Entries, re-inserted into another cache with each
+// entry's remaining TTL, must reproduce the original expiry rounds — the
+// paper's expiry semantics survive a key transfer between peers.
+func TestEntriesSnapshotPreservesTTLAcrossReinsert(t *testing.T) {
+	src, _ := NewCache(8)
+	now := 100
+	src.Put(k("a"), 1, now+5, now)
+	src.Put(k("b"), 2, now+50, now)
+	src.Put(k("c"), 3, now+2, now)
+	src.Put(k("dead"), 4, now+1, now)
+
+	later := now + 1 // "dead" lapses here
+	snap := src.Entries(later)
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3 (expired entry must be collected)", len(snap))
+	}
+
+	dst, _ := NewCache(8)
+	for _, e := range snap {
+		// The receiving peer computes its own expiry from the remaining
+		// TTL, exactly like an OpInsert with TTL = Expires−now.
+		if !dst.Put(e.Key, e.Value, later+(e.Expires-later), later) {
+			t.Fatalf("re-insert of %v rejected", e.Key)
+		}
+	}
+	for _, e := range snap {
+		exp, ok := dst.Expires(e.Key, later)
+		if !ok || exp != e.Expires {
+			t.Fatalf("key %v expires at %d after round trip, want %d", e.Key, exp, e.Expires)
+		}
+		v, ok := dst.Get(e.Key, later)
+		if !ok || v != e.Value {
+			t.Fatalf("key %v = %v after round trip, want %v", e.Key, v, e.Value)
+		}
+	}
+	// And the snapshot itself must not have disturbed the source.
+	if got := src.Live(later); got != 3 {
+		t.Fatalf("source has %d live entries after snapshot, want 3", got)
+	}
+}

@@ -1,0 +1,40 @@
+package gossip
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pdht/internal/transport"
+)
+
+// BenchmarkGossipRound measures one protocol period — piggyback selection,
+// the direct probe, and the reply merge — against an instantly-acking
+// peer, over growing membership tables. This is the steady-state cost the
+// membership layer adds per ProbeInterval, the baseline future protocol
+// changes are compared against.
+func BenchmarkGossipRound(b *testing.B) {
+	for _, n := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("members=%d", n), func(b *testing.B) {
+			ack := func(ctx context.Context, addr string, msg transport.Gossip) (transport.Gossip, bool, error) {
+				return transport.Gossip{Kind: transport.GossipAck, From: addr}, true, nil
+			}
+			s, err := New(Config{Addr: "self"}, ack)
+			if err != nil {
+				b.Fatal(err)
+			}
+			updates := make([]transport.PeerState, 0, n)
+			for i := 0; i < n; i++ {
+				updates = append(updates, transport.PeerState{
+					Addr: fmt.Sprintf("m%d", i), Status: uint8(StatusAlive), Incarnation: 1,
+				})
+			}
+			s.merge(updates)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.probeRound()
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"pdht/internal/core"
 	"pdht/internal/keyspace"
 	"pdht/internal/transport"
 )
@@ -17,25 +18,17 @@ func benchCluster(b *testing.B, capacity int) *Cluster {
 	cfg.RoundDuration = time.Second
 	cfg.KeyTtl = 1 << 20
 	cfg.Capacity = capacity
+	// Membership beats fast so boot converges quickly; one second of
+	// round has nothing to do with how often the failure detector ticks.
+	cfg.GossipInterval = 10 * time.Millisecond
 	c, err := NewCluster(transport.NewMemory(), 3, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		full := true
-		for i := 0; i < c.Size(); i++ {
-			if len(c.Node(i).Members()) != 3 {
-				full = false
-			}
-		}
-		if full {
-			return c
-		}
-		time.Sleep(time.Millisecond)
+	if err := c.WaitConverged(5 * time.Second); err != nil {
+		b.Fatal(err)
 	}
-	b.Fatal("cluster never reached full membership")
-	return nil
+	return c
 }
 
 // BenchmarkNodeQuery measures the live serve path — the node-level
@@ -81,4 +74,53 @@ func BenchmarkNodeQuery(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkHandoff measures the planning pass a view change triggers: for
+// every cached entry, recompute the replica group under the old and new
+// views and decide what this node owes whom. This is the membership
+// subsystem's burst cost — it runs once per confirmed change, over the
+// whole cache — so it lands with a baseline next to BenchmarkNodeQuery.
+// The pushes themselves are plain OpInserts, priced by the query
+// benchmarks.
+func BenchmarkHandoff(b *testing.B) {
+	members := make([]string, 6)
+	for i := range members {
+		members[i] = "node-" + strconv.Itoa(i)
+	}
+	old, err := buildView(members, BackendRing, 3, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	survivors := append(append([]string(nil), members[:3]...), members[4:]...)
+	next, err := buildView(survivors, BackendRing, 3, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{256, 4096} {
+		b.Run("entries="+strconv.Itoa(size), func(b *testing.B) {
+			entries := make([]core.Entry, size)
+			for i := range entries {
+				entries[i] = core.Entry{
+					Key:     keyspace.HashString("handoff-bench:" + strconv.Itoa(i)),
+					Value:   core.Value(i),
+					Expires: 1000,
+				}
+			}
+			// Sanity: the transition must actually move keys, from every
+			// survivor's standpoint collectively.
+			moved := 0
+			for _, self := range survivors {
+				moved += len(planHandoff(old, next, self, entries, 0))
+			}
+			if moved == 0 {
+				b.Fatal("view transition moved no keys; the benchmark is vacuous")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				planHandoff(old, next, survivors[i%len(survivors)], entries, 0)
+			}
+		})
+	}
 }

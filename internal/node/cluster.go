@@ -2,6 +2,8 @@ package node
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"pdht/internal/transport"
 )
@@ -88,6 +90,68 @@ func (c *Cluster) Restart(i int) error {
 	}
 	c.nodes[i] = nd
 	return nil
+}
+
+// LiveAddrs returns the sorted addresses of the currently live slots.
+func (c *Cluster) LiveAddrs() []string {
+	out := make([]string, 0, len(c.nodes))
+	for i, nd := range c.nodes {
+		if nd != nil {
+			out = append(out, c.addrs[i])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Converged reports whether every live node's membership view equals
+// exactly the set of live slots — dead peers evicted everywhere, joiners
+// adopted everywhere. This is the gossip layer's steady state; no
+// coordinator is consulted, only each node's own view.
+func (c *Cluster) Converged() bool {
+	want := c.LiveAddrs()
+	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
+		got := nd.Members()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WaitConverged polls Converged until it holds or the timeout passes —
+// the convergence barrier the churn tests and the CLI demo lean on. The
+// timeout is the caller's convergence bound: typically a small multiple
+// of the gossip interval plus the suspicion timeout.
+func (c *Cluster) WaitConverged(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		// Check before testing the deadline: a zero or overspent budget
+		// still succeeds when the cluster is already converged.
+		if c.Converged() {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	views := make(map[string][]string)
+	for i, nd := range c.nodes {
+		if nd != nil {
+			views[c.addrs[i]] = nd.Members()
+		}
+	}
+	return fmt.Errorf("node: cluster not converged after %v: live %v, views %v",
+		timeout, c.LiveAddrs(), views)
 }
 
 // PublishRoundRobin distributes keys across the live nodes' content

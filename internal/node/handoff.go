@@ -1,0 +1,123 @@
+package node
+
+import (
+	"slices"
+
+	"pdht/internal/core"
+	"pdht/internal/stats"
+	"pdht/internal/transport"
+)
+
+// Key handoff: when a confirmed membership change moves a key's replica
+// group, the entry must reach its new owners or the index silently loses
+// it — the next query pays a broadcast the paper's model doesn't predict,
+// and under sustained churn the partial index never reaches its
+// steady-state hit rate. DistHash-style active re-replication is the fix:
+// walk the local cache, recompute placement under the new view, and push
+// what moved.
+//
+// Invariants:
+//
+//   - Exactly-once planning, at-least-once effect: for each entry, the
+//     FIRST member of the old replica group that survived into the new
+//     view is the designated pusher. Every survivor evaluates the same
+//     deterministic rule against the same (old, new) view pair, so in the
+//     converged case one node pushes and the rest stay silent; while views
+//     are still settling, duplicate pushes are possible and harmless
+//     (inserts are idempotent, latest-expiry wins).
+//   - TTL preservation: entries travel with their REMAINING lifetime
+//     (expires − now, in rounds), not a fresh keyTtl. A key that was about
+//     to lapse still lapses on schedule at its new owner — the expiry
+//     semantics of §5.1 are membership-change invariant.
+//   - No deletion: the local copy is kept even when self left the group.
+//     It stops being probed under the new view, so it simply expires on
+//     schedule; dropping it early would lose data if the view flaps back.
+//   - Pushes carry ViewHash 0: a handoff is, by definition, a message
+//     between two sides of a view transition, so the stale-view guard
+//     must not apply.
+
+// handoffPush is one planned transfer: key→value to a new owner with its
+// remaining TTL.
+type handoffPush struct {
+	to    string
+	key   uint64
+	value uint64
+	ttl   int // remaining lifetime in rounds, ≥ 1
+}
+
+// planHandoff computes the pushes this node owes for a view transition.
+// Pure function of (old view, new view, self, cache snapshot) — every
+// surviving member of an entry's old group computes the same plan and the
+// designated-pusher rule leaves at most one of them responsible.
+func planHandoff(old, next *view, self string, entries []core.Entry, now int) []handoffPush {
+	var plan []handoffPush
+	for _, e := range entries {
+		ttl := e.Expires - now
+		if ttl < 1 {
+			continue // lapsed between snapshot and planning
+		}
+		oldGroup := old.replicas(e.Key)
+		pusher := ""
+		for _, a := range oldGroup {
+			if _, survived := next.rank[a]; survived {
+				pusher = a
+				break
+			}
+		}
+		if pusher != self {
+			// Either another survivor owns the push, or the whole old
+			// group died with the data (nothing anyone can do), or self
+			// holds a copy from an even older view — the current group
+			// members handle those keys.
+			continue
+		}
+		newGroup := next.replicas(e.Key)
+		for _, a := range newGroup {
+			if a == self || slices.Contains(oldGroup, a) {
+				continue
+			}
+			plan = append(plan, handoffPush{to: a, key: uint64(e.Key), value: uint64(e.Value), ttl: ttl})
+		}
+	}
+	return plan
+}
+
+// runHandoff executes the plan for one view transition. It runs on its own
+// goroutine (registered in n.handoffs before spawn): pushes are plain
+// inserts with the remaining TTL, so a lost push degrades to the pre-
+// handoff behavior — the key's next query misses and re-inserts. Pushes
+// are grouped by destination, and a destination is abandoned on its first
+// transport failure: a newcomer that crashed mid-transition costs one
+// failed call, not one CallTimeout per entry it was owed.
+func (n *Node) runHandoff(old, next *view, entries []core.Entry) {
+	defer n.handoffs.Done()
+	plan := planHandoff(old, next, n.cfg.Addr, entries, n.now())
+	dests := make([]string, 0, 4)
+	byDest := make(map[string][]handoffPush)
+	for _, p := range plan {
+		if _, seen := byDest[p.to]; !seen {
+			dests = append(dests, p.to)
+		}
+		byDest[p.to] = append(byDest[p.to], p)
+	}
+	for _, dest := range dests {
+		for _, p := range byDest[dest] {
+			select {
+			case <-n.stop:
+				return
+			default:
+			}
+			n.handoffMsgs.Add(1)
+			n.counters.Inc(stats.MsgControl)
+			resp, err := n.call(p.to, transport.Request{
+				Op: transport.OpInsert, Key: p.key, Value: p.value, TTL: p.ttl,
+			})
+			if err != nil {
+				break // unreachable; its keys degrade to broadcast-on-miss
+			}
+			if resp.OK {
+				n.handoffKeys.Add(1)
+			}
+		}
+	}
+}

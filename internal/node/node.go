@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pdht/internal/core"
+	"pdht/internal/gossip"
 	"pdht/internal/keyspace"
 	"pdht/internal/stats"
 	"pdht/internal/transport"
@@ -46,6 +47,18 @@ type Config struct {
 	// MaintainEnv is the per-entry per-round probe probability of the
 	// local overlay instance (the paper's env). Zero disables probing.
 	MaintainEnv float64
+	// GossipInterval is the SWIM protocol period of the membership layer
+	// (internal/gossip). Zero maps it onto one round — membership beats
+	// at the paper's clock unless tuned separately.
+	GossipInterval time.Duration
+	// SuspicionTimeout is how long an unresponsive peer may stay suspect
+	// before it is confirmed dead and evicted from the view. Zero means
+	// 4× GossipInterval.
+	SuspicionTimeout time.Duration
+	// SyncInterval is the anti-entropy period: how often full membership
+	// tables are exchanged with one random peer. Zero means 4×
+	// GossipInterval.
+	SyncInterval time.Duration
 }
 
 // DefaultConfig returns the configuration a live deployment starts from.
@@ -81,6 +94,15 @@ func (c *Config) setDefaults() {
 	if c.CallTimeout == 0 {
 		c.CallTimeout = 2 * time.Second
 	}
+	if c.GossipInterval == 0 {
+		c.GossipInterval = c.RoundDuration
+	}
+	if c.SuspicionTimeout == 0 {
+		c.SuspicionTimeout = 4 * c.GossipInterval
+	}
+	if c.SyncInterval == 0 {
+		c.SyncInterval = 4 * c.GossipInterval
+	}
 }
 
 func (c Config) validate() error {
@@ -95,22 +117,26 @@ func (c Config) validate() error {
 		return fmt.Errorf("node: negative RoundDuration")
 	case c.MaintainEnv < 0 || c.MaintainEnv > 1:
 		return fmt.Errorf("node: MaintainEnv %v must be a probability", c.MaintainEnv)
+	case c.GossipInterval < 0 || c.SuspicionTimeout < 0 || c.SyncInterval < 0:
+		return fmt.Errorf("node: negative gossip interval")
 	}
 	return nil
 }
 
 // Node is one live peer of the partial DHT.
 type Node struct {
-	cfg   Config
-	tr    transport.Transport
-	srv   transport.Server
-	epoch time.Time
+	cfg    Config
+	tr     transport.Transport
+	srv    transport.Server
+	epoch  time.Time
+	gossip *gossip.Service
 
 	// mu guards the mutable peer state: membership view, index cache,
 	// content store and per-key query counts. RPCs are never issued
 	// while holding it.
 	mu          sync.Mutex
 	view        *view
+	closing     bool // Close started; no new handoff goroutines
 	cache       *core.Cache
 	store       map[keyspace.Key]uint64
 	queryCounts map[keyspace.Key]uint64
@@ -123,16 +149,20 @@ type Node struct {
 	counters stats.Counters
 	queries, hits, misses, broadcasts,
 	broadcastAnswered, inserts, refreshes,
-	unanswered, rpcFailures atomic.Uint64
+	unanswered, rpcFailures, staleViews,
+	handoffKeys, handoffMsgs atomic.Uint64
 	indexSize atomic.Int64 // gauge, updated by the sweeper
 
 	stop      chan struct{}
 	done      sync.WaitGroup
+	handoffs  sync.WaitGroup // in-flight handoff pushers
 	closeOnce sync.Once
 }
 
-// New starts a node: it serves its RPC endpoint, joins the seed peer if one
-// is configured, and starts the background expiry sweeper.
+// New starts a node: it serves its RPC endpoint, bootstraps membership
+// from the seed peer if one is configured (one gossip full-state sync;
+// convergence follows over the protocol), and starts the membership loop
+// and the background expiry sweeper.
 func New(tr transport.Transport, cfg Config) (*Node, error) {
 	cfg.setDefaults()
 	if err := cfg.validate(); err != nil {
@@ -169,13 +199,33 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 	n.mu.Lock()
 	n.view = v
 	n.mu.Unlock()
+	g, err := gossip.New(gossip.Config{
+		Addr:             n.cfg.Addr,
+		ProbeInterval:    cfg.GossipInterval,
+		SuspicionTimeout: cfg.SuspicionTimeout,
+		SyncInterval:     cfg.SyncInterval,
+		OnChange:         n.applyMembership,
+	}, n.gossipCall)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	// Assigned under mu: the endpoint is already serving, and handle()
+	// checks readiness (view and gossip installed) under the same lock.
+	n.mu.Lock()
+	n.gossip = g
+	n.mu.Unlock()
 	if cfg.Seed != "" {
-		if err := n.join(cfg.Seed); err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.CallTimeout)
+		err := n.gossip.Join(ctx, cfg.Seed)
+		cancel()
+		if err != nil {
 			srv.Close()
 			n.closeClients() // join may have pooled a connection to the seed
-			return nil, err
+			return nil, fmt.Errorf("node: %w", err)
 		}
 	}
+	n.gossip.Start()
 	n.done.Add(1)
 	go n.sweeper()
 	return n, nil
@@ -190,13 +240,20 @@ func (n *Node) Config() Config { return n.cfg }
 // now is the node's round clock.
 func (n *Node) now() int { return int(time.Since(n.epoch) / n.cfg.RoundDuration) }
 
-// Close shuts the node down: the endpoint stops accepting, outbound
-// connections close, and the sweeper exits. Idempotent.
+// Close shuts the node down: the membership loop stops, the endpoint
+// stops accepting, in-flight handoff pushers finish (their remaining calls
+// fail fast once the pool closes), outbound connections close, and the
+// sweeper exits. Idempotent.
 func (n *Node) Close() error {
 	n.closeOnce.Do(func() {
+		n.mu.Lock()
+		n.closing = true // no new handoff goroutines from here on
+		n.mu.Unlock()
 		close(n.stop)
+		n.gossip.Stop()
 		n.srv.Close()
 		n.closeClients()
+		n.handoffs.Wait()
 	})
 	n.done.Wait()
 	return nil
@@ -204,54 +261,56 @@ func (n *Node) Close() error {
 
 // ---- membership ----
 
-// join announces this node to seed and adopts the membership view the seed
-// returns.
-func (n *Node) join(seed string) error {
-	resp, err := n.call(seed, transport.Request{
-		Op: transport.OpJoin, From: n.cfg.Addr, Forward: true,
+// gossipCall carries one membership-protocol message over the node's
+// pooled connections — the Caller internal/gossip is wired with.
+func (n *Node) gossipCall(ctx context.Context, addr string, msg transport.Gossip) (transport.Gossip, bool, error) {
+	n.counters.Inc(stats.MsgControl)
+	resp, err := n.callCtx(ctx, addr, transport.Request{
+		Op: transport.OpGossip, From: n.cfg.Addr, Gossip: &msg,
 	})
 	if err != nil {
-		return fmt.Errorf("node: join %s: %w", seed, err)
+		return transport.Gossip{}, false, err
 	}
 	if resp.Err != "" {
-		return fmt.Errorf("node: join %s: %s", seed, resp.Err)
+		return transport.Gossip{}, false, fmt.Errorf("node: gossip to %s: %s", addr, resp.Err)
 	}
-	n.mergeMembers(append(resp.Peers, seed))
-	return nil
+	if resp.Gossip == nil {
+		return transport.Gossip{}, resp.OK, nil
+	}
+	return *resp.Gossip, resp.OK, nil
 }
 
-// mergeMembers adds any unknown addresses to the membership and rebuilds
-// the overlay view if it changed.
-func (n *Node) mergeMembers(addrs []string) {
+// applyMembership is the gossip OnChange hook: a confirmed membership
+// change arrived, so rebuild the overlay view at the new version and, if
+// replica groups moved, hand the affected index entries to their new
+// owners. Notifications can arrive out of order (gossip fires them from
+// the protocol loop and inbound handlers concurrently); stale versions are
+// discarded.
+func (n *Node) applyMembership(alive []string, version uint64) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.mergeMembersLocked(addrs)
-}
-
-func (n *Node) mergeMembersLocked(addrs []string) {
-	changed := false
-	members := n.view.members
-	for _, a := range addrs {
-		if a == "" {
-			continue
-		}
-		if _, known := n.view.rank[a]; !known {
-			members = append(members, a)
-			// rank is stale until rebuild; mark now to dedupe input.
-			n.view.rank[a] = -1
-			changed = true
-		}
-	}
-	if !changed {
+	if n.closing || version <= n.view.version {
+		n.mu.Unlock()
 		return
 	}
-	v, err := buildView(members, n.cfg.Backend, n.cfg.Repl, n.cfg.MaintainEnv)
+	old := n.view
+	v, err := buildView(alive, n.cfg.Backend, n.cfg.Repl, n.cfg.MaintainEnv)
 	if err != nil {
-		// Cannot happen with a non-empty list and a validated config;
-		// keep the old view rather than dying mid-flight.
+		// Cannot happen with a non-empty alive set (it includes self)
+		// and a validated config; keep the old view rather than dying.
+		n.mu.Unlock()
 		return
 	}
+	v.version = version
 	n.view = v
+	var entries []core.Entry
+	if old.hash != v.hash {
+		entries = n.cache.Entries(n.now())
+	}
+	if len(entries) > 0 {
+		n.handoffs.Add(1)
+		go n.runHandoff(old, v, entries)
+	}
+	n.mu.Unlock()
 }
 
 // Members returns the node's current membership view, sorted.
@@ -261,20 +320,50 @@ func (n *Node) Members() []string {
 	return append([]string(nil), n.view.members...)
 }
 
+// ViewVersion returns the gossip version of the installed view.
+func (n *Node) ViewVersion() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.version
+}
+
+// Membership returns the full gossip table — every member ever heard of
+// with its status and incarnation — sorted by address. The CLI's live
+// status view.
+func (n *Node) Membership() []gossip.Member {
+	return n.gossip.Snapshot()
+}
+
 // ---- RPC server side ----
 
 // handle dispatches one inbound request. It runs on a transport goroutine;
 // everything it touches is behind mu.
 func (n *Node) handle(req transport.Request) transport.Response {
 	n.mu.Lock()
-	ready := n.view != nil
+	ready := n.view != nil && n.gossip != nil
+	var hash uint64
+	if n.view != nil {
+		hash = n.view.hash
+	}
 	n.mu.Unlock()
 	if !ready {
 		return transport.Response{Err: "node starting"}
 	}
+	// Routed operations are only answered between nodes that agree on
+	// the membership list — and therefore on replica-group arithmetic.
+	// A hash mismatch would silently mis-route (see the rank-shift note
+	// on view), so it is refused with the responder's gossip state
+	// attached: the stale side converges instead of trusting a wrong
+	// answer. Zero skips the check (handoff pushes span view changes by
+	// design).
 	switch req.Op {
-	case transport.OpJoin:
-		return n.handleJoin(req)
+	case transport.OpQuery, transport.OpInsert, transport.OpRefresh:
+		if req.ViewHash != 0 && req.ViewHash != hash {
+			st := n.gossip.State()
+			return transport.Response{Err: transport.StaleView, Gossip: &st}
+		}
+	}
+	switch req.Op {
 	case transport.OpQuery:
 		n.mu.Lock()
 		v, ok := n.cache.Get(keyspace.Key(req.Key), n.now())
@@ -306,34 +395,15 @@ func (n *Node) handle(req transport.Request) transport.Response {
 		v, ok := n.store[keyspace.Key(req.Key)]
 		n.mu.Unlock()
 		return transport.Response{OK: true, Found: ok, Value: v}
+	case transport.OpGossip:
+		if req.Gossip == nil {
+			return transport.Response{Err: "gossip without payload"}
+		}
+		reply, ok := n.gossip.HandleMessage(*req.Gossip)
+		return transport.Response{OK: ok, Gossip: &reply}
 	default:
 		return transport.Response{Err: fmt.Sprintf("unknown op %v", req.Op)}
 	}
-}
-
-// handleJoin records the joiner and, when asked, re-announces it to the
-// members this node already knows (one hop, bounded by Forward=false on
-// the re-announcements).
-func (n *Node) handleJoin(req transport.Request) transport.Response {
-	if req.From == "" {
-		return transport.Response{Err: "join without sender address"}
-	}
-	n.mu.Lock()
-	_, known := n.view.rank[req.From]
-	n.mergeMembersLocked([]string{req.From})
-	members := append([]string(nil), n.view.members...)
-	n.mu.Unlock()
-
-	if req.Forward && !known {
-		for _, m := range members {
-			if m == n.cfg.Addr || m == req.From {
-				continue
-			}
-			m := m
-			go n.call(m, transport.Request{Op: transport.OpJoin, From: req.From})
-		}
-	}
-	return transport.Response{OK: true, Peers: members}
 }
 
 // ---- RPC client side ----
@@ -400,13 +470,19 @@ func (n *Node) dropClient(addr string, c transport.Client) {
 // call performs one outbound RPC with the configured timeout. Any failure
 // is returned as an error; the caller treats it as "peer did not answer".
 func (n *Node) call(addr string, req transport.Request) (transport.Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+	defer cancel()
+	return n.callCtx(ctx, addr, req)
+}
+
+// callCtx is call with the deadline under caller control — the membership
+// layer probes on its own, tighter clock.
+func (n *Node) callCtx(ctx context.Context, addr string, req transport.Request) (transport.Response, error) {
 	c, err := n.client(addr)
 	if err != nil {
 		n.rpcFailures.Add(1)
 		return transport.Response{}, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
-	defer cancel()
 	resp, err := c.Call(ctx, req)
 	if err != nil {
 		n.rpcFailures.Add(1)
@@ -499,6 +575,7 @@ func (n *Node) Query(key uint64) QueryResult {
 		n.queryCounts[k]++
 	}
 	responsible, hops, routeOK := n.view.route(n.cfg.Addr, k)
+	hash := n.view.hash
 	var probes []string
 	if routeOK {
 		if n.cfg.FloodOnMiss {
@@ -523,13 +600,13 @@ func (n *Node) Query(key uint64) QueryResult {
 			res.IndexMsgs++
 			n.counters.Inc(stats.MsgReplicaFlood)
 		}
-		value, ok := n.probeIndex(addr, k)
+		value, ok := n.probeIndex(addr, k, hash)
 		if !ok {
 			continue
 		}
 		res.Answered, res.FromIndex, res.Value, res.AnsweredBy = true, true, value, addr
 		n.hits.Add(1)
-		res.RefreshMsgs = n.refreshHit(addr, k)
+		res.RefreshMsgs = n.refreshHit(addr, k, hash)
 		return res
 	}
 	n.misses.Add(1)
@@ -550,30 +627,48 @@ func (n *Node) Query(key uint64) QueryResult {
 	res.Answered, res.Value, res.AnsweredBy = true, value, foundAt
 
 	// 3. Insert the resolved key with keyTtl at every replica.
-	res.InsertMsgs = n.insert(k, value, probes)
+	res.InsertMsgs = n.insert(k, value, probes, hash)
 	n.inserts.Add(1)
 	return res
 }
 
 // probeIndex asks one peer (possibly ourselves) whether key is live in its
-// index cache.
-func (n *Node) probeIndex(addr string, k keyspace.Key) (uint64, bool) {
+// index cache. The probe carries the caller's membership hash; a stale-view
+// refusal is treated as a miss after feeding the peer's state to gossip.
+func (n *Node) probeIndex(addr string, k keyspace.Key, hash uint64) (uint64, bool) {
 	if addr == n.cfg.Addr {
 		n.mu.Lock()
 		v, ok := n.cache.Get(k, n.now())
 		n.mu.Unlock()
 		return v64(v), ok
 	}
-	resp, err := n.call(addr, transport.Request{Op: transport.OpQuery, Key: uint64(k)})
-	if err != nil || resp.Err != "" {
+	resp, err := n.call(addr, transport.Request{Op: transport.OpQuery, Key: uint64(k), ViewHash: hash})
+	if err != nil || !n.accept(resp) {
 		return 0, false
 	}
 	return resp.Value, resp.Found
 }
 
+// accept inspects an application-level reply: a StaleView refusal feeds
+// the peer's attached membership state to gossip (the "caller refetches
+// the view" half of the protocol) and reports the reply unusable, as does
+// any other application error.
+func (n *Node) accept(resp transport.Response) bool {
+	if resp.Err == "" {
+		return true
+	}
+	if resp.Err == transport.StaleView {
+		n.staleViews.Add(1)
+		if resp.Gossip != nil {
+			n.gossip.MergeState(*resp.Gossip)
+		}
+	}
+	return false
+}
+
 // refreshHit applies the reset-on-hit rule at the answering peer,
 // returning the number of messages it cost.
-func (n *Node) refreshHit(addr string, k keyspace.Key) int {
+func (n *Node) refreshHit(addr string, k keyspace.Key, hash uint64) int {
 	if addr == n.cfg.Addr {
 		now := n.now()
 		n.mu.Lock()
@@ -584,7 +679,9 @@ func (n *Node) refreshHit(addr string, k keyspace.Key) int {
 		return 0
 	}
 	n.counters.Inc(stats.MsgUpdate)
-	n.call(addr, transport.Request{Op: transport.OpRefresh, Key: uint64(k), TTL: n.cfg.KeyTtl})
+	if resp, err := n.call(addr, transport.Request{Op: transport.OpRefresh, Key: uint64(k), TTL: n.cfg.KeyTtl, ViewHash: hash}); err == nil {
+		n.accept(resp)
+	}
 	return 1
 }
 
@@ -632,7 +729,7 @@ func (n *Node) broadcast(k keyspace.Key, members []string) (value uint64, foundA
 
 // insert installs key→value with keyTtl at every replica, returning the
 // number of messages spent.
-func (n *Node) insert(k keyspace.Key, value uint64, replicas []string) (msgs int) {
+func (n *Node) insert(k keyspace.Key, value uint64, replicas []string, hash uint64) (msgs int) {
 	for _, addr := range replicas {
 		if addr == n.cfg.Addr {
 			now := n.now()
@@ -643,7 +740,9 @@ func (n *Node) insert(k keyspace.Key, value uint64, replicas []string) (msgs int
 		}
 		msgs++
 		n.counters.Inc(stats.MsgUpdate)
-		n.call(addr, transport.Request{Op: transport.OpInsert, Key: uint64(k), Value: value, TTL: n.cfg.KeyTtl})
+		if resp, err := n.call(addr, transport.Request{Op: transport.OpInsert, Key: uint64(k), Value: value, TTL: n.cfg.KeyTtl, ViewHash: hash}); err == nil {
+			n.accept(resp)
+		}
 	}
 	return msgs
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"pdht/internal/gossip"
 	"pdht/internal/model"
 	"pdht/internal/stats"
 	"pdht/internal/zipf"
@@ -23,6 +24,18 @@ type Report struct {
 	Broadcasts, BroadcastAnswered uint64
 	Inserts, Refreshes            uint64
 	Unanswered, RPCFailures       uint64
+	// StaleViews counts routed RPCs a peer refused because the two sides
+	// disagreed on membership — each one a mis-route the hash check
+	// turned into an explicit miss.
+	StaleViews uint64
+	// HandoffMsgs counts entry pushes sent on view changes; HandoffKeys
+	// the ones the new owner accepted.
+	HandoffMsgs, HandoffKeys uint64
+
+	// ViewVersion is the gossip version of the installed view;
+	// Membership the full gossip table behind it (the live status view).
+	ViewVersion uint64
+	Membership  []gossip.Member
 
 	// HitRate is Hits/Queries — the measured pIndxd of eq. 14.
 	HitRate float64
@@ -65,6 +78,7 @@ type ModelComparison struct {
 func (n *Node) Report() Report {
 	n.mu.Lock()
 	members := len(n.view.members)
+	viewVersion := n.view.version
 	repl := n.view.repl
 	distinct := len(n.queryCounts)
 	counts := make([]int, 0, distinct)
@@ -88,6 +102,11 @@ func (n *Node) Report() Report {
 		Refreshes:         n.refreshes.Load(),
 		Unanswered:        n.unanswered.Load(),
 		RPCFailures:       n.rpcFailures.Load(),
+		StaleViews:        n.staleViews.Load(),
+		HandoffMsgs:       n.handoffMsgs.Load(),
+		HandoffKeys:       n.handoffKeys.Load(),
+		ViewVersion:       viewVersion,
+		Membership:        n.gossip.Snapshot(),
 		IndexedKeys:       live,
 		StoredKeys:        stored,
 		Messages:          n.counters.Snapshot(),
@@ -143,12 +162,21 @@ func (n *Node) modelComparison(r Report, members, repl, distinct int, counts []i
 // String renders the report as the multi-line status block the CLI prints.
 func (r Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "node %s: %d members, round %d\n", r.Addr, r.Members, r.Rounds)
+	fmt.Fprintf(&b, "node %s: %d members (view v%d), round %d\n", r.Addr, r.Members, r.ViewVersion, r.Rounds)
 	fmt.Fprintf(&b, "  queries %d  hits %d  misses %d  hit-rate %.1f%%\n",
 		r.Queries, r.Hits, r.Misses, 100*r.HitRate)
 	fmt.Fprintf(&b, "  broadcasts %d (answered %d)  inserts %d  refreshes %d  unanswered %d  rpc-failures %d\n",
 		r.Broadcasts, r.BroadcastAnswered, r.Inserts, r.Refreshes, r.Unanswered, r.RPCFailures)
+	fmt.Fprintf(&b, "  stale-views %d  handoff %d/%d keys accepted/pushed\n",
+		r.StaleViews, r.HandoffKeys, r.HandoffMsgs)
 	fmt.Fprintf(&b, "  index entries %d  published keys %d\n", r.IndexedKeys, r.StoredKeys)
+	if len(r.Membership) > 0 {
+		b.WriteString("  membership:")
+		for _, m := range r.Membership {
+			fmt.Fprintf(&b, " %s=%s/%d", m.Addr, m.Status, m.Incarnation)
+		}
+		b.WriteByte('\n')
+	}
 	classes := make([]stats.MsgClass, 0, len(r.Messages))
 	for c := range r.Messages {
 		if r.Messages[c] > 0 {

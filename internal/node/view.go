@@ -3,13 +3,19 @@
 // result with keyTtl, refresh on a hit) executed over a real transport
 // instead of simulated rounds.
 //
-// Each Node serves five RPCs (Join/Query/Insert/Refresh/Broadcast, see
+// Each Node serves five RPCs (Query/Insert/Refresh/Broadcast/Gossip, see
 // internal/transport), keeps a TTL index cache (core.Cache) for the key
 // range it is responsible for, a local content store standing in for the
 // unstructured network's content, and a membership view over which it runs
 // a real structured-overlay instance (internal/dht's trie, ring or
 // Kademlia) to decide responsibility and replica placement — the same
 // routing structures the simulator uses, now consulted per live query.
+//
+// Membership is owned by internal/gossip (SWIM: probing, suspicion,
+// incarnations, anti-entropy). Every confirmed change rebuilds the view at
+// a new version, and a handoff pass pushes index entries whose replica
+// group moved to their new owners with their remaining TTL, so the paper's
+// expiry semantics survive the transfer.
 //
 // Rounds: the paper's clock unit (one round = one second) maps to a
 // configurable RoundDuration. TTLs cross the wire in rounds, so a cluster
@@ -49,6 +55,22 @@ const (
 // constructed with an rng seeded from the membership itself, so two nodes
 // sharing a view agree on replica groups without exchanging routing state.
 //
+// THE RANK-SHIFT HAZARD: that agreement holds only while the membership
+// lists are byte-identical. Ranks are positions in the sorted list, so two
+// nodes whose lists differ by a single member disagree on the rank — and
+// therefore the replica group — of potentially *every* key sorted after
+// the divergence point (TestRankShiftDisagreement demonstrates it). During
+// churn this is unavoidable: views transition at different instants on
+// different nodes. The silent failure mode would be a probe answered by a
+// peer that computed a different group — a false miss that costs a
+// broadcast, or an insert parked on a peer nobody else will ever probe.
+// The guard is hash: every view carries the fnv64a of its membership list
+// (the same value that seeds the backend rng), routed RPCs
+// (query/insert/refresh) carry the sender's hash, and a receiver whose
+// hash differs refuses with transport.StaleView plus its gossip state —
+// turning silent mis-routing into an explicit, convergence-accelerating
+// error the caller treats as a miss.
+//
 // Routing happens locally — the view walks its own finger/trie/bucket
 // tables and reports the hop count the lookup would have cost (the
 // measured cSIndx of eq. 7) — and only the terminal RPC to the responsible
@@ -62,6 +84,13 @@ type view struct {
 	idx     dht.Index
 	rng     *rand.Rand
 	repl    int // effective replication (clamped to cluster size)
+	// hash fingerprints the membership list — equal hashes mean equal
+	// lists mean identical replica-group arithmetic on both ends.
+	hash uint64
+	// version is the gossip view version this view was built from,
+	// monotonically increasing; stale OnChange notifications (delivered
+	// out of order under concurrency) are discarded by comparing it.
+	version uint64
 }
 
 // viewSeed derives the shared rng seed from the membership list.
@@ -85,12 +114,14 @@ func buildView(members []string, backend Backend, repl int, env float64) (*view,
 	if repl < 1 {
 		repl = 1
 	}
+	seed := viewSeed(sorted)
 	v := &view{
 		members: sorted,
 		rank:    make(map[string]netsim.PeerID, len(sorted)),
 		net:     netsim.New(len(sorted)),
-		rng:     rand.New(rand.NewPCG(viewSeed(sorted), 0x9e3779b97f4a7c15)),
+		rng:     rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
 		repl:    repl,
+		hash:    seed,
 	}
 	active := make([]netsim.PeerID, len(sorted))
 	for i, addr := range sorted {

@@ -8,23 +8,22 @@ import (
 )
 
 // Op identifies what a request asks the receiving node to do. The five
-// operations are the RPC surface of the selection algorithm (§5.1): joining
-// the overlay, searching the index at a responsible peer, inserting a
-// resolved key with its expiration time, refreshing the expiration time on
-// a hit, and the unstructured broadcast fallback.
+// operations are the RPC surface of the selection algorithm (§5.1) plus
+// the membership layer: searching the index at a responsible peer,
+// inserting a resolved key with its expiration time, refreshing the
+// expiration time on a hit, the unstructured broadcast fallback, and the
+// SWIM gossip exchange that replaces one-shot joins.
 type Op uint8
 
 const (
-	// OpJoin announces a node to the cluster. From carries the joiner's
-	// address; the response returns the responder's full membership view.
-	OpJoin Op = iota + 1
 	// OpQuery asks a responsible peer whether Key is live in its index
 	// cache. Found/Value report the outcome; the entry's TTL is NOT
 	// reset — the querier follows up with OpRefresh, making the paper's
 	// reset-on-hit rule an explicit, countable message.
-	OpQuery
+	OpQuery Op = iota + 1
 	// OpInsert installs Key→Value with TTL rounds of lifetime in the
-	// receiver's index cache — the insert leg after a broadcast success.
+	// receiver's index cache — the insert leg after a broadcast success,
+	// and the push leg of a membership-change key handoff.
 	OpInsert
 	// OpRefresh resets the expiration time of a live entry to TTL rounds
 	// from now — the reset-on-hit rule of §5.1.
@@ -32,13 +31,16 @@ const (
 	// OpBroadcast asks a peer whether it can answer Key from its local
 	// content store — one message of the unstructured search (cSUnstr).
 	OpBroadcast
+	// OpGossip carries one message of the SWIM membership protocol
+	// (internal/gossip): a probe, an indirect probe request, or an
+	// anti-entropy state exchange. The payload travels in Request.Gossip;
+	// the reply in Response.Gossip.
+	OpGossip
 )
 
 // String returns the short label used in logs and errors.
 func (o Op) String() string {
 	switch o {
-	case OpJoin:
-		return "join"
 	case OpQuery:
 		return "query"
 	case OpInsert:
@@ -47,42 +49,98 @@ func (o Op) String() string {
 		return "refresh"
 	case OpBroadcast:
 		return "broadcast"
+	case OpGossip:
+		return "gossip"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
 }
 
+// StaleView is the Response.Err marker a node returns when a routed RPC
+// (query/insert/refresh) carries a membership hash different from its own:
+// the two nodes would compute different replica groups, so answering would
+// silently mis-route. The response carries the responder's full gossip
+// state so the caller can converge and re-route instead of trusting a
+// wrong answer.
+const StaleView = "stale view"
+
+// GossipKind identifies one message of the SWIM membership protocol.
+type GossipKind uint8
+
+const (
+	// GossipPing is the direct liveness probe of one protocol period.
+	GossipPing GossipKind = iota + 1
+	// GossipPingReq asks the receiver to probe Target on the sender's
+	// behalf — the indirect probe that keeps an asymmetric link failure
+	// from killing a live peer.
+	GossipPingReq
+	// GossipSync is the anti-entropy exchange: Updates carry the sender's
+	// full membership table and the reply carries the receiver's. Joining
+	// a cluster is one GossipSync to the seed.
+	GossipSync
+	// GossipAck is the reply kind: acknowledgment plus piggybacked
+	// updates (or the full table when answering a GossipSync).
+	GossipAck
+)
+
+// PeerState is one row of the gossip membership table on the wire: an
+// address, its status (gossip.StatusAlive/Suspect/Dead as uint8) and the
+// incarnation number that orders conflicting claims about it.
+type PeerState struct {
+	Addr        string `json:"addr"`
+	Status      uint8  `json:"status,omitempty"`
+	Incarnation uint64 `json:"inc,omitempty"`
+}
+
+// Gossip is the membership payload of OpGossip requests and responses.
+type Gossip struct {
+	Kind GossipKind `json:"kind"`
+	// From is the message originator's address.
+	From string `json:"from,omitempty"`
+	// Target is the peer to probe on behalf of From (GossipPingReq).
+	Target string `json:"target,omitempty"`
+	// Full marks Updates as the sender's complete membership table (an
+	// anti-entropy exchange) rather than a piggybacked delta batch.
+	Full bool `json:"full,omitempty"`
+	// Updates are membership deltas piggybacked on the message.
+	Updates []PeerState `json:"updates,omitempty"`
+}
+
 // Request is the wire envelope of one call. One struct covers all five
 // operations — fields unused by an op are zero and omitted from the
-// encoding — because the cost of a per-op type hierarchy outweighs five
+// encoding — because the cost of a per-op type hierarchy outweighs a few
 // optional fields.
 type Request struct {
-	Op   Op     `json:"op"`
-	From string `json:"from,omitempty"` // sender's own listen address
-	// Forward asks a Join receiver to re-announce the joiner to the
-	// members it already knows. The re-announcements are sent with
-	// Forward=false, which bounds the propagation at one hop.
-	Forward bool   `json:"forward,omitempty"`
-	Key     uint64 `json:"key,omitempty"`
-	Value   uint64 `json:"value,omitempty"`
+	Op    Op     `json:"op"`
+	From  string `json:"from,omitempty"` // sender's own listen address
+	Key   uint64 `json:"key,omitempty"`
+	Value uint64 `json:"value,omitempty"`
 	// TTL is the entry lifetime in rounds for OpInsert/OpRefresh.
 	TTL int `json:"ttl,omitempty"`
+	// ViewHash is the sender's membership hash on routed operations
+	// (query/insert/refresh). A receiver whose own hash differs answers
+	// with the StaleView error instead of mis-routing; zero skips the
+	// check (handoff pushes, which are valid across view transitions).
+	ViewHash uint64 `json:"view,omitempty"`
+	// Gossip is the membership payload of OpGossip.
+	Gossip *Gossip `json:"gossip,omitempty"`
 }
 
 // Response is the wire envelope of one reply.
 type Response struct {
 	// OK reports that the operation was accepted (an insert stored, a
-	// refresh found a live entry, a join was recorded).
+	// refresh found a live entry, an indirect probe reached its target).
 	OK bool `json:"ok,omitempty"`
 	// Found and Value report a successful OpQuery or OpBroadcast.
 	Found bool   `json:"found,omitempty"`
 	Value uint64 `json:"value,omitempty"`
-	// Peers is the responder's membership view, returned on OpJoin so the
-	// joiner can adopt it.
-	Peers []string `json:"peers,omitempty"`
 	// Err carries an application-level failure (malformed request,
-	// unknown op). Transport-level failures never appear here.
+	// unknown op, StaleView). Transport-level failures never appear here.
 	Err string `json:"err,omitempty"`
+	// Gossip carries the reply of an OpGossip exchange — and, on a
+	// StaleView error, the responder's full membership state so the
+	// caller can converge without an extra round trip.
+	Gossip *Gossip `json:"gossip,omitempty"`
 }
 
 // frame is the unit the TCP codec moves: a correlation ID plus either a

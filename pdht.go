@@ -35,11 +35,13 @@
 //   - Metadata utilities: NewsQuery and QueryKey map the paper's
 //     element=value metadata predicates to index keys.
 //
-// Beyond the reproduction, internal/node and internal/transport serve the
-// selection algorithm as a live system — peers exchanging
-// Join/Query/Insert/Refresh/Broadcast RPCs over TCP — and cmd/pdht-node is
-// the deployable; see its -demo mode for the whole story on a 3-node
-// loopback cluster.
+// Beyond the reproduction, internal/node, internal/gossip and
+// internal/transport serve the selection algorithm as a live system —
+// peers exchanging Query/Insert/Refresh/Broadcast/Gossip RPCs over TCP,
+// with SWIM-style membership detecting crashes, evicting dead peers and
+// handing moved index keys to their new owners with their remaining TTLs —
+// and cmd/pdht-node is the deployable; see its -demo mode for the whole
+// story on a 3-node loopback cluster.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
