@@ -28,10 +28,10 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment id (see doc comment)")
 	scale := flag.Int("scale", 2000, "simulator population for the sim-backed experiments")
 	seed := flag.Uint64("seed", 1, "random seed for the sim-backed experiments")
-	format := flag.String("format", "table", "output format: table | csv")
+	format := flag.String("format", "table", "output format: table | csv | json")
 	flag.Parse()
-	if *format != "table" && *format != "csv" {
-		fmt.Fprintf(os.Stderr, "unknown format %q (want table or csv)\n", *format)
+	if *format != "table" && *format != "csv" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (want table, csv or json)\n", *format)
 		os.Exit(2)
 	}
 
@@ -50,8 +50,13 @@ func main() {
 	}
 
 	render := func(t *stats.Table) error {
-		if *format == "csv" {
+		switch *format {
+		case "csv":
 			return t.RenderCSV(os.Stdout)
+		case "json":
+			// One JSON object per experiment table: the machine-readable
+			// stream the benchmark-trajectory CI step records.
+			return t.RenderJSON(os.Stdout)
 		}
 		t.Render(os.Stdout)
 		return nil

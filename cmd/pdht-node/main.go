@@ -5,7 +5,11 @@
 // own), publishes synthetic news articles as local content, and answers
 // metadata queries in the paper's element=value AND element=value syntax
 // with the §5.1 selection algorithm (index search → broadcast on a miss →
-// insert with keyTtl → refresh on a hit).
+// insert with keyTtl → refresh on a hit). With -adaptive the node also runs
+// the query-adaptive control plane: it sketches its own query stream,
+// refits the paper's model every -retune-interval, attaches the tuned
+// keyTtl to inserts, and refuses to index keys whose measured rate falls
+// below the fitted fMin (reported under "adaptive:" in the status block).
 //
 // Start a 3-node cluster on one machine:
 //
@@ -61,6 +65,9 @@ func run(args []string, out io.Writer) error {
 		suspicion   = fs.Duration("suspicion", 0, "how long an unresponsive peer stays suspect before eviction (0: 4× gossip interval)")
 		syncEvery   = fs.Duration("sync-interval", 0, "anti-entropy full-state exchange period (0: 4× gossip interval)")
 		members     = fs.Bool("members", false, "print the live membership table with each report")
+		adaptive    = fs.Bool("adaptive", false, "run the query-adaptive control plane: sketch the query stream, retune keyTtl online, gate below-fMin inserts")
+		retuneEvery = fs.Duration("retune-interval", 0, "adaptive refit period and observation window (0: 60 rounds)")
+		env         = fs.Float64("env", 0, "per-routing-entry per-round probe probability (the paper's env; feeds the adaptive fMin)")
 		demo        = fs.Bool("demo", false, "run the 3-node TCP-loopback demonstration and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +91,9 @@ func run(args []string, out io.Writer) error {
 	cfg.GossipInterval = *gossipEvery
 	cfg.SuspicionTimeout = *suspicion
 	cfg.SyncInterval = *syncEvery
+	cfg.Adaptive = *adaptive
+	cfg.RetuneInterval = *retuneEvery
+	cfg.MaintainEnv = *env
 
 	nd, err := node.New(transport.NewTCP(), cfg)
 	if err != nil {

@@ -117,3 +117,44 @@ func TestBadQuerySyntax(t *testing.T) {
 		t.Fatal("malformed query accepted")
 	}
 }
+
+// TestAdaptiveFlagReportsControlPlane boots an adaptive node against a
+// running seed and checks that the report carries the control-plane block —
+// the CLI surface of internal/adapt.
+func TestAdaptiveFlagReportsControlPlane(t *testing.T) {
+	cfg := node.DefaultConfig()
+	cfg.RoundDuration = 100 * time.Millisecond
+	seed, err := node.New(transport.NewTCP(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	arts := metadata.GenerateArticles(3, 1)
+	for i := range arts {
+		for _, ik := range arts[i].Keys(0) {
+			seed.Publish(uint64(ik.Key), uint64(arts[i].ID))
+		}
+	}
+
+	var buf bytes.Buffer
+	err = run([]string{
+		"-seed", seed.Addr(),
+		"-round", "100ms",
+		"-gossip-interval", "20ms",
+		"-suspicion", "100ms",
+		"-adaptive",
+		"-retune-interval", "1h", // no retune fires during the test
+		"-env", "0.1",
+		"-query", fmt.Sprintf("title=%s", arts[1].Title),
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "adaptive: keyTtl 120") {
+		t.Fatalf("report lacks the adaptive control-plane block:\n%s", out)
+	}
+	if err := run([]string{"-retune-interval", "-5s", "-adaptive", "-query", "a=b"}, &buf); err == nil {
+		t.Fatal("negative retune interval accepted")
+	}
+}

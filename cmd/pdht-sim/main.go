@@ -21,7 +21,7 @@ import (
 
 func main() {
 	base := sim.DefaultConfig()
-	strategy := flag.String("strategy", "partialTTL", "noIndex | indexAll | partial | partialTTL")
+	strategy := flag.String("strategy", "partialTTL", "noIndex | indexAll | partial | partialTTL | partialAdaptive")
 	backend := flag.String("backend", "trie", "trie | ring")
 	peers := flag.Int("peers", base.Peers, "total peers")
 	keys := flag.Int("keys", base.Keys, "unique keys")

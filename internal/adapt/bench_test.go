@@ -1,0 +1,77 @@
+package adapt
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pdht/internal/zipf"
+)
+
+// BenchmarkSketchObserve prices the per-query hot path of the control plane:
+// one conservative-update count-min observation. It must be O(1) in the
+// number of keys ever seen and allocation-free — the baselines the CI
+// benchmark step records.
+func BenchmarkSketchObserve(b *testing.B) {
+	s, err := NewSketch(1<<14, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+// BenchmarkTunerObserve prices the full per-query observation: sketch +
+// heavy hitters + distinct bitmap behind the tuner mutex.
+func BenchmarkTunerObserve(b *testing.B) {
+	tn, err := NewTuner(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Zipf-shaped keys, precomputed so the sampler is not in the loop.
+	dist := zipf.MustNew(1.2, 4096)
+	sampler := zipf.NewSampler(dist, rand.New(rand.NewPCG(1, 2)))
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = uint64(sampler.Sample())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tn.Observe(keys[i&(len(keys)-1)])
+	}
+}
+
+// BenchmarkTunerDecide prices the actuator consult: one ShouldIndex call
+// with an armed gate (the post-broadcast to-index-or-not decision).
+func BenchmarkTunerDecide(b *testing.B) {
+	tn, err := NewTuner(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A compact key universe keeps the per-key holding cost — and with it
+	// fMin and the gate threshold — high enough that the gate is armed.
+	dist := zipf.MustNew(1.2, 256)
+	sampler := zipf.NewSampler(dist, rand.New(rand.NewPCG(3, 4)))
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		k := uint64(sampler.Sample())
+		keys[i] = k
+		tn.Observe(k)
+	}
+	in := Inputs{Members: 20, Observers: 20, Capacity: 64, Repl: 4, Env: 1, WindowRounds: 100}
+	d, err := tn.Retune(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if d.GateThreshold < 2 {
+		b.Fatalf("gate threshold %d: the benchmark would measure the unarmed fast path", d.GateThreshold)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tn.ShouldIndex(keys[i&(len(keys)-1)])
+	}
+}

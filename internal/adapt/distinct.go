@@ -1,0 +1,84 @@
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Distinct estimates the number of distinct keys observed over the last
+// one-to-two windows by linear counting [Whang et al. 1990]: each key sets
+// one bit of an m-bit map, and the estimate is m·ln(m/zeros). For cardinality
+// up to about m the relative error is a few percent; beyond that the map
+// saturates and the estimate degrades gracefully toward a lower bound, which
+// is the safe direction here (a too-small Keys parameter makes the fitted
+// scenario index more, never less — no query gets dropped).
+//
+// Like Sketch it keeps two window generations; the estimate covers their
+// union so a key queried last window still counts as part of the universe.
+type Distinct struct {
+	m    uint64 // bits per window, power of two
+	mask uint64
+	cur  []uint64
+	prev []uint64
+}
+
+// NewDistinct returns an estimator with the given bitmap size (rounded up to
+// a power of two, at least 64).
+func NewDistinct(bitsPerWindow int) (*Distinct, error) {
+	if bitsPerWindow < 1 {
+		return nil, fmt.Errorf("adapt: distinct bitmap size %d must be positive", bitsPerWindow)
+	}
+	m := uint64(64)
+	for m < uint64(bitsPerWindow) {
+		m <<= 1
+	}
+	return &Distinct{
+		m:    m,
+		mask: m - 1,
+		cur:  make([]uint64, m/64),
+		prev: make([]uint64, m/64),
+	}, nil
+}
+
+// Observe marks key as seen in the current window. Allocation-free.
+func (d *Distinct) Observe(key uint64) {
+	// A different rotation of mix64 than the sketch rows use, so the two
+	// summaries don't share collision patterns.
+	b := mix64(key^0x8e5a_2c1f_9d47_6b03) & d.mask
+	d.cur[b/64] |= 1 << (b % 64)
+}
+
+// Estimate returns the linear-counting estimate over the union of the two
+// windows, at least 1 once anything was observed.
+func (d *Distinct) Estimate() int {
+	occupied := 0
+	for i := range d.cur {
+		occupied += bits.OnesCount64(d.cur[i] | d.prev[i])
+	}
+	if occupied == 0 {
+		return 0
+	}
+	zeros := d.m - uint64(occupied)
+	if zeros == 0 {
+		// Saturated: every slot hit. Report the bitmap size — a lower
+		// bound on the truth.
+		return int(d.m)
+	}
+	est := int(math.Round(float64(d.m) * math.Log(float64(d.m)/float64(zeros))))
+	if est < occupied {
+		est = occupied // estimate can never undercut the occupied slots
+	}
+	return est
+}
+
+// Rotate retires the current window, forgetting the one before it.
+func (d *Distinct) Rotate() {
+	d.cur, d.prev = d.prev, d.cur
+	clear(d.cur)
+}
+
+// MemoryBytes returns the bitmap footprint.
+func (d *Distinct) MemoryBytes() int {
+	return 8 * (len(d.cur) + len(d.prev))
+}

@@ -1,0 +1,34 @@
+// Package adapt is the live query-adaptive control plane: it closes the
+// paper's measure → model → actuate loop on every peer, at runtime.
+//
+// Everything before this package executes a fixed policy — KeyTtl is a
+// config knob, and the workload fit (zipf.EstimateAlpha) runs only after
+// the fact in reports. adapt makes the title's promise real: each peer
+// observes its own query stream in O(1) time and bounded memory, periodically
+// fits the paper's scenario to what it saw, and re-derives the two knobs the
+// selection algorithm turns —
+//
+//   - keyTtl, the expiration time attached to inserted and refreshed keys
+//     (keyTtl = 1/fMin, §5.1 reason I, via model.SolveTTLAuto); and
+//
+//   - fMin itself, the indexing threshold of eq. 2, applied per key: a key
+//     whose estimated query rate falls below fMin is not inserted after a
+//     broadcast — the to-index-or-not decision (§2), finally made online.
+//
+// The measurement side is three streaming summaries, none of which keeps
+// per-key state in a map:
+//
+//   - Sketch: a count-min sketch with conservative update and two-window
+//     rotation, estimating per-key query counts over the recent past.
+//   - TopK: a space-saving heavy-hitters list whose counts feed the Zipf
+//     exponent fit; counts halve at each window rotation so a shifted
+//     workload displaces yesterday's head.
+//   - Distinct: a linear-counting bitmap estimating how many distinct keys
+//     the stream touched, the Keys parameter of the fitted scenario.
+//
+// Tuner composes the three behind one mutex-protected hot path (Observe,
+// ShouldIndex) and one cold path (Retune). internal/node runs a Tuner per
+// peer when Config.Adaptive is set; internal/sim drives one under
+// StrategyPartialAdaptive so static and adaptive policies can be A/B-tested
+// under the same mid-run popularity shifts.
+package adapt

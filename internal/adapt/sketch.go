@@ -1,0 +1,124 @@
+package adapt
+
+import "fmt"
+
+// maxDepth bounds the number of count-min rows so Observe can stage its
+// per-row indices in a fixed-size array — the hot path allocates nothing.
+const maxDepth = 8
+
+// Sketch is a count-min sketch with conservative update and two-window
+// rotation. It estimates per-key event counts over the recent past in O(depth)
+// time per observation and depth·width·2 counters of memory, regardless of how
+// many distinct keys flow through it — the property that lets a peer track
+// millions of keys without a per-key map.
+//
+// Conservative update increments, for each observation, only the row counters
+// currently equal to the row minimum; estimates remain upper bounds but the
+// overestimation from hash collisions shrinks substantially on skewed streams
+// (exactly the Zipf traffic the paper assumes).
+//
+// Windowed decay: observations land in the current window; Rotate retires it
+// to the previous slot and clears the oldest. Count sums the two windows, so
+// an estimate covers between one and two windows of history and traffic older
+// than two windows is gone entirely — the sketch forgets a shifted workload
+// at the same cadence the Tuner retunes.
+type Sketch struct {
+	width uint64 // counters per row, power of two
+	depth int
+	mask  uint64
+	seeds [maxDepth]uint64
+	cur   []uint32 // depth rows of width counters, current window
+	prev  []uint32 // the retired window
+}
+
+// NewSketch returns a sketch with the given geometry. width is rounded up to
+// a power of two; depth is clamped to [1, 8]. A 1<<14 × 4 sketch costs 512 KiB
+// and keeps the collision error below ~2e/width of the window volume with
+// probability 1−e⁻⁴.
+func NewSketch(width, depth int) (*Sketch, error) {
+	if width < 2 {
+		return nil, fmt.Errorf("adapt: sketch width %d must be at least 2", width)
+	}
+	if depth < 1 || depth > maxDepth {
+		return nil, fmt.Errorf("adapt: sketch depth %d out of [1,%d]", depth, maxDepth)
+	}
+	w := uint64(1)
+	for w < uint64(width) {
+		w <<= 1
+	}
+	s := &Sketch{
+		width: w,
+		depth: depth,
+		mask:  w - 1,
+		cur:   make([]uint32, w*uint64(depth)),
+		prev:  make([]uint32, w*uint64(depth)),
+	}
+	// Deterministic, distinct row seeds: a splitmix64 walk from a fixed
+	// constant. Determinism keeps simulations reproducible.
+	x := uint64(0x5bf0_3635_d1a2_b4a7)
+	for i := range s.seeds {
+		x += 0x9e3779b97f4a7c15
+		s.seeds[i] = mix64(x)
+	}
+	return s, nil
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit permutation,
+// the same mixer keyspace.HashString finishes with.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Observe records one occurrence of key in the current window with a
+// conservative update. Allocation-free.
+func (s *Sketch) Observe(key uint64) {
+	var idx [maxDepth]uint64
+	min := uint32(1<<32 - 1)
+	for r := 0; r < s.depth; r++ {
+		i := uint64(r)*s.width + (mix64(key^s.seeds[r]) & s.mask)
+		idx[r] = i
+		if c := s.cur[i]; c < min {
+			min = c
+		}
+	}
+	for r := 0; r < s.depth; r++ {
+		if s.cur[idx[r]] == min {
+			s.cur[idx[r]] = min + 1
+		}
+	}
+}
+
+// Count estimates how many times key was observed over the last one-to-two
+// windows: the row-minimum of the current window plus the row-minimum of the
+// previous one. An upper bound on the true count. Allocation-free.
+func (s *Sketch) Count(key uint64) uint64 {
+	minCur := uint32(1<<32 - 1)
+	minPrev := uint32(1<<32 - 1)
+	for r := 0; r < s.depth; r++ {
+		i := uint64(r)*s.width + (mix64(key^s.seeds[r]) & s.mask)
+		if c := s.cur[i]; c < minCur {
+			minCur = c
+		}
+		if c := s.prev[i]; c < minPrev {
+			minPrev = c
+		}
+	}
+	return uint64(minCur) + uint64(minPrev)
+}
+
+// Rotate closes the current window: it becomes the previous window, and the
+// window before it is forgotten. O(width·depth), run once per retune period.
+func (s *Sketch) Rotate() {
+	s.cur, s.prev = s.prev, s.cur
+	clear(s.cur)
+}
+
+// MemoryBytes returns the sketch's counter footprint.
+func (s *Sketch) MemoryBytes() int {
+	return 4 * (len(s.cur) + len(s.prev))
+}

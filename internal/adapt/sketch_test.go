@@ -1,0 +1,175 @@
+package adapt
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"pdht/internal/zipf"
+)
+
+func TestSketchExactOnSparseStream(t *testing.T) {
+	s, err := NewSketch(1<<12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far fewer keys than counters: estimates should be exact.
+	for k := uint64(0); k < 100; k++ {
+		for i := uint64(0); i <= k; i++ {
+			s.Observe(k)
+		}
+	}
+	for k := uint64(0); k < 100; k++ {
+		if got := s.Count(k); got != k+1 {
+			t.Fatalf("Count(%d) = %d, want %d", k, got, k+1)
+		}
+	}
+	if got := s.Count(999999); got != 0 {
+		t.Fatalf("Count(unseen) = %d, want 0", got)
+	}
+}
+
+func TestSketchNeverUndercounts(t *testing.T) {
+	s, err := NewSketch(256, 4) // deliberately tight: collisions guaranteed
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	truth := make(map[uint64]uint64)
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.IntN(2000))
+		truth[k]++
+		s.Observe(k)
+	}
+	for k, want := range truth {
+		if got := s.Count(k); got < want {
+			t.Fatalf("Count(%d) = %d undercounts true %d", k, got, want)
+		}
+	}
+}
+
+func TestSketchRotationForgetsOldTraffic(t *testing.T) {
+	s, err := NewSketch(1<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hot = uint64(42)
+	for i := 0; i < 100; i++ {
+		s.Observe(hot)
+	}
+	if got := s.Count(hot); got != 100 {
+		t.Fatalf("pre-rotation Count = %d, want 100", got)
+	}
+	s.Rotate() // hot's counts now live in the previous window
+	if got := s.Count(hot); got != 100 {
+		t.Fatalf("after one rotation Count = %d, want 100 (previous window still visible)", got)
+	}
+	s.Observe(hot)
+	s.Rotate() // original 100 forgotten; the single fresh observation retires
+	if got := s.Count(hot); got != 1 {
+		t.Fatalf("after two rotations Count = %d, want 1", got)
+	}
+	s.Rotate()
+	if got := s.Count(hot); got != 0 {
+		t.Fatalf("after three rotations Count = %d, want 0", got)
+	}
+}
+
+func TestSketchHotPathAllocationFree(t *testing.T) {
+	s, err := NewSketch(1<<12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := uint64(7)
+	if allocs := testing.AllocsPerRun(1000, func() { s.Observe(k); k += 0x9e37 }); allocs != 0 {
+		t.Fatalf("Observe allocates %v times per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { _ = s.Count(k) }); allocs != 0 {
+		t.Fatalf("Count allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestTopKFindsHeavyHitters(t *testing.T) {
+	top, err := NewTopK(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := zipf.New(1.2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := zipf.NewSampler(dist, rand.New(rand.NewPCG(3, 4)))
+	truth := make(map[uint64]uint64)
+	for i := 0; i < 50000; i++ {
+		k := uint64(sampler.Sample())
+		truth[k]++
+		top.Observe(k)
+	}
+	// The top few ranks dominate a Zipf(1.2) stream; they must be tracked
+	// with counts no lower than the truth (space-saving overestimates).
+	for rank := uint64(0); rank < 5; rank++ {
+		c, ok := top.Count(rank)
+		if !ok {
+			t.Fatalf("rank %d not tracked", rank)
+		}
+		if c < truth[rank] {
+			t.Fatalf("rank %d count %d below true %d", rank, c, truth[rank])
+		}
+	}
+	counts := top.Counts()
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Fatalf("Counts not descending at %d: %v", i, counts)
+		}
+	}
+}
+
+func TestTopKDecayDisplacesOldHead(t *testing.T) {
+	top, err := NewTopK(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		top.Observe(1) // yesterday's hot key
+	}
+	// Several decayed windows in which key 2 is the only traffic.
+	for w := 0; w < 12; w++ {
+		top.Decay()
+		for i := 0; i < 50; i++ {
+			top.Observe(2)
+		}
+	}
+	c1, _ := top.Count(1)
+	c2, ok := top.Count(2)
+	if !ok || c2 <= c1 {
+		t.Fatalf("new head (count %d) has not overtaken the decayed old head (count %d)", c2, c1)
+	}
+}
+
+func TestDistinctEstimate(t *testing.T) {
+	d, err := NewDistinct(1 << 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Estimate(); got != 0 {
+		t.Fatalf("empty Estimate = %d, want 0", got)
+	}
+	const n = 2000
+	for k := uint64(0); k < n; k++ {
+		d.Observe(k)
+		d.Observe(k) // repeats must not inflate the estimate
+	}
+	got := d.Estimate()
+	if math.Abs(float64(got)-n)/n > 0.1 {
+		t.Fatalf("Estimate = %d, want within 10%% of %d", got, n)
+	}
+	// Rotation keeps the previous window visible, then forgets it.
+	d.Rotate()
+	if got := d.Estimate(); math.Abs(float64(got)-n)/n > 0.1 {
+		t.Fatalf("after one rotation Estimate = %d, want ≈%d", got, n)
+	}
+	d.Rotate()
+	if got := d.Estimate(); got != 0 {
+		t.Fatalf("after two rotations Estimate = %d, want 0", got)
+	}
+}

@@ -1,0 +1,145 @@
+package adapt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TopK is a space-saving heavy-hitters summary [Metwally et al. 2005]: it
+// tracks at most k keys with approximate counts in O(1) amortized time per
+// observation and O(k) memory. When a new key arrives at capacity it replaces
+// the currently smallest entry, inheriting its count as the error bound —
+// the classic guarantee that any key with true count above the minimum
+// tracked count is present in the list.
+//
+// Its purpose here is the Zipf fit: the fitted exponent is dominated by the
+// head of the distribution, which is exactly what TopK retains. Counts halve
+// at each Decay (called on window rotation), so a shifted workload's new head
+// overtakes the old one within a few windows instead of fighting counts
+// accumulated since boot.
+type TopK struct {
+	k    int
+	heap []hhEntry      // min-heap ordered by count
+	pos  map[uint64]int // key → index in heap
+}
+
+// hhEntry is one tracked key.
+type hhEntry struct {
+	key   uint64
+	count uint64
+	err   uint64 // count inherited from the displaced entry
+}
+
+// NewTopK returns an empty heavy-hitters list of capacity k.
+func NewTopK(k int) (*TopK, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("adapt: top-k capacity %d must be positive", k)
+	}
+	return &TopK{k: k, heap: make([]hhEntry, 0, k), pos: make(map[uint64]int, k)}, nil
+}
+
+// Observe records one occurrence of key. Allocation-free once the list is
+// warm (the map and heap are pre-sized to capacity).
+func (t *TopK) Observe(key uint64) {
+	if i, ok := t.pos[key]; ok {
+		t.heap[i].count++
+		t.siftDown(i)
+		return
+	}
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, hhEntry{key: key, count: 1})
+		t.pos[key] = len(t.heap) - 1
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	// Replace the minimum: the newcomer may have occurred up to min times
+	// while untracked, so it starts at min+1 with error bound min.
+	min := t.heap[0]
+	delete(t.pos, min.key)
+	t.heap[0] = hhEntry{key: key, count: min.count + 1, err: min.count}
+	t.pos[key] = 0
+	t.siftDown(0)
+}
+
+// Len returns the number of tracked keys.
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Counts returns the tracked counts in descending order — the shape
+// zipf.EstimateAlpha fits an exponent to. Allocates; retune-path only.
+func (t *TopK) Counts() []int {
+	out := make([]int, len(t.heap))
+	for i, e := range t.heap {
+		out[i] = int(e.count)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// Keys returns the tracked keys in unspecified order. The Tuner reads the
+// clean windowed counts of these keys from the Sketch: the space-saving
+// counts decay geometrically, which quantizes small tail counts and biases
+// an exponent fit, so TopK serves as the membership list ("which keys are
+// heavy") and the sketch as the measure. Allocates; retune-path only.
+func (t *TopK) Keys() []uint64 {
+	out := make([]uint64, len(t.heap))
+	for i, e := range t.heap {
+		out[i] = e.key
+	}
+	return out
+}
+
+// Count returns the approximate count of key and whether it is tracked.
+func (t *TopK) Count(key uint64) (uint64, bool) {
+	i, ok := t.pos[key]
+	if !ok {
+		return 0, false
+	}
+	return t.heap[i].count, true
+}
+
+// Decay halves every tracked count (and error bound) — exponential aging,
+// applied at window rotation. Halving is monotone, so the heap order is
+// preserved. Entries decayed to zero stay listed and are displaced first.
+func (t *TopK) Decay() {
+	for i := range t.heap {
+		t.heap[i].count /= 2
+		t.heap[i].err /= 2
+	}
+}
+
+func (t *TopK) less(i, j int) bool { return t.heap[i].count < t.heap[j].count }
+
+func (t *TopK) swap(i, j int) {
+	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
+	t.pos[t.heap[i].key] = i
+	t.pos[t.heap[j].key] = j
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.less(i, parent) {
+			return
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && t.less(l, smallest) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && t.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		t.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -34,6 +34,10 @@ type QueryOutcome struct {
 	IndexMsgs     int
 	BroadcastMsgs int
 	InsertMsgs    int
+	// InsertGated reports that the broadcast resolved the key but the
+	// insert gate refused to index it — the per-key to-index-or-not
+	// decision of §2, taken online by an adaptive tuner.
+	InsertGated bool
 	// RouteHops is the routing-hop part of IndexMsgs (the measured
 	// eq. 7), and RouteOK whether routing reached a responsible peer.
 	RouteHops int
@@ -57,6 +61,7 @@ type PDHT struct {
 	index *PartialIndex
 	bc    Broadcaster
 	rng   *rand.Rand
+	gate  func(keyspace.Key) bool
 }
 
 // NewPDHT wires the selection algorithm over an index layer and a
@@ -67,6 +72,14 @@ func NewPDHT(index *PartialIndex, bc Broadcaster, rng *rand.Rand) *PDHT {
 
 // Index exposes the underlying index layer.
 func (p *PDHT) Index() *PartialIndex { return p.index }
+
+// SetInsertGate installs the per-key to-index-or-not hook: after a broadcast
+// resolves a key, the gate decides whether it enters the index at all. A nil
+// gate (the default) admits every key — the paper's plain §5.1 behavior,
+// where TTL expiry alone prunes the index. An adaptive control plane
+// (internal/adapt) gates keys whose estimated query rate falls below fMin,
+// saving the insert leg of eq. 17 for keys that would expire unqueried.
+func (p *PDHT) SetInsertGate(gate func(keyspace.Key) bool) { p.gate = gate }
 
 // Query resolves key for the peer from, following §5.1 exactly:
 // index search → broadcast on miss → insert the broadcast result.
@@ -86,6 +99,10 @@ func (p *PDHT) Query(from netsim.PeerID, key keyspace.Key) QueryOutcome {
 		return out
 	}
 	out.Answered, out.Value = true, value
+	if p.gate != nil && !p.gate(key) {
+		out.InsertGated = true
+		return out
+	}
 	ir := p.index.Insert(from, key, value)
 	out.InsertMsgs = ir.RouteHops + ir.GossipMsgs
 	return out

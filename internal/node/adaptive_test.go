@@ -1,0 +1,164 @@
+package node
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"pdht/internal/adapt"
+	"pdht/internal/keyspace"
+	"pdht/internal/transport"
+)
+
+// TestRetuneShrinkKeepsGrantedTTLs is the retune/sweeper interaction
+// contract: when the control loop shrinks the tuned keyTtl, entries already
+// in the index keep the expiration they were granted — only new inserts and
+// refreshes see the new value. A retune must never mass-expire the index.
+//
+// The shrink is produced by the real control loop: the tuner's TTLMax clamp
+// caps the recommendation far below the static KeyTtl, so the first
+// successful retune is guaranteed to be a drastic shrink.
+func TestRetuneShrinkKeepsGrantedTTLs(t *testing.T) {
+	const shrunk = 5
+	cfg := DefaultConfig()
+	cfg.RoundDuration = 20 * time.Millisecond
+	cfg.KeyTtl = 300 // granted lifetime: 6s, far beyond the test
+	cfg.Adaptive = true
+	cfg.RetuneInterval = 500 * time.Millisecond
+	cfg.Tuner = adapt.Config{TTLMax: shrunk}
+	cfg.GossipInterval = 20 * time.Millisecond
+	// Two nodes: a retune needs at least two members to pose the model.
+	c, err := NewCluster(transport.NewMemory(), 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	n := c.Node(0)
+
+	// Index 20 keys through the public query path at the static TTL,
+	// before the first retune fires.
+	keys := make([]uint64, 20)
+	for i := range keys {
+		keys[i] = uint64(keyspace.HashString("shrink:" + strconv.Itoa(i)))
+		n.Publish(keys[i], uint64(i))
+		if res := n.Query(keys[i]); !res.Answered {
+			t.Fatalf("key %d unanswered", i)
+		}
+	}
+	now := n.now()
+	n.mu.Lock()
+	before := n.cache.Entries(now)
+	n.mu.Unlock()
+	if len(before) != len(keys) {
+		t.Fatalf("%d entries live, want %d", len(before), len(keys))
+	}
+	granted := make(map[keyspace.Key]int, len(before))
+	for _, e := range before {
+		if e.Expires < now+cfg.KeyTtl/2 {
+			t.Fatalf("entry %v expires at %d, granted TTL looks wrong (now %d) — a retune raced the inserts", e.Key, e.Expires, now)
+		}
+		granted[e.Key] = e.Expires
+	}
+
+	// Wait for the control loop to shrink the recommendation to TTLMax.
+	waitFor(t, 10*time.Second, func() bool {
+		r := n.Report()
+		return r.Adaptive != nil && r.Adaptive.Retunes >= 1
+	}, "the first retune")
+	if got := n.keyTtl(); got != shrunk {
+		t.Fatalf("keyTtl() = %d after the retune, want the clamped %d", got, shrunk)
+	}
+
+	// Existing entries keep their granted expiry, verified against the
+	// same consistent snapshot surface the sweeper and handoff use.
+	n.mu.Lock()
+	after := n.cache.Entries(n.now())
+	n.mu.Unlock()
+	if len(after) != len(before) {
+		t.Fatalf("shrinking the tuned TTL changed the live count %d → %d", len(before), len(after))
+	}
+	for _, e := range after {
+		if want, ok := granted[e.Key]; !ok || e.Expires != want {
+			t.Fatalf("entry %v expiry %d after retune, want the granted %d", e.Key, e.Expires, granted[e.Key])
+		}
+	}
+
+	// A fresh key is granted the shrunken TTL.
+	fresh := uint64(keyspace.HashString("shrink:fresh"))
+	n.Publish(fresh, 999)
+	if res := n.Query(fresh); !res.Answered {
+		t.Fatal("fresh key unanswered")
+	}
+	now = n.now()
+	n.mu.Lock()
+	exp, ok := n.cache.Expires(keyspace.Key(fresh), now)
+	n.mu.Unlock()
+	if !ok {
+		t.Fatal("fresh key not indexed")
+	}
+	if exp > now+shrunk {
+		t.Fatalf("fresh entry expires at %d, want at most now(%d)+%d", exp, now, shrunk)
+	}
+
+	// And the sweeper honors both: after the shrunken TTL elapses the
+	// fresh entry is gone while the originally-granted ones survive.
+	time.Sleep(time.Duration(3*shrunk) * cfg.RoundDuration)
+	now = n.now()
+	n.mu.Lock()
+	_, freshAlive := n.cache.Expires(keyspace.Key(fresh), now)
+	live := n.cache.Live(now)
+	n.mu.Unlock()
+	if freshAlive {
+		t.Fatal("fresh entry with the shrunken TTL still live after it elapsed")
+	}
+	if live != len(keys) {
+		t.Fatalf("%d original entries live, want all %d — the retune mass-expired the index", live, len(keys))
+	}
+}
+
+// TestAdaptiveReportAndKeyTtlFallback covers the adaptive plumbing around a
+// single node: the report carries the control plane's state, and keyTtl()
+// serves the static knob until the first successful retune.
+func TestAdaptiveReportAndKeyTtlFallback(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RoundDuration = 20 * time.Millisecond
+	cfg.KeyTtl = 42
+	cfg.Adaptive = true
+	cfg.RetuneInterval = time.Hour
+	n, err := New(transport.NewMemory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	if got := n.keyTtl(); got != 42 {
+		t.Fatalf("keyTtl() = %d before any retune, want the static 42", got)
+	}
+	n.Publish(7, 7)
+	n.Query(7)
+	r := n.Report()
+	if r.Adaptive == nil {
+		t.Fatal("adaptive node's report lacks the control-plane state")
+	}
+	if r.Adaptive.KeyTtl != 42 || r.Adaptive.Tuner.Ready {
+		t.Fatalf("adaptive state = %+v, want static TTL and a not-ready tuner", r.Adaptive)
+	}
+	if r.Adaptive.Tuner.Observed == 0 {
+		t.Fatal("the tuner observed no queries")
+	}
+	if r.Adaptive.Tuner.MemoryBytes <= 0 || r.Adaptive.Tuner.MemoryBytes > 1<<21 {
+		t.Fatalf("sketch memory %d bytes outside the bounded range", r.Adaptive.Tuner.MemoryBytes)
+	}
+	// A non-adaptive node reports no adaptive state.
+	plain, err := New(transport.NewMemory(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if plain.Report().Adaptive != nil {
+		t.Fatal("non-adaptive node reports adaptive state")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pdht/internal/adapt"
 	"pdht/internal/core"
 	"pdht/internal/gossip"
 	"pdht/internal/keyspace"
@@ -59,6 +60,18 @@ type Config struct {
 	// tables are exchanged with one random peer. Zero means 4×
 	// GossipInterval.
 	SyncInterval time.Duration
+	// Adaptive turns the query-adaptive control plane on: the node
+	// sketches its own query stream (internal/adapt), periodically refits
+	// the paper's model to it, attaches the tuned keyTtl to inserts and
+	// refreshes instead of the static KeyTtl, and refuses to index keys
+	// whose estimated query rate falls below the fitted fMin.
+	Adaptive bool
+	// RetuneInterval is how often the adaptive control loop refits —
+	// also the width of its observation windows. Zero means 60 rounds.
+	RetuneInterval time.Duration
+	// Tuner parameterizes the control plane (zero fields take
+	// adapt.DefaultConfig); ignored unless Adaptive is set.
+	Tuner adapt.Config
 }
 
 // DefaultConfig returns the configuration a live deployment starts from.
@@ -103,6 +116,9 @@ func (c *Config) setDefaults() {
 	if c.SyncInterval == 0 {
 		c.SyncInterval = 4 * c.GossipInterval
 	}
+	if c.RetuneInterval == 0 {
+		c.RetuneInterval = 60 * c.RoundDuration
+	}
 }
 
 func (c Config) validate() error {
@@ -119,6 +135,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("node: MaintainEnv %v must be a probability", c.MaintainEnv)
 	case c.GossipInterval < 0 || c.SuspicionTimeout < 0 || c.SyncInterval < 0:
 		return fmt.Errorf("node: negative gossip interval")
+	case c.RetuneInterval < 0:
+		return fmt.Errorf("node: negative RetuneInterval")
 	}
 	return nil
 }
@@ -146,11 +164,17 @@ type Node struct {
 	clients       map[string]transport.Client
 	clientsClosed bool
 
+	// The adaptive control plane: nil unless cfg.Adaptive. The tuner owns
+	// the actuator state; the insert/refresh paths read its current keyTtl
+	// recommendation lock-free via keyTtl().
+	tuner *adapt.Tuner
+
 	counters stats.Counters
 	queries, hits, misses, broadcasts,
 	broadcastAnswered, inserts, refreshes,
 	unanswered, rpcFailures, staleViews,
-	handoffKeys, handoffMsgs atomic.Uint64
+	handoffKeys, handoffMsgs,
+	gatedInserts, retunes atomic.Uint64
 	indexSize atomic.Int64 // gauge, updated by the sweeper
 
 	stop      chan struct{}
@@ -181,6 +205,13 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 		queryCounts: make(map[keyspace.Key]uint64),
 		clients:     make(map[string]transport.Client),
 		stop:        make(chan struct{}),
+	}
+	if cfg.Adaptive {
+		t, err := adapt.NewTuner(cfg.Tuner)
+		if err != nil {
+			return nil, err
+		}
+		n.tuner = t
 	}
 	srv, err := tr.Serve(cfg.Addr, n.handle)
 	if err != nil {
@@ -228,6 +259,10 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 	n.gossip.Start()
 	n.done.Add(1)
 	go n.sweeper()
+	if n.tuner != nil {
+		n.done.Add(1)
+		go n.retuner()
+	}
 	return n, nil
 }
 
@@ -239,6 +274,22 @@ func (n *Node) Config() Config { return n.cfg }
 
 // now is the node's round clock.
 func (n *Node) now() int { return int(time.Since(n.epoch) / n.cfg.RoundDuration) }
+
+// keyTtl is the expiration time attached to inserts and refreshes from here
+// on: the tuner's latest recommendation when the control plane has one, the
+// static config knob otherwise. Entries already granted a TTL keep it — a
+// retune only changes what future inserts and refreshes receive.
+func (n *Node) keyTtl() int {
+	if n.tuner != nil {
+		if ttl, ok := n.tuner.KeyTtl(); ok {
+			return ttl
+		}
+	}
+	return n.cfg.KeyTtl
+}
+
+// Tuner exposes the adaptive control plane, nil unless Config.Adaptive.
+func (n *Node) Tuner() *adapt.Tuner { return n.tuner }
 
 // Close shuts the node down: the membership loop stops, the endpoint
 // stops accepting, in-flight handoff pushers finish (their remaining calls
@@ -552,6 +603,10 @@ type QueryResult struct {
 	BroadcastMsgs int
 	InsertMsgs    int
 	RefreshMsgs   int
+	// InsertGated reports that the broadcast resolved the key but the
+	// adaptive control plane refused to index it (estimated rate below
+	// fMin).
+	InsertGated bool
 }
 
 // Total returns the query's full message cost.
@@ -566,6 +621,11 @@ func (r QueryResult) Total() int {
 func (n *Node) Query(key uint64) QueryResult {
 	k := keyspace.Key(key)
 	n.queries.Add(1)
+	if n.tuner != nil {
+		// Feed the frequency sketches — O(1), allocation-free, before
+		// the lock (the tuner has its own).
+		n.tuner.Observe(key)
+	}
 
 	n.mu.Lock()
 	// The per-key counts only feed Report's Zipf fit; cap the tracked
@@ -626,7 +686,15 @@ func (n *Node) Query(key uint64) QueryResult {
 	n.broadcastAnswered.Add(1)
 	res.Answered, res.Value, res.AnsweredBy = true, value, foundAt
 
-	// 3. Insert the resolved key with keyTtl at every replica.
+	// 3. Insert the resolved key with keyTtl at every replica — unless
+	// the control plane estimates its query rate below fMin, in which
+	// case indexing it would cost more than the broadcasts it saves
+	// (the §2 decision, taken per key, online).
+	if n.tuner != nil && !n.tuner.ShouldIndex(key) {
+		n.gatedInserts.Add(1)
+		res.InsertGated = true
+		return res
+	}
 	res.InsertMsgs = n.insert(k, value, probes, hash)
 	n.inserts.Add(1)
 	return res
@@ -669,17 +737,18 @@ func (n *Node) accept(resp transport.Response) bool {
 // refreshHit applies the reset-on-hit rule at the answering peer,
 // returning the number of messages it cost.
 func (n *Node) refreshHit(addr string, k keyspace.Key, hash uint64) int {
+	ttl := n.keyTtl()
 	if addr == n.cfg.Addr {
 		now := n.now()
 		n.mu.Lock()
-		if n.cache.Refresh(k, now+n.cfg.KeyTtl, now) {
+		if n.cache.Refresh(k, now+ttl, now) {
 			n.refreshes.Add(1)
 		}
 		n.mu.Unlock()
 		return 0
 	}
 	n.counters.Inc(stats.MsgUpdate)
-	if resp, err := n.call(addr, transport.Request{Op: transport.OpRefresh, Key: uint64(k), TTL: n.cfg.KeyTtl, ViewHash: hash}); err == nil {
+	if resp, err := n.call(addr, transport.Request{Op: transport.OpRefresh, Key: uint64(k), TTL: ttl, ViewHash: hash}); err == nil {
 		n.accept(resp)
 	}
 	return 1
@@ -730,17 +799,18 @@ func (n *Node) broadcast(k keyspace.Key, members []string) (value uint64, foundA
 // insert installs key→value with keyTtl at every replica, returning the
 // number of messages spent.
 func (n *Node) insert(k keyspace.Key, value uint64, replicas []string, hash uint64) (msgs int) {
+	ttl := n.keyTtl()
 	for _, addr := range replicas {
 		if addr == n.cfg.Addr {
 			now := n.now()
 			n.mu.Lock()
-			n.cache.Put(k, core.Value(value), now+n.cfg.KeyTtl, now)
+			n.cache.Put(k, core.Value(value), now+ttl, now)
 			n.mu.Unlock()
 			continue
 		}
 		msgs++
 		n.counters.Inc(stats.MsgUpdate)
-		if resp, err := n.call(addr, transport.Request{Op: transport.OpInsert, Key: uint64(k), Value: value, TTL: n.cfg.KeyTtl, ViewHash: hash}); err == nil {
+		if resp, err := n.call(addr, transport.Request{Op: transport.OpInsert, Key: uint64(k), Value: value, TTL: ttl, ViewHash: hash}); err == nil {
 			n.accept(resp)
 		}
 	}
@@ -773,6 +843,47 @@ func (n *Node) sweeper() {
 			n.indexSize.Store(int64(live))
 			if probes > 0 {
 				n.counters.Add(stats.MsgMaintenance, int64(probes))
+			}
+		}
+	}
+}
+
+// retuner is the adaptive control loop: every RetuneInterval it closes the
+// tuner's observation window, refits the paper's model to the traffic this
+// node saw, and installs the recommended keyTtl for future inserts and
+// refreshes. Entries already in the cache keep the TTL they were granted —
+// shrinking the recommendation never mass-expires the index. A window with
+// no traffic (or too few members to pose the model) leaves the previous
+// recommendation standing.
+func (n *Node) retuner() {
+	defer n.done.Done()
+	tick := time.NewTicker(n.cfg.RetuneInterval)
+	defer tick.Stop()
+	last := n.now()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-tick.C:
+			now := n.now()
+			window := now - last
+			if window < 1 {
+				continue // sub-round interval; wait for the clock
+			}
+			last = now
+			n.mu.Lock()
+			members := len(n.view.members)
+			n.mu.Unlock()
+			in := adapt.Inputs{
+				Members:      members,
+				Observers:    1, // a peer observes only its own queries
+				Capacity:     n.cfg.Capacity,
+				Repl:         n.cfg.Repl,
+				Env:          n.cfg.MaintainEnv,
+				WindowRounds: window,
+			}
+			if _, err := n.tuner.Retune(in); err == nil {
+				n.retunes.Add(1)
 			}
 		}
 	}

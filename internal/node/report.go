@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"pdht/internal/adapt"
 	"pdht/internal/gossip"
 	"pdht/internal/model"
 	"pdht/internal/stats"
@@ -32,6 +33,10 @@ type Report struct {
 	// the ones the new owner accepted.
 	HandoffMsgs, HandoffKeys uint64
 
+	// Adaptive is the control plane's state — nil unless the node runs
+	// with Config.Adaptive.
+	Adaptive *AdaptiveState
+
 	// ViewVersion is the gossip version of the installed view;
 	// Membership the full gossip table behind it (the live status view).
 	ViewVersion uint64
@@ -50,6 +55,23 @@ type Report struct {
 	// observed workload, nil when the node has not seen enough traffic
 	// (fewer than 2 members or no queries) to fit one.
 	Model *ModelComparison
+}
+
+// AdaptiveState reports the query-adaptive control plane: what the tuner
+// fitted, what it actuated, and what that cost.
+type AdaptiveState struct {
+	// KeyTtl is the expiration time currently attached to inserts and
+	// refreshes (the tuned value once a retune succeeded, the static
+	// config knob before that); Retunes counts successful refits.
+	KeyTtl  int
+	Retunes uint64
+	// GatedInserts counts broadcast-resolved keys the fMin gate refused
+	// to index.
+	GatedInserts uint64
+	// Tuner is the control plane's own snapshot: the fitted scenario
+	// (α, fQry, distinct keys), fMin, the gate threshold, and the fixed
+	// memory footprint of the frequency summaries.
+	Tuner adapt.Snapshot
 }
 
 // ModelComparison puts the measured operating point next to the analytical
@@ -114,6 +136,14 @@ func (n *Node) Report() Report {
 	if r.Queries > 0 {
 		r.HitRate = float64(r.Hits) / float64(r.Queries)
 	}
+	if n.tuner != nil {
+		r.Adaptive = &AdaptiveState{
+			KeyTtl:       n.keyTtl(),
+			Retunes:      n.retunes.Load(),
+			GatedInserts: n.gatedInserts.Load(),
+			Tuner:        n.tuner.Snapshot(),
+		}
+	}
 	r.Model = n.modelComparison(r, members, repl, distinct, counts)
 	return r
 }
@@ -142,7 +172,7 @@ func (n *Node) modelComparison(r Report, members, repl, distinct int, counts []i
 		Dup:  1.8,
 		Dup2: 1.8,
 	}
-	sol, err := model.SolveTTL(p, nil, float64(n.cfg.KeyTtl))
+	sol, err := model.SolveTTL(p, nil, float64(n.keyTtl()))
 	if err != nil {
 		return nil
 	}
@@ -170,6 +200,15 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "  stale-views %d  handoff %d/%d keys accepted/pushed\n",
 		r.StaleViews, r.HandoffKeys, r.HandoffMsgs)
 	fmt.Fprintf(&b, "  index entries %d  published keys %d\n", r.IndexedKeys, r.StoredKeys)
+	if a := r.Adaptive; a != nil {
+		fmt.Fprintf(&b, "  adaptive: keyTtl %d  retunes %d  gated inserts %d  sketches %d KiB\n",
+			a.KeyTtl, a.Retunes, a.GatedInserts, a.Tuner.MemoryBytes/1024)
+		if a.Tuner.Ready {
+			d := a.Tuner.Last
+			fmt.Fprintf(&b, "    fitted α=%.2f fQry=%.3g distinct≈%d → fMin=%.3g, gate threshold %d\n",
+				d.Alpha, d.FQry, d.DistinctKeys, d.FMin, d.GateThreshold)
+		}
+	}
 	if len(r.Membership) > 0 {
 		b.WriteString("  membership:")
 		for _, m := range r.Membership {

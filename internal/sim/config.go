@@ -1,9 +1,12 @@
 // Package sim runs message-level simulations of the paper's scenario: a
 // population of churning peers holding randomly replicated content,
-// querying with Zipf-distributed frequencies, under one of four strategies —
+// querying with Zipf-distributed frequencies, under one of five strategies —
 // broadcast everything (noIndex, eq. 12), index everything (indexAll,
-// eq. 11), ideal partial indexing with oracle knowledge (eq. 13), and the
-// decentralized TTL selection algorithm (eq. 17, the paper's contribution).
+// eq. 11), ideal partial indexing with oracle knowledge (eq. 13), the
+// decentralized TTL selection algorithm (eq. 17, the paper's contribution),
+// and the selection algorithm under the live adaptive control plane
+// (internal/adapt), which retunes keyTtl and gates below-fMin inserts from
+// online frequency sketches.
 //
 // It is the measurement side of the reproduction: the analytical package
 // predicts message rates, this package counts actual messages from actual
@@ -14,6 +17,7 @@ package sim
 import (
 	"fmt"
 
+	"pdht/internal/adapt"
 	"pdht/internal/churn"
 	"pdht/internal/model"
 	"pdht/internal/stats"
@@ -36,6 +40,13 @@ const (
 	// StrategyPartialTTL is the Section-5 selection algorithm: no
 	// global knowledge, TTL-cached entries, insert-on-miss.
 	StrategyPartialTTL
+	// StrategyPartialAdaptive is the selection algorithm under the live
+	// control plane (internal/adapt): an online tuner sketches the query
+	// stream, refits the model every TunePeriod rounds, drives keyTtl
+	// from the fit, and gates inserts of keys whose estimated rate falls
+	// below fMin. The A/B counterpart of StrategyPartialTTL under
+	// mid-run popularity shifts.
+	StrategyPartialAdaptive
 )
 
 // String names the strategy as the paper does.
@@ -49,6 +60,8 @@ func (s Strategy) String() string {
 		return "partial"
 	case StrategyPartialTTL:
 		return "partialTTL"
+	case StrategyPartialAdaptive:
+		return "partialAdaptive"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
@@ -56,12 +69,12 @@ func (s Strategy) String() string {
 
 // ParseStrategy resolves a strategy name as printed by String.
 func ParseStrategy(name string) (Strategy, error) {
-	for _, s := range []Strategy{StrategyNoIndex, StrategyIndexAll, StrategyPartialIdeal, StrategyPartialTTL} {
+	for _, s := range []Strategy{StrategyNoIndex, StrategyIndexAll, StrategyPartialIdeal, StrategyPartialTTL, StrategyPartialAdaptive} {
 		if s.String() == name {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("sim: unknown strategy %q (want noIndex, indexAll, partial or partialTTL)", name)
+	return 0, fmt.Errorf("sim: unknown strategy %q (want noIndex, indexAll, partial, partialTTL or partialAdaptive)", name)
 }
 
 // ParseBackend resolves a backend name as printed by Backend.String.
@@ -164,9 +177,14 @@ type Config struct {
 	// estimator (core.TTLEstimator): the run starts from a deliberately
 	// coarse initial TTL and retunes every TunePeriod rounds from
 	// observed costs — the paper's §5.1.1 future-work mechanism.
+	// StrategyPartialTTL only.
 	SelfTuneTTL bool
-	// TunePeriod is the retuning interval in rounds (default 50).
+	// TunePeriod is the retuning interval in rounds (default 50), shared
+	// by SelfTuneTTL and StrategyPartialAdaptive.
 	TunePeriod int
+	// Adapt parameterizes the StrategyPartialAdaptive control plane;
+	// zero fields take adapt.DefaultConfig.
+	Adapt adapt.Config
 
 	// Run length.
 	Rounds       int
@@ -249,8 +267,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: %w", err)
 	}
 	switch {
-	case c.Strategy < StrategyNoIndex || c.Strategy > StrategyPartialTTL:
+	case c.Strategy < StrategyNoIndex || c.Strategy > StrategyPartialAdaptive:
 		return fmt.Errorf("sim: unknown strategy %d", int(c.Strategy))
+	case c.SelfTuneTTL && c.Strategy == StrategyPartialAdaptive:
+		return fmt.Errorf("sim: SelfTuneTTL is a StrategyPartialTTL mechanism; partialAdaptive has its own tuner")
 	case c.OverlayDegree < 1 || c.OverlayDegree >= c.Peers:
 		return fmt.Errorf("sim: OverlayDegree %d out of [1,%d)", c.OverlayDegree, c.Peers)
 	case c.SubnetDegree < 1:
@@ -321,6 +341,11 @@ type Result struct {
 	// KeyQueryCounts holds per-key query counts over the measurement
 	// window when Config.CollectKeyCounts is set, indexed by key index.
 	KeyQueryCounts []int
+	// GatedInserts counts broadcast-resolved keys the fMin gate refused
+	// to index; Tuner is the control plane's final state. Both are zero
+	// values unless Strategy == StrategyPartialAdaptive.
+	GatedInserts int
+	Tuner        adapt.Snapshot
 }
 
 // IndexFraction returns the measured mean index size as a fraction of all

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"pdht/internal/adapt"
 	"pdht/internal/churn"
 	"pdht/internal/core"
 	"pdht/internal/dht"
@@ -49,6 +50,11 @@ type run struct {
 	index *core.PartialIndex
 	pdht  *core.PDHT
 	tuner *core.TTLEstimator
+	// The adaptive control plane (StrategyPartialAdaptive): one tuner
+	// observing the whole population's stream, as if every peer ran the
+	// same control loop over its share.
+	adaptTuner   *adapt.Tuner
+	gatedInserts int
 	// Oracle knowledge for StrategyPartialIdeal: ranks 1..maxRank are
 	// indexed. Under the identity rank→key mapping that is key < maxRank.
 	maxRank int
@@ -177,13 +183,13 @@ func setup(cfg Config) (*run, error) {
 				return nil, err
 			}
 		}
-	case StrategyPartialTTL:
+	case StrategyPartialTTL, StrategyPartialAdaptive:
 		r.keyTtl = cfg.KeyTtl
 		if r.keyTtl == 0 {
-			if cfg.SelfTuneTTL {
+			if cfg.SelfTuneTTL || cfg.Strategy == StrategyPartialAdaptive {
 				// A deployment without the analytical model
 				// starts from a coarse guess (ten minutes) and
-				// lets the estimator correct it.
+				// lets its control loop correct it.
 				r.keyTtl = 600
 			} else {
 				ideal := model.IdealKeyTtl(sol)
@@ -199,7 +205,22 @@ func setup(cfg Config) (*run, error) {
 				return nil, err
 			}
 		}
-		ttlSol, err := model.SolveTTL(p, dist, float64(r.keyTtl))
+		if cfg.Strategy == StrategyPartialAdaptive {
+			r.adaptTuner, err = adapt.NewTuner(cfg.Adapt)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// The prediction column and DHT sizing: partialTTL at the TTL it
+		// runs with; partialAdaptive at the model-ideal TTL its control
+		// loop should converge to (unless an explicit KeyTtl pins it).
+		refTtl := float64(r.keyTtl)
+		if cfg.Strategy == StrategyPartialAdaptive && cfg.KeyTtl == 0 {
+			if ideal := model.IdealKeyTtl(sol); ideal >= 1 {
+				refTtl = ideal
+			}
+		}
+		ttlSol, err := model.SolveTTL(p, dist, refTtl)
 		if err != nil {
 			return nil, err
 		}
@@ -215,6 +236,9 @@ func setup(cfg Config) (*run, error) {
 			return nil, err
 		}
 		r.pdht = core.NewPDHT(r.index, r.bc, r.rng)
+		if t := r.adaptTuner; t != nil {
+			r.pdht.SetInsertGate(func(k keyspace.Key) bool { return t.ShouldIndex(uint64(k)) })
+		}
 	}
 
 	// Churn last, so that construction sees the full population; the
@@ -322,11 +346,32 @@ func (r *run) loop() (Result, error) {
 					}
 				}
 			}
+			if r.adaptTuner != nil {
+				period := cfg.TunePeriod
+				if period == 0 {
+					period = 50
+				}
+				if round > 0 && round%period == 0 {
+					in := adapt.Inputs{
+						Members:      cfg.Peers,
+						Observers:    cfg.Peers,
+						Capacity:     cfg.Stor,
+						Repl:         cfg.Repl,
+						Env:          cfg.Env,
+						WindowRounds: period,
+					}
+					if d, err := r.adaptTuner.Retune(in); err == nil {
+						r.keyTtl = d.KeyTtl
+						r.index.SetKeyTtl(d.KeyTtl)
+					}
+				}
+			}
 		}
 
 		// Proactive updates: only the always-consistent strategies pay
-		// them (§5.1 drops cUpd under TTL selection).
-		if r.index != nil && cfg.Strategy != StrategyPartialTTL {
+		// them (§5.1 drops cUpd under TTL selection, with or without
+		// the adaptive control plane).
+		if r.index != nil && cfg.Strategy != StrategyPartialTTL && cfg.Strategy != StrategyPartialAdaptive {
 			ubuf = r.updates.Round(ubuf)
 			for _, u := range ubuf {
 				if cfg.Strategy == StrategyPartialIdeal && u.Key >= r.maxRank {
@@ -418,6 +463,10 @@ func (r *run) loop() (Result, error) {
 	}
 	res.MeanLookupHops = r.hops.Mean()
 	res.RouteFailures = r.routeFailures
+	res.GatedInserts = r.gatedInserts
+	if r.adaptTuner != nil {
+		res.Tuner = r.adaptTuner.Snapshot()
+	}
 	return res, nil
 }
 
@@ -449,9 +498,15 @@ func (r *run) answer(q workload.Query) (answered, fromIndex bool) {
 		}
 		_, found, _ := r.bc.Search(q.Origin, key, r.rng)
 		return found, false
-	case StrategyPartialTTL:
+	case StrategyPartialTTL, StrategyPartialAdaptive:
+		if r.adaptTuner != nil {
+			r.adaptTuner.Observe(uint64(key))
+		}
 		out := r.pdht.Query(q.Origin, key)
 		r.noteRoute(out.RouteHops, out.RouteOK)
+		if out.InsertGated {
+			r.gatedInserts++
+		}
 		if r.tuner != nil {
 			r.tuner.ObserveLookup(float64(out.IndexMsgs))
 			if out.BroadcastMsgs > 0 {

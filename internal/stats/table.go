@@ -2,6 +2,7 @@ package stats
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -109,6 +110,23 @@ func (t *Table) RenderString() string {
 	var b strings.Builder
 	t.Render(&b)
 	return b.String()
+}
+
+// RenderJSON writes the table as one JSON object — {title, header, rows} —
+// the machine-readable form the benchmark trajectory tooling consumes. Cells
+// stay strings, exactly as rendered: the format is a transport for recorded
+// measurements, not a typed schema.
+func (t *Table) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return enc.Encode(struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{Title: t.title, Header: t.header, Rows: rows})
 }
 
 // RenderCSV writes the table as RFC-4180 CSV: one header record, one record

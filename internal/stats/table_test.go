@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -82,5 +83,33 @@ func TestFormatFloat(t *testing.T) {
 		if got := formatFloat(c.in); got != c.want {
 			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
 		}
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	tb := NewTable("demo", "x", "y")
+	tb.AddRow("a", 1.5)
+	var buf strings.Builder
+	if err := tb.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &got); err != nil {
+		t.Fatalf("invalid JSON %q: %v", buf.String(), err)
+	}
+	if got.Title != "demo" || len(got.Header) != 2 || len(got.Rows) != 1 || got.Rows[0][1] != "1.50" {
+		t.Fatalf("round-trip = %+v", got)
+	}
+	empty := NewTable("empty", "x")
+	buf.Reset()
+	if err := empty.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"rows":[]`) {
+		t.Fatalf("empty table must encode rows as [], got %q", buf.String())
 	}
 }

@@ -41,13 +41,19 @@
 // with SWIM-style membership detecting crashes, evicting dead peers and
 // handing moved index keys to their new owners with their remaining TTLs —
 // and cmd/pdht-node is the deployable; see its -demo mode for the whole
-// story on a 3-node loopback cluster.
+// story on a 3-node loopback cluster. internal/adapt closes the title's
+// loop at runtime: each peer sketches its own query stream in O(1) per
+// query and bounded memory, refits the model periodically, retunes keyTtl,
+// and gates the indexing of keys whose measured rate falls below fMin
+// (node.Config.Adaptive, the CLI's -adaptive, and StrategyPartialAdaptive
+// in the simulator).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
 package pdht
 
 import (
+	"pdht/internal/adapt"
 	"pdht/internal/churn"
 	"pdht/internal/metadata"
 	"pdht/internal/model"
@@ -136,12 +142,15 @@ func IdealKeyTtl(sol Solution) float64 { return model.IdealKeyTtl(sol) }
 // Strategy selects how simulated queries are answered.
 type Strategy = sim.Strategy
 
-// The four strategies of the paper's evaluation.
+// The four strategies of the paper's evaluation, plus the adaptive variant:
+// the selection algorithm with the live control plane (internal/adapt)
+// driving keyTtl and the fMin insert gate from online frequency sketches.
 const (
-	StrategyNoIndex      = sim.StrategyNoIndex
-	StrategyIndexAll     = sim.StrategyIndexAll
-	StrategyPartialIdeal = sim.StrategyPartialIdeal
-	StrategyPartialTTL   = sim.StrategyPartialTTL
+	StrategyNoIndex         = sim.StrategyNoIndex
+	StrategyIndexAll        = sim.StrategyIndexAll
+	StrategyPartialIdeal    = sim.StrategyPartialIdeal
+	StrategyPartialTTL      = sim.StrategyPartialTTL
+	StrategyPartialAdaptive = sim.StrategyPartialAdaptive
 )
 
 // Backend selects the DHT implementation under the index.
@@ -239,3 +248,35 @@ func GenerateArticles(n int, seed uint64) []Article {
 func EstimateAlpha(counts []int, keys int) (float64, error) {
 	return zipf.EstimateAlpha(counts, keys)
 }
+
+// Tuner is the query-adaptive control plane of internal/adapt: count-min and
+// heavy-hitter sketches over the query stream (O(1) per query, bounded
+// memory), a periodic refit of the paper's model to what they saw, and the
+// two actuated knobs — keyTtl = 1/fMin for future inserts, and the per-key
+// fMin gate deciding whether a broadcast-resolved key is indexed at all.
+// internal/node runs one per peer under node.Config.Adaptive; the simulator
+// A/Bs it as StrategyPartialAdaptive.
+type Tuner = adapt.Tuner
+
+// TunerConfig parameterizes a Tuner; zero fields take documented defaults.
+type TunerConfig = adapt.Config
+
+// TunerInputs carries the cluster facts a retune fits against.
+type TunerInputs = adapt.Inputs
+
+// TunerDecision is one retune outcome: the fitted scenario (α, fQry,
+// distinct keys), fMin, and the recommended keyTtl and gate threshold.
+type TunerDecision = adapt.Decision
+
+// NewTuner returns a standalone control plane, for embedding the
+// measure→model→actuate loop outside the bundled node subsystem:
+//
+//	t, _ := pdht.NewTuner(pdht.TunerConfig{})
+//	t.Observe(key)                      // on every query
+//	d, _ := t.Retune(pdht.TunerInputs{  // periodically
+//	    Members: 50, Observers: 1, Capacity: 1024, Repl: 3,
+//	    Env: 1.0 / 14, WindowRounds: 60,
+//	})
+//	_ = d.KeyTtl                        // attach to inserts
+//	_ = t.ShouldIndex(key)              // gate below-fMin inserts
+func NewTuner(cfg TunerConfig) (*Tuner, error) { return adapt.NewTuner(cfg) }

@@ -185,3 +185,50 @@ func ExampleSolve() {
 	// broadcast search costs 720 messages, index search 6.8
 	// keys worth indexing: 25610 of 40000
 }
+
+func TestPublicTuner(t *testing.T) {
+	tn, err := pdht.NewTuner(pdht.TunerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A skewed stream: key k observed 200/k times, plus a long tail.
+	for k := uint64(1); k <= 40; k++ {
+		for i := uint64(0); i < 200/k; i++ {
+			tn.Observe(k)
+		}
+	}
+	d, err := tn.Retune(pdht.TunerInputs{
+		Members: 50, Observers: 50, Capacity: 64, Repl: 5,
+		Env: 1.0 / 14, WindowRounds: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.KeyTtl < 1 || d.Alpha <= 0 || d.DistinctKeys < 30 {
+		t.Fatalf("implausible decision %+v", d)
+	}
+	if ttl, ok := tn.KeyTtl(); !ok || ttl != d.KeyTtl {
+		t.Fatalf("KeyTtl() = (%d,%v) after a successful retune", ttl, ok)
+	}
+}
+
+func TestPublicAdaptiveSimulation(t *testing.T) {
+	cfg := pdht.DefaultSimConfig()
+	cfg.Strategy = pdht.StrategyPartialAdaptive
+	cfg.Peers = 300
+	cfg.Keys = 600
+	cfg.Repl = 6
+	cfg.Rounds = 80
+	cfg.WarmupRounds = 20
+	cfg.TunePeriod = 25
+	res, err := pdht.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 || res.Answered == 0 {
+		t.Fatalf("adaptive simulation answered %d/%d queries", res.Answered, res.Queries)
+	}
+	if res.Tuner.Retunes == 0 {
+		t.Fatal("adaptive simulation never retuned")
+	}
+}
