@@ -1,0 +1,275 @@
+// Package client is the application-facing API of the live partial DHT:
+// context-first, batched, typed-error access to a cluster of pdht nodes.
+//
+// Open builds one of two handles over the same Client surface:
+//
+//   - Member mode (default): a full peer — it serves the
+//     Query/Insert/Refresh/Broadcast/Gossip RPCs, participates in SWIM
+//     membership, holds its share of the index, and can host content for
+//     the unstructured broadcast. This is the embed-a-node story.
+//
+//   - Client-only mode (WithClientOnly): a lightweight handle that speaks
+//     the wire protocol to an existing cluster without joining it — no
+//     serving socket, no gossip participation, no index share. It fetches
+//     the membership view from a seed, routes client-side, and re-syncs
+//     from stale-view responses. This is the access-a-cluster story.
+//
+// Every request takes a context: cancellation and deadlines abort
+// in-flight legs (index probes, broadcast fan-out, insert writes) and
+// surface as context.Canceled or ErrTimeout. Failures are typed —
+// ErrClosed, ErrNoMembers, ErrStaleView, ErrTimeout — and errors.Is-able.
+//
+// QueryMany and PublishMany are first-class batched operations: keys are
+// grouped by responsible peer and each group crosses the wire as a single
+// OpBatch round trip with per-key results, amortizing the per-request cost
+// exactly where a heavy query stream needs it.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"pdht/internal/metadata"
+	"pdht/internal/node"
+)
+
+// The typed failures of the request path, re-exported from the node
+// engine so errors.Is works across both packages.
+var (
+	// ErrClosed reports a request issued after Close.
+	ErrClosed = node.ErrClosed
+	// ErrNoMembers reports that no cluster member is known or reachable.
+	ErrNoMembers = node.ErrNoMembers
+	// ErrStaleView reports a membership view that disagreed with every
+	// peer asked and could not be refreshed.
+	ErrStaleView = node.ErrStaleView
+	// ErrTimeout reports a deadline expiry mid-request; it wraps
+	// context.DeadlineExceeded.
+	ErrTimeout = node.ErrTimeout
+)
+
+// KV is one key→value pair of a batched publish.
+type KV struct {
+	Key   uint64
+	Value uint64
+}
+
+// Result reports one resolved query.
+type Result struct {
+	// Key echoes the queried key — batched results stay self-describing
+	// even when the caller reorders or filters them.
+	Key uint64
+	// Answered reports whether the query resolved at all; FromIndex
+	// whether the partial index answered it (vs the broadcast fallback).
+	Answered  bool
+	FromIndex bool
+	// InsertGated reports that the broadcast resolved the key but the
+	// adaptive control plane refused to index it (member mode only).
+	InsertGated bool
+	// Value is the resolved value when Answered.
+	Value uint64
+	// Responsible is the peer routing selected for the key; AnsweredBy
+	// the peer that actually supplied the value.
+	Responsible string
+	AnsweredBy  string
+	// Messages is the total message cost the request paid on the wire —
+	// the live analogue of the paper's cost accounting.
+	Messages int
+}
+
+// Client is one handle on the partial DHT — a full member node or a
+// non-serving cluster client, depending on the Open options. Safe for
+// concurrent use.
+type Client struct {
+	nd *node.Node         // member mode
+	rc *node.RemoteClient // client-only mode
+}
+
+// Open builds a handle on the partial DHT. With default options it starts
+// a member node on TCP loopback seeding a fresh cluster; WithSeeds joins
+// an existing one; WithClientOnly connects without joining. The context
+// bounds the bootstrap (bind, join, membership fetch).
+//
+// The returned handle must be Closed; in member mode that departs the
+// cluster ungracefully (the membership layer detects and evicts it, the
+// index handoff re-homes its entries).
+func Open(ctx context.Context, opts ...Option) (*Client, error) {
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	nodeCfg, remoteCfg, err := cfg.build()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
+	}
+	if cfg.clientOnly {
+		rc, err := node.DialRemote(ctx, cfg.tr, remoteCfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Client{rc: rc}, nil
+	}
+	// Member mode: try the seeds in order — the first that joins wins; a
+	// node with no seeds starts its own cluster.
+	seeds := cfg.seeds
+	if len(seeds) == 0 {
+		seeds = []string{""}
+	}
+	var lastErr error
+	for _, seed := range seeds {
+		nodeCfg.Seed = seed
+		nd, err := node.New(cfg.tr, nodeCfg)
+		if err == nil {
+			return &Client{nd: nd}, nil
+		}
+		lastErr = err
+		if err := ctx.Err(); err != nil {
+			return nil, ctxErr(err)
+		}
+	}
+	return nil, fmt.Errorf("client: open: %w", lastErr)
+}
+
+// ctxErr translates a context failure into the typed taxonomy, exactly as
+// the engines do: deadline expiry becomes ErrTimeout, cancellation stays
+// context.Canceled.
+func ctxErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrTimeout
+	}
+	return err
+}
+
+// Close releases the handle: a member node departs and shuts down, a
+// client-only handle drops its connections. Idempotent.
+func (c *Client) Close() error {
+	if c.nd != nil {
+		return c.nd.Close()
+	}
+	return c.rc.Close()
+}
+
+// Serving reports whether this handle is a full member node (true) or a
+// non-serving client (false).
+func (c *Client) Serving() bool { return c.nd != nil }
+
+// Addr returns the member node's serving address, empty in client-only
+// mode.
+func (c *Client) Addr() string {
+	if c.nd != nil {
+		return c.nd.Addr()
+	}
+	return ""
+}
+
+// Members returns the handle's current view of the cluster membership.
+func (c *Client) Members() []string {
+	if c.nd != nil {
+		return c.nd.Members()
+	}
+	return c.rc.Members()
+}
+
+// Report renders the member node's self-measurement status block, with
+// ok=false in client-only mode (a non-serving client measures nothing).
+func (c *Client) Report() (string, bool) {
+	if c.nd == nil {
+		return "", false
+	}
+	return c.nd.Report().String(), true
+}
+
+// Query resolves one key with the paper's selection algorithm: index
+// search at the responsible replica group, broadcast on a miss, insert of
+// the resolved value with keyTtl, TTL refresh on a hit. An unresolvable
+// key is not an error — Answered stays false; errors are the typed
+// lifecycle and context failures.
+func (c *Client) Query(ctx context.Context, key uint64) (Result, error) {
+	var (
+		res node.QueryResult
+		err error
+	)
+	if c.nd != nil {
+		res, err = c.nd.Query(ctx, key)
+	} else {
+		res, err = c.rc.Query(ctx, key)
+	}
+	return toResult(key, res), err
+}
+
+// QueryMany resolves a batch of keys with one OpBatch request per
+// destination peer: group by responsible node, a single round trip per
+// group, per-key results (aligned with keys). Keys the batch cannot
+// resolve fall back to the full per-key selection algorithm concurrently.
+// On a context failure the results gathered so far are returned with the
+// typed error.
+func (c *Client) QueryMany(ctx context.Context, keys []uint64) ([]Result, error) {
+	var (
+		rs  []node.QueryResult
+		err error
+	)
+	if c.nd != nil {
+		rs, err = c.nd.QueryMany(ctx, keys)
+	} else {
+		rs, err = c.rc.QueryMany(ctx, keys)
+	}
+	out := make([]Result, len(rs))
+	for i := range rs {
+		out[i] = toResult(keys[i], rs[i])
+	}
+	return out, err
+}
+
+// Publish makes key→value resolvable through the cluster. A member node
+// installs the pair in its local content store (the durable home the
+// broadcast searches); a client-only handle, which answers no broadcasts,
+// installs it at the key's index replica group with keyTtl — it expires
+// unless queries keep it alive or the client republishes.
+func (c *Client) Publish(ctx context.Context, key, value uint64) error {
+	if c.nd != nil {
+		return c.nd.Publish(ctx, key, value)
+	}
+	return c.rc.Publish(ctx, key, value)
+}
+
+// PublishMany publishes a batch of pairs; in client-only mode the inserts
+// are grouped by destination peer, one OpBatch round trip each.
+func (c *Client) PublishMany(ctx context.Context, pairs []KV) error {
+	kvs := make([]node.KV, len(pairs))
+	for i, p := range pairs {
+		kvs[i] = node.KV{Key: p.Key, Value: p.Value}
+	}
+	if c.nd != nil {
+		return c.nd.PublishMany(ctx, kvs)
+	}
+	return c.rc.PublishMany(ctx, kvs)
+}
+
+// ParseAndQuery parses the paper's query syntax — element=value predicates
+// joined by AND, e.g. "title=Weather Iráklion AND date=2004/03/14" — maps
+// the conjunction to its index key, and resolves it like Query.
+func (c *Client) ParseAndQuery(ctx context.Context, query string) (Result, error) {
+	q, err := metadata.ParseQuery(query)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.Query(ctx, uint64(q.Key()))
+}
+
+// toResult maps the engine's result onto the public one.
+func toResult(key uint64, r node.QueryResult) Result {
+	return Result{
+		Key:         key,
+		Answered:    r.Answered,
+		FromIndex:   r.FromIndex,
+		InsertGated: r.InsertGated,
+		Value:       r.Value,
+		Responsible: r.Responsible,
+		AnsweredBy:  r.AnsweredBy,
+		Messages:    r.Total(),
+	}
+}

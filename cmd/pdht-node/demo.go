@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -55,12 +56,17 @@ func runDemo(out io.Writer) error {
 
 	// A synthetic news corpus, each article's metadata keys published at
 	// two nodes (content replication).
+	ctx := context.Background()
 	arts := metadata.GenerateArticles(30, 1)
 	var allKeys []uint64
 	for i := range arts {
 		for _, ik := range arts[i].Keys(0) {
-			nodes[i%3].Publish(uint64(ik.Key), uint64(arts[i].ID))
-			nodes[(i+1)%3].Publish(uint64(ik.Key), uint64(arts[i].ID))
+			if err := nodes[i%3].Publish(ctx, uint64(ik.Key), uint64(arts[i].ID)); err != nil {
+				return err
+			}
+			if err := nodes[(i+1)%3].Publish(ctx, uint64(ik.Key), uint64(arts[i].ID)); err != nil {
+				return err
+			}
 			allKeys = append(allKeys, uint64(ik.Key))
 		}
 	}
@@ -86,7 +92,9 @@ func runDemo(out io.Writer) error {
 	sampler := zipf.NewSampler(dist, rand.New(rand.NewPCG(3, 5)))
 	rng := rand.New(rand.NewPCG(8, 13))
 	for q := 0; q < 300; q++ {
-		nodes[rng.IntN(3)].Query(allKeys[sampler.Sample()])
+		if _, err := nodes[rng.IntN(3)].Query(ctx, allKeys[sampler.Sample()]); err != nil {
+			return err
+		}
 	}
 	// Let at least one full round elapse so per-round rates are defined.
 	time.Sleep(2 * cfg.RoundDuration)

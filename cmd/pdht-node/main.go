@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -103,7 +104,10 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "serving on %s (%d members known)\n", nd.Addr(), len(nd.Members()))
 
 	if *publish > 0 {
-		n := publishArticles(nd, *publish, *publishSeed)
+		n, err := publishArticles(nd, *publish, *publishSeed)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "published %d index keys from %d articles\n", n, *publish)
 	}
 
@@ -149,16 +153,15 @@ func printMembers(out io.Writer, nd *node.Node) {
 
 // publishArticles installs every index key of n generated articles in the
 // node's content store (value = article ID) and returns the key count.
-func publishArticles(nd *node.Node, n int, seed uint64) int {
+func publishArticles(nd *node.Node, n int, seed uint64) (int, error) {
 	arts := metadata.GenerateArticles(n, seed)
-	total := 0
+	pairs := make([]node.KV, 0, n*20)
 	for i := range arts {
 		for _, ik := range arts[i].Keys(0) {
-			nd.Publish(uint64(ik.Key), uint64(arts[i].ID))
-			total++
+			pairs = append(pairs, node.KV{Key: uint64(ik.Key), Value: uint64(arts[i].ID)})
 		}
 	}
-	return total
+	return len(pairs), nd.PublishMany(context.Background(), pairs)
 }
 
 // answer resolves one ParseQuery-syntax query and prints the outcome.
@@ -167,7 +170,10 @@ func answer(nd *node.Node, text string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res := nd.Query(uint64(q.Key()))
+	res, err := nd.Query(context.Background(), uint64(q.Key()))
+	if err != nil {
+		return err
+	}
 	printResult(out, text, res)
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -11,6 +12,15 @@ import (
 	"pdht/internal/node"
 	"pdht/internal/transport"
 )
+
+// mustPublish installs key→value in n's content store, failing the test on
+// a typed error.
+func mustPublish(t *testing.T, n *node.Node, key, value uint64) {
+	t.Helper()
+	if err := n.Publish(context.Background(), key, value); err != nil {
+		t.Fatalf("Publish(%d): %v", key, err)
+	}
+}
 
 // TestDemoTellsTheWholeStory is the acceptance test of the live subsystem:
 // a 3-node cluster on TCP loopback where a ParseQuery-syntax query misses
@@ -62,7 +72,7 @@ func TestQueryFlagAgainstRunningSeed(t *testing.T) {
 	arts := metadata.GenerateArticles(5, 1)
 	for i := range arts {
 		for _, ik := range arts[i].Keys(0) {
-			seed.Publish(uint64(ik.Key), uint64(arts[i].ID))
+			mustPublish(t, seed, uint64(ik.Key), uint64(arts[i].ID))
 		}
 	}
 
@@ -132,7 +142,7 @@ func TestAdaptiveFlagReportsControlPlane(t *testing.T) {
 	arts := metadata.GenerateArticles(3, 1)
 	for i := range arts {
 		for _, ik := range arts[i].Keys(0) {
-			seed.Publish(uint64(ik.Key), uint64(arts[i].ID))
+			mustPublish(t, seed, uint64(ik.Key), uint64(arts[i].ID))
 		}
 	}
 

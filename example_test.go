@@ -1,0 +1,66 @@
+package pdht_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"pdht"
+)
+
+// ExampleOpen boots a two-node cluster over TCP loopback, connects a
+// non-serving client through it, and resolves a batch of keys with one
+// wire round trip per destination peer. It is the embed story end to end:
+// no flags, no daemons — Open, Publish, QueryMany, Close.
+func ExampleOpen() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// A member node seeding a fresh cluster, and a second member joining
+	// through it. In production these run in different processes.
+	seed, err := pdht.Open(ctx, pdht.WithListen("127.0.0.1:0"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer seed.Close()
+	peer, err := pdht.Open(ctx, pdht.WithSeeds(seed.Addr()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer peer.Close()
+
+	// The peer hosts some content — the keys broadcasts can resolve.
+	if err := peer.PublishMany(ctx, []pdht.ClientKV{
+		{Key: pdht.QueryKey(pdht.Predicate{Element: "title", Value: "Weather Iráklion"}), Value: 2001},
+		{Key: pdht.QueryKey(pdht.Predicate{Element: "date", Value: "2004/03/14"}), Value: 2002},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A lightweight client: speaks the wire protocol, serves nothing,
+	// appears in no membership view.
+	cl, err := pdht.Open(ctx, pdht.WithClientOnly(), pdht.WithSeeds(seed.Addr()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Batched resolution: keys grouped by responsible peer, one OpBatch
+	// request per destination, per-key results.
+	keys := []uint64{
+		pdht.QueryKey(pdht.Predicate{Element: "title", Value: "Weather Iráklion"}),
+		pdht.QueryKey(pdht.Predicate{Element: "date", Value: "2004/03/14"}),
+	}
+	results, err := cl.QueryMany(ctx, keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
+		fmt.Printf("answered=%v value=%d\n", res.Answered, res.Value)
+	}
+
+	// Output:
+	// answered=true value=2001
+	// answered=true value=2002
+}

@@ -1,65 +1,136 @@
 // Newsfeed: the paper's motivating application (§1, §4) — a decentralized
-// news system whose articles are described by metadata files. The example
-// shows how element=value predicates become index keys, why the paper's
-// key1 (title AND date) deserves indexing while key2 (size=2405) does not,
-// and what partial indexing saves on the full Table 1 scenario.
+// news system whose articles are described by metadata files — served by a
+// live cluster through the public client API. Element=value predicates
+// become index keys, members host the corpus, and a non-serving client
+// asks the paper's own example query in its own syntax; the model's
+// verdict on what deserves indexing closes the loop.
 //
 //	go run ./examples/newsfeed
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"pdht"
 )
 
+// waitMembers blocks until every handle sees n members — the gossip
+// layer's convergence barrier, polled through the public API.
+func waitMembers(handles []*pdht.Client, n int) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		converged := true
+		for _, h := range handles {
+			if len(h.Members()) != n {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	log.Fatal("cluster did not converge")
+}
+
 func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
 	// A corpus standing in for the paper's 2,000 articles × 20 keys.
-	articles := pdht.GenerateArticles(2000, 7)
+	articles := pdht.GenerateArticles(200, 7)
+
+	// A 3-member cluster over TCP loopback; the corpus' metadata keys are
+	// published at the members round-robin (value = article ID).
+	opts := []pdht.ClientOption{pdht.WithTCP(), pdht.WithRoundDuration(100 * time.Millisecond)}
+	seedNode, err := pdht.Open(ctx, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer seedNode.Close()
+	members := []*pdht.Client{seedNode}
+	for i := 0; i < 2; i++ {
+		m, err := pdht.Open(ctx, append(opts, pdht.WithSeeds(seedNode.Addr()))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer m.Close()
+		members = append(members, m)
+	}
+	waitMembers(members, len(members))
+	batches := make([][]pdht.ClientKV, len(members))
 	totalKeys := 0
 	for i := range articles {
-		totalKeys += len(articles[i].Keys(20))
+		for _, ik := range articles[i].Keys(20) {
+			m := i % len(members)
+			batches[m] = append(batches[m], pdht.ClientKV{Key: uint64(ik.Key), Value: uint64(articles[i].ID)})
+			totalKeys++
+		}
 	}
-	fmt.Printf("corpus: %d articles → %d metadata keys\n\n", len(articles), totalKeys)
+	for i, m := range members {
+		if err := m.PublishMany(ctx, batches[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("corpus: %d articles → %d metadata keys, hosted by %d members\n\n",
+		len(articles), totalKeys, len(members))
 
-	// The paper's example predicates.
-	key1 := pdht.QueryKey(
-		pdht.Predicate{Element: "title", Value: "Weather Iráklion"},
-		pdht.Predicate{Element: "date", Value: "2004/03/14"},
-	)
-	key2 := pdht.QueryKey(pdht.Predicate{Element: "size", Value: "2405"})
-	fmt.Printf("key1 = hash(title AND date) = %016x\n", key1)
-	fmt.Printf("key2 = hash(size=2405)      = %016x\n\n", key2)
+	// A reader is a non-serving client: it speaks the wire protocol but
+	// joins nothing. It asks in the paper's own syntax.
+	reader, err := pdht.Open(ctx, pdht.WithTCP(), pdht.WithClientOnly(), pdht.WithSeeds(seedNode.Addr()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reader.Close()
 
-	// The model's verdict: with Zipf(1.2) popularity, a key queried like
-	// a head key clears fMin easily; a key queried like deep tail never
-	// does.
+	query := fmt.Sprintf("title=%s AND date=%s", articles[0].Title, articles[0].Date)
+	first, err := reader.ParseAndQuery(ctx, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%q\n  → article %d (broadcast resolved it: %d msgs; now inserted with keyTtl)\n",
+		query, first.Value, first.Messages)
+	second, err := reader.ParseAndQuery(ctx, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  → repeat: fromIndex=%v (%d msgs)\n\n", second.FromIndex, second.Messages)
+
+	// The whole front page in one batched request: the title key of every
+	// tenth article, grouped by responsible peer, one round trip each.
+	var frontPage []uint64
+	for i := 0; i < len(articles); i += 10 {
+		frontPage = append(frontPage,
+			pdht.QueryKey(pdht.Predicate{Element: "title", Value: articles[i].Title}))
+	}
+	results, err := reader.QueryMany(ctx, frontPage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answered := 0
+	for _, res := range results {
+		if res.Answered {
+			answered++
+		}
+	}
+	fmt.Printf("front page: %d/%d title queries answered in one batch\n\n", answered, len(frontPage))
+
+	// The model's verdict on the paper's two example keys: a popular
+	// conjunction clears fMin, an incidental predicate never does.
 	scenario := pdht.DefaultScenario()
 	sol, err := pdht.Solve(scenario)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dist := sol // readable alias for the printout below
-	fmt.Printf("indexing threshold fMin = %.3g queries/round\n", dist.FMin)
-	fmt.Printf("→ a popular conjunction like key1 (rank ≈ 100) stays indexed\n")
-	fmt.Printf("→ an incidental predicate like key2 (rank ≈ %d, beyond maxRank %d) times out\n\n",
-		scenario.Keys, sol.MaxRank)
-
-	// What the news system pays per second under each design.
+	fmt.Printf("indexing threshold fMin = %.3g queries/round\n", sol.FMin)
+	fmt.Printf("→ a popular conjunction (rank ≈ 100) stays indexed\n")
+	fmt.Printf("→ an incidental predicate (rank beyond maxRank %d) times out\n\n", sol.MaxRank)
 	fmt.Printf("%-22s %12s\n", "design", "msg/s")
 	fmt.Printf("%-22s %12.0f\n", "index everything", pdht.IndexAllCost(scenario))
 	fmt.Printf("%-22s %12.0f\n", "broadcast everything", pdht.NoIndexCost(scenario))
-	fmt.Printf("%-22s %12.0f\n\n", "query-adaptive PDHT", pdht.PartialCost(sol))
-
-	// And across the day: the paper's busy (1/30) to calm (1/7200) range.
-	pts, err := pdht.Sweep(scenario, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%-8s %10s %10s %10s %10s\n", "fQry", "indexAll", "noIndex", "partial", "TTL algo")
-	for _, p := range pts {
-		fmt.Printf("%-8s %10.0f %10.0f %10.0f %10.0f\n",
-			pdht.FormatFrequency(p.FQry), p.IndexAll, p.NoIndex, p.Partial, p.PartialTTL)
-	}
+	fmt.Printf("%-22s %12.0f\n", "query-adaptive PDHT", pdht.PartialCost(sol))
 }

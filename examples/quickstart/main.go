@@ -1,15 +1,38 @@
-// Quickstart: the to-index-or-not decision and the selection algorithm in
-// thirty lines.
+// Quickstart: the to-index-or-not decision, and the selection algorithm
+// running live — a real cluster over TCP loopback, embedded through the
+// public client API in a few dozen lines.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"pdht"
 )
+
+// waitMembers blocks until every handle sees n members — the gossip
+// layer's convergence barrier, polled through the public API.
+func waitMembers(handles []*pdht.Client, n int) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		converged := true
+		for _, h := range handles {
+			if len(h.Members()) != n {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	log.Fatal("cluster did not converge")
+}
 
 func main() {
 	// 1. The analytical model (paper §2–4): at the paper's busy-period
@@ -21,31 +44,86 @@ func main() {
 	}
 	fmt.Printf("scenario: %d peers, %d keys, one query per peer every 30 s\n",
 		scenario.NumPeers, scenario.Keys)
-	fmt.Printf("broadcast search: %.0f msgs   index search: %.1f msgs\n",
-		sol.CSUnstr, sol.CSIndx)
 	fmt.Printf("indexing threshold fMin: %.2g queries/s → index the top %d keys (%.0f%%)\n",
 		sol.FMin, sol.MaxRank, 100*float64(sol.MaxRank)/float64(scenario.Keys))
 	fmt.Printf("cost: indexAll %.0f, noIndex %.0f, partial %.0f msg/s\n\n",
 		pdht.IndexAllCost(scenario), pdht.NoIndexCost(scenario), pdht.PartialCost(sol))
 
-	// 2. The selection algorithm (paper §5), simulated end to end on a
-	// small network: peers flood on index misses, insert results with a
-	// TTL, and the index converges to the popular keys on its own.
-	cfg := pdht.DefaultSimConfig()
-	cfg.Strategy = pdht.StrategyPartialTTL
-	cfg.Peers = 1000
-	cfg.Keys = 2000
-	cfg.Repl = 10
-	cfg.Rounds = 200
-	cfg.WarmupRounds = 50
-	res, err := pdht.Simulate(cfg)
+	// 2. The selection algorithm (paper §5), live: a 3-member cluster on
+	// TCP loopback, built with pdht.Open. The first member seeds the
+	// cluster; the others join through it.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	opts := []pdht.ClientOption{pdht.WithTCP(), pdht.WithRoundDuration(100 * time.Millisecond)}
+	seed, err := pdht.Open(ctx, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("simulated %d peers for %d rounds (keyTtl %d rounds, derived from the model)\n",
-		cfg.Peers, cfg.Rounds, res.KeyTtlUsed)
-	fmt.Printf("measured: %.0f msg/round (model predicts %.0f)\n",
-		res.MsgPerRound, res.ModelMsgPerRound)
-	fmt.Printf("%.1f%% of queries answered from the index; index holds %.0f of %d keys\n",
-		100*res.HitRate, res.MeanIndexedKeys, cfg.Keys)
+	defer seed.Close()
+	var members []*pdht.Client
+	for i := 0; i < 2; i++ {
+		m, err := pdht.Open(ctx, append(opts, pdht.WithSeeds(seed.Addr()))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer m.Close()
+		members = append(members, m)
+	}
+	waitMembers(append(members, seed), 3)
+	fmt.Printf("3-member cluster on TCP loopback, seeded by %s\n", seed.Addr())
+
+	// Members host content; a miss is resolved by broadcast and inserted
+	// into the partial index with keyTtl.
+	pairs := make([]pdht.ClientKV, 50)
+	for i := range pairs {
+		pairs[i] = pdht.ClientKV{Key: uint64(1000 + i), Value: uint64(i)}
+	}
+	if err := members[0].PublishMany(ctx, pairs); err != nil {
+		log.Fatal(err)
+	}
+
+	first, err := members[1].Query(ctx, 1007)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold query: answered=%v fromIndex=%v value=%d (%d msgs — the broadcast)\n",
+		first.Answered, first.FromIndex, first.Value, first.Messages)
+	second, err := seed.Query(ctx, 1007)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repeat query: answered=%v fromIndex=%v (%d msgs — the index)\n\n",
+		second.Answered, second.FromIndex, second.Messages)
+
+	// 3. The batched access path: a non-serving client — it joins no
+	// membership, serves nothing — resolves 32 keys with one OpBatch
+	// round trip per destination peer.
+	cl, err := pdht.Open(ctx, pdht.WithTCP(), pdht.WithClientOnly(), pdht.WithSeeds(seed.Addr()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	keys := make([]uint64, 32)
+	for i := range keys {
+		keys[i] = uint64(1000 + i)
+	}
+	results, err := cl.QueryMany(ctx, keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answered, fromIndex, msgs := 0, 0, 0
+	for _, res := range results {
+		if res.Answered {
+			answered++
+		}
+		if res.FromIndex {
+			fromIndex++
+		}
+		msgs += res.Messages
+	}
+	fmt.Printf("client-only batch of %d keys: %d answered, %d from the index, %d msgs total\n",
+		len(keys), answered, fromIndex, msgs)
+	if rep, ok := seed.Report(); ok {
+		fmt.Printf("\nseed's self-measurement:\n%s", rep)
+	}
 }

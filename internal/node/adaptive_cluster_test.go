@@ -44,7 +44,7 @@ func driveRounds(t *testing.T, c *Cluster, sampler *zipf.Sampler, corpus []uint6
 	for i := 0; i < rounds; i++ {
 		shifts.Apply(*round, sampler)
 		for n := 0; n < c.Size(); n++ {
-			res := c.Node(n).Query(corpus[sampler.Sample()])
+			res := mustQuery(t, c.Node(n), corpus[sampler.Sample()])
 			if !res.Answered {
 				t.Fatalf("round %d: query from node %d unanswered", *round, n)
 			}

@@ -43,8 +43,8 @@ func TestRetuneShrinkKeepsGrantedTTLs(t *testing.T) {
 	keys := make([]uint64, 20)
 	for i := range keys {
 		keys[i] = uint64(keyspace.HashString("shrink:" + strconv.Itoa(i)))
-		n.Publish(keys[i], uint64(i))
-		if res := n.Query(keys[i]); !res.Answered {
+		mustPublish(t, n, keys[i], uint64(i))
+		if res := mustQuery(t, n, keys[i]); !res.Answered {
 			t.Fatalf("key %d unanswered", i)
 		}
 	}
@@ -88,8 +88,8 @@ func TestRetuneShrinkKeepsGrantedTTLs(t *testing.T) {
 
 	// A fresh key is granted the shrunken TTL.
 	fresh := uint64(keyspace.HashString("shrink:fresh"))
-	n.Publish(fresh, 999)
-	if res := n.Query(fresh); !res.Answered {
+	mustPublish(t, n, fresh, 999)
+	if res := mustQuery(t, n, fresh); !res.Answered {
 		t.Fatal("fresh key unanswered")
 	}
 	now = n.now()
@@ -137,8 +137,8 @@ func TestAdaptiveReportAndKeyTtlFallback(t *testing.T) {
 	if got := n.keyTtl(); got != 42 {
 		t.Fatalf("keyTtl() = %d before any retune, want the static 42", got)
 	}
-	n.Publish(7, 7)
-	n.Query(7)
+	mustPublish(t, n, 7, 7)
+	mustQuery(t, n, 7)
 	r := n.Report()
 	if r.Adaptive == nil {
 		t.Fatal("adaptive node's report lacks the control-plane state")

@@ -1,0 +1,243 @@
+package node
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"pdht/internal/core"
+	"pdht/internal/keyspace"
+	"pdht/internal/stats"
+	"pdht/internal/transport"
+)
+
+// KV is one key→value pair of a batched publish.
+type KV struct {
+	Key   uint64
+	Value uint64
+}
+
+// handleBatch serves one OpBatch request: every item executes against the
+// index cache under a single lock acquisition, and every item gets its own
+// result — one malformed or refused item never fails the round trip. The
+// view-hash check already ran in handle (once, for the whole batch).
+func (n *Node) handleBatch(req transport.Request) transport.Response {
+	results := make([]transport.BatchResult, len(req.Batch))
+	now := n.now()
+	var refreshed uint64
+	n.mu.Lock()
+	for i, it := range req.Batch {
+		k := keyspace.Key(it.Key)
+		switch it.Op {
+		case transport.OpQuery:
+			v, ok := n.cache.Get(k, now)
+			results[i] = transport.BatchResult{OK: true, Found: ok, Value: v64(v)}
+			if ok && it.TTL > 0 {
+				// The amortized reset-on-hit rule: a batched query carries
+				// the TTL so the refresh the unary path pays a separate
+				// OpRefresh message for rides the same round trip.
+				if n.cache.Refresh(k, now+it.TTL, now) {
+					refreshed++
+				}
+			}
+		case transport.OpInsert:
+			if it.TTL < 1 {
+				results[i] = transport.BatchResult{Err: "insert without ttl"}
+				continue
+			}
+			results[i] = transport.BatchResult{OK: n.cache.Put(k, core.Value(it.Value), now+it.TTL, now)}
+		case transport.OpRefresh:
+			if it.TTL < 1 {
+				results[i] = transport.BatchResult{Err: "refresh without ttl"}
+				continue
+			}
+			ok := n.cache.Refresh(k, now+it.TTL, now)
+			if ok {
+				refreshed++
+			}
+			results[i] = transport.BatchResult{OK: ok}
+		default:
+			results[i] = transport.BatchResult{Err: "op " + it.Op.String() + " not batchable"}
+		}
+	}
+	n.mu.Unlock()
+	n.refreshes.Add(refreshed)
+	return transport.Response{OK: true, Batch: results}
+}
+
+// QueryMany resolves a batch of keys with one OpBatch request per
+// destination peer: keys are grouped by responsible node, each group
+// crosses the wire in a single round trip (query items carry keyTtl, so
+// the reset-on-hit refresh is amortized into the same message), and every
+// key still gets the full selection algorithm — a key that misses its
+// responsible peer falls back to the replica flood, the broadcast and the
+// gated insert of the unary path, concurrently per key.
+//
+// Results align with keys. The context governs the whole fan-out exactly
+// as in Query; on cancellation the partial results gathered so far are
+// returned with context.Canceled or ErrTimeout.
+func (n *Node) QueryMany(ctx context.Context, keys []uint64) ([]QueryResult, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
+	}
+	n.queries.Add(uint64(len(keys)))
+	if n.tuner != nil {
+		// The batch leg feeds the control plane key by key: the sketches
+		// must see the true query stream, not one event per batch.
+		for _, key := range keys {
+			n.tuner.Observe(key)
+		}
+	}
+
+	results := make([]QueryResult, len(keys))
+	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	hash := n.view.hash
+	var hops int64
+	groups := make(map[string][]int) // destination → indexes into keys
+	var local []int
+	for i, key := range keys {
+		k := keyspace.Key(key)
+		if _, tracked := n.queryCounts[k]; tracked || len(n.queryCounts) < 8*n.cfg.Capacity {
+			n.queryCounts[k]++
+		}
+		responsible, h, ok := n.view.route(n.cfg.Addr, k)
+		results[i].Responsible = responsible
+		results[i].IndexMsgs = h
+		hops += int64(h)
+		switch {
+		case !ok:
+			// No route (cannot happen with self in the view); the
+			// fallback still broadcasts.
+		case responsible == n.cfg.Addr:
+			local = append(local, i)
+		default:
+			groups[responsible] = append(groups[responsible], i)
+		}
+	}
+	n.mu.Unlock()
+	n.counters.Add(stats.MsgIndexLookup, hops)
+	ttl := n.keyTtl()
+
+	// Local group: this node is the responsible peer, no wire at all.
+	if len(local) > 0 {
+		now := n.now()
+		n.mu.Lock()
+		for _, i := range local {
+			k := keyspace.Key(keys[i])
+			if v, ok := n.cache.Get(k, now); ok {
+				results[i].Answered, results[i].FromIndex = true, true
+				results[i].Value, results[i].AnsweredBy = v64(v), n.cfg.Addr
+				if n.cache.Refresh(k, now+ttl, now) {
+					n.refreshes.Add(1)
+				}
+			}
+		}
+		n.mu.Unlock()
+	}
+
+	// Remote groups: exactly one OpBatch per destination, concurrently.
+	// Result slots are disjoint per group, so no lock is needed.
+	var wg sync.WaitGroup
+	for addr, idxs := range groups {
+		wg.Add(1)
+		go func(addr string, idxs []int) {
+			defer wg.Done()
+			items := make([]transport.BatchItem, len(idxs))
+			for j, i := range idxs {
+				items[j] = transport.BatchItem{Op: transport.OpQuery, Key: keys[i], TTL: ttl}
+			}
+			resp, err := n.callWithin(ctx, addr, transport.Request{
+				Op: transport.OpBatch, From: n.cfg.Addr, ViewHash: hash, Batch: items,
+			})
+			if err != nil || !n.accept(resp) || len(resp.Batch) != len(idxs) {
+				return // the whole group falls back per key
+			}
+			for j, i := range idxs {
+				if br := resp.Batch[j]; br.Err == "" && br.Found {
+					results[i].Answered, results[i].FromIndex = true, true
+					results[i].Value, results[i].AnsweredBy = br.Value, addr
+				}
+			}
+		}(addr, idxs)
+	}
+	wg.Wait()
+
+	// Count hits now; unresolved keys take the fallback path. The check
+	// runs before spawning fallbacks so a cancelled batch returns without
+	// firing len(keys) broadcasts.
+	var fallbacks []int
+	for i := range results {
+		if results[i].Answered {
+			n.hits.Add(1)
+		} else {
+			fallbacks = append(fallbacks, i)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return results, ctxErr(err)
+	}
+	var ferr error
+	var errMu sync.Mutex
+	for _, i := range fallbacks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := n.fallbackQuery(ctx, keys[i], &results[i]); err != nil {
+				errMu.Lock()
+				if ferr == nil {
+					ferr = err
+				}
+				errMu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return results, ferr
+}
+
+// fallbackQuery finishes one key the batch probe could not resolve: the
+// replica flood beyond the responsible peer (which the batch already
+// asked), then the broadcast and gated insert of the unary miss path.
+func (n *Node) fallbackQuery(ctx context.Context, key uint64, res *QueryResult) error {
+	k := keyspace.Key(key)
+	n.mu.Lock()
+	hash := n.view.hash
+	var probes []string
+	if n.cfg.FloodOnMiss {
+		probes = n.view.replicas(k)
+		sort.SliceStable(probes, func(i, j int) bool {
+			return probes[i] == res.Responsible && probes[j] != res.Responsible
+		})
+	} else if res.Responsible != "" {
+		probes = []string{res.Responsible}
+	}
+	n.mu.Unlock()
+
+	for _, addr := range probes {
+		if addr == res.Responsible {
+			continue // the batch leg already asked it
+		}
+		if err := ctx.Err(); err != nil {
+			return ctxErr(err)
+		}
+		res.IndexMsgs++
+		n.counters.Inc(stats.MsgReplicaFlood)
+		value, ok := n.probeIndex(ctx, addr, k, hash)
+		if !ok {
+			continue
+		}
+		res.Answered, res.FromIndex, res.Value, res.AnsweredBy = true, true, value, addr
+		n.hits.Add(1)
+		res.RefreshMsgs = n.refreshHit(ctx, addr, k, hash)
+		return nil
+	}
+	n.misses.Add(1)
+	return n.missPath(ctx, k, res, probes, hash)
+}

@@ -1,0 +1,368 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"pdht/internal/keyspace"
+	"pdht/internal/transport"
+)
+
+// countingTransport wraps a transport and tallies outbound calls by
+// destination and op — the instrument behind the one-request-per-peer
+// assertion.
+type countingTransport struct {
+	inner transport.Transport
+
+	mu    sync.Mutex
+	calls map[string]map[transport.Op]int
+}
+
+func newCountingTransport(inner transport.Transport) *countingTransport {
+	return &countingTransport{inner: inner, calls: make(map[string]map[transport.Op]int)}
+}
+
+func (t *countingTransport) Serve(addr string, h transport.Handler) (transport.Server, error) {
+	return t.inner.Serve(addr, h)
+}
+
+func (t *countingTransport) Dial(addr string) (transport.Client, error) {
+	c, err := t.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &countingClient{t: t, addr: addr, inner: c}, nil
+}
+
+func (t *countingTransport) count(addr string, op transport.Op) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.calls[addr]
+	if m == nil {
+		m = make(map[transport.Op]int)
+		t.calls[addr] = m
+	}
+	m[op]++
+}
+
+// snapshot returns the tallies and resets them.
+func (t *countingTransport) snapshot() map[string]map[transport.Op]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.calls
+	t.calls = make(map[string]map[transport.Op]int)
+	return out
+}
+
+type countingClient struct {
+	t     *countingTransport
+	addr  string
+	inner transport.Client
+}
+
+func (c *countingClient) Call(ctx context.Context, req transport.Request) (transport.Response, error) {
+	c.t.count(c.addr, req.Op)
+	return c.inner.Call(ctx, req)
+}
+
+func (c *countingClient) Close() error { return c.inner.Close() }
+
+// blackholeTransport wraps a transport; calls to the victim address hang
+// until the caller's context expires — a SYN-blackholed peer.
+type blackholeTransport struct {
+	inner  transport.Transport
+	victim string
+}
+
+func (t *blackholeTransport) Serve(addr string, h transport.Handler) (transport.Server, error) {
+	return t.inner.Serve(addr, h)
+}
+
+func (t *blackholeTransport) Dial(addr string) (transport.Client, error) {
+	if addr == t.victim {
+		return blackholeClient{}, nil
+	}
+	return t.inner.Dial(addr)
+}
+
+type blackholeClient struct{}
+
+func (blackholeClient) Call(ctx context.Context, req transport.Request) (transport.Response, error) {
+	<-ctx.Done()
+	return transport.Response{}, ctx.Err()
+}
+
+func (blackholeClient) Close() error { return nil }
+
+// bootWithTransport builds a cluster where the node under test speaks
+// through its own (wrapped) transport while the rest share the plain
+// memory network. Returns the instrumented node and the full peer set.
+func bootWithTransport(t *testing.T, mem *transport.Memory, nutTr transport.Transport, peers int, cfg Config) (nut *Node, others []*Node) {
+	t.Helper()
+	seedCfg := cfg
+	seedCfg.Seed = ""
+	seed, err := New(mem, seedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	others = []*Node{seed}
+	cfg.Seed = seed.Addr()
+	for i := 1; i < peers; i++ {
+		nd, err := New(mem, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		others = append(others, nd)
+	}
+	nut, err = New(nutTr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]*Node(nil), others...), nut)
+	waitFor(t, 5*time.Second, func() bool {
+		for _, nd := range all {
+			if len(nd.Members()) != peers+1 {
+				return false
+			}
+		}
+		return true
+	}, "full membership")
+	return nut, others
+}
+
+// TestQueryManyOneRequestPerDestination is the batching acceptance
+// criterion: a 32-key warm batch issues exactly one OpBatch request per
+// destination peer — no unary index probes, no refresh messages, no
+// broadcasts.
+func TestQueryManyOneRequestPerDestination(t *testing.T) {
+	mem := transport.NewMemory()
+	ct := newCountingTransport(mem)
+	nut, others := bootWithTransport(t, mem, ct, 3, testConfig())
+	defer nut.Close()
+	for _, nd := range others {
+		defer nd.Close()
+	}
+
+	keys := make([]uint64, 32)
+	ctx := context.Background()
+	for i := range keys {
+		keys[i] = uint64(keyspace.HashString("batch-accept:" + strconv.Itoa(i)))
+		mustPublish(t, others[i%len(others)], keys[i], uint64(i))
+	}
+	// Warm the index: every key resolves by broadcast and is inserted at
+	// its replica group.
+	warm, err := nut.QueryMany(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm {
+		if !warm[i].Answered {
+			t.Fatalf("warm-up key %d unanswered", keys[i])
+		}
+	}
+
+	ct.snapshot() // discard warm-up and membership traffic
+	results, err := nut.QueryMany(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	destinations := make(map[string]bool)
+	for i := range results {
+		if !results[i].FromIndex {
+			t.Fatalf("warm key %d = %+v, want index hit", keys[i], results[i])
+		}
+		if results[i].Responsible != nut.Addr() {
+			destinations[results[i].Responsible] = true
+		}
+	}
+	if len(destinations) == 0 {
+		t.Fatal("every key landed on the caller; the assertion is vacuous")
+	}
+	calls := ct.snapshot()
+	for addr, ops := range calls {
+		for op, n := range ops {
+			if op == transport.OpGossip {
+				continue // background membership traffic is not the query path
+			}
+			if op != transport.OpBatch {
+				t.Fatalf("destination %s saw %d %v requests, want OpBatch only", addr, n, op)
+			}
+			if n != 1 {
+				t.Fatalf("destination %s saw %d OpBatch requests, want exactly 1", addr, n)
+			}
+		}
+	}
+	for addr := range destinations {
+		if calls[addr][transport.OpBatch] != 1 {
+			t.Fatalf("destination %s saw %d OpBatch requests, want exactly 1", addr, calls[addr][transport.OpBatch])
+		}
+	}
+}
+
+// TestQueryManyPartialResults drives the per-key contract: in one batch, a
+// warm key hits the index, a published-but-unindexed key falls back to the
+// broadcast, and an unpublished key comes back unanswered — with no error
+// and no cross-contamination.
+func TestQueryManyPartialResults(t *testing.T) {
+	c, err := NewCluster(transport.NewMemory(), 3, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	const warmKey, coldKey, ghostKey = 1111, 2222, 3333
+	mustPublish(t, c.Node(1), warmKey, 10)
+	mustPublish(t, c.Node(2), coldKey, 20)
+	if res := mustQuery(t, c.Node(0), warmKey); !res.Answered {
+		t.Fatal("warm-up query unanswered")
+	}
+
+	results, err := c.Node(0).QueryMany(ctx, []uint64{warmKey, coldKey, ghostKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Answered || !results[0].FromIndex || results[0].Value != 10 {
+		t.Fatalf("warm key = %+v, want index hit 10", results[0])
+	}
+	if !results[1].Answered || results[1].FromIndex || results[1].Value != 20 {
+		t.Fatalf("cold key = %+v, want broadcast answer 20", results[1])
+	}
+	if results[2].Answered {
+		t.Fatalf("ghost key = %+v, want unanswered", results[2])
+	}
+
+	// The fallback's insert leg must have indexed the cold key: a repeat
+	// batch serves both real keys from the index.
+	again, err := c.Node(0).QueryMany(ctx, []uint64{warmKey, coldKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range again {
+		if !res.FromIndex {
+			t.Fatalf("repeat batch key %d = %+v, want index hit", i, res)
+		}
+	}
+}
+
+// TestQueryManyFeedsTuner asserts the control plane sees the true stream:
+// a 32-key batch lands as 32 individual observations, not one.
+func TestQueryManyFeedsTuner(t *testing.T) {
+	cfg := testConfig()
+	cfg.Adaptive = true
+	nd, err := New(transport.NewMemory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	keys := make([]uint64, 32)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	if _, err := nd.QueryMany(context.Background(), keys); err != nil {
+		t.Fatal(err)
+	}
+	if got := nd.Tuner().Snapshot().Observed; got != 32 {
+		t.Fatalf("tuner observed %d queries for a 32-key batch, want 32", got)
+	}
+}
+
+// TestQueryCancellationAbortsBroadcast is the cancellation acceptance
+// criterion: with one member blackholed, a query for an unresolvable key
+// blocks in the broadcast leg; cancelling the context aborts the in-flight
+// legs and surfaces context.Canceled, a deadline surfaces ErrTimeout (and
+// errors.Is(…, context.DeadlineExceeded) still holds). Both must return
+// long before CallTimeout.
+func TestQueryCancellationAbortsBroadcast(t *testing.T) {
+	mem := transport.NewMemory()
+	cfg := testConfig()
+	cfg.CallTimeout = 30 * time.Second    // the caller's ctx must win, not this
+	cfg.GossipInterval = 10 * time.Minute // no probing: the blackhole must stay in the view
+	cfg.SuspicionTimeout = time.Hour
+	cfg.SyncInterval = time.Hour
+
+	seed, err := New(mem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	joinCfg := cfg
+	joinCfg.Seed = seed.Addr()
+	victim, err := New(mem, joinCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	nut, err := New(&blackholeTransport{inner: mem, victim: victim.Addr()}, joinCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nut.Close()
+	waitFor(t, 5*time.Second, func() bool { return len(nut.Members()) == 3 }, "membership at the node under test")
+
+	t.Run("cancel", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(30 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		_, err := nut.Query(ctx, 987654) // published nowhere
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled query: err = %v, want context.Canceled", err)
+		}
+		if waited := time.Since(start); waited > 5*time.Second {
+			t.Fatalf("cancelled query returned after %v; in-flight legs were not aborted", waited)
+		}
+	})
+
+	t.Run("deadline", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		_, err := nut.Query(ctx, 987655)
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("expired query: err = %v, want ErrTimeout", err)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("ErrTimeout must wrap context.DeadlineExceeded, got %v", err)
+		}
+		if waited := time.Since(start); waited > 5*time.Second {
+			t.Fatalf("expired query returned after %v; in-flight legs were not aborted", waited)
+		}
+	})
+
+	t.Run("batch", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(30 * time.Millisecond)
+			cancel()
+		}()
+		_, err := nut.QueryMany(ctx, []uint64{987656, 987657})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled batch: err = %v, want context.Canceled", err)
+		}
+	})
+}
+
+// TestQueryAfterCloseFailsTyped pins the error taxonomy on the lifecycle
+// edge: a closed node refuses queries and publishes with ErrClosed.
+func TestQueryAfterCloseFailsTyped(t *testing.T) {
+	nd, err := New(transport.NewMemory(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.Close()
+	if _, err := nd.Query(context.Background(), 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Query after Close: err = %v, want ErrClosed", err)
+	}
+	if err := nd.Publish(context.Background(), 1, 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Publish after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := nd.QueryMany(context.Background(), []uint64{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("QueryMany after Close: err = %v, want ErrClosed", err)
+	}
+}

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"strconv"
 	"testing"
 	"time"
@@ -42,17 +43,18 @@ func BenchmarkNodeQuery(b *testing.B) {
 		c := benchCluster(b, 1024)
 		defer c.Close()
 		const key = 424242
-		c.Node(1).Publish(key, 7)
-		if res := c.Node(0).Query(key); !res.Answered {
+		mustPublish(b, c.Node(1), key, 7)
+		if res := mustQuery(b, c.Node(0), key); !res.Answered {
 			b.Fatal("warm-up query unanswered")
 		}
-		if res := c.Node(0).Query(key); !res.FromIndex {
+		if res := mustQuery(b, c.Node(0), key); !res.FromIndex {
 			b.Fatal("warm-up repeat did not hit the index")
 		}
+		ctx := context.Background()
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if res := c.Node(0).Query(key); !res.FromIndex {
+			if res, err := c.Node(0).Query(ctx, key); err != nil || !res.FromIndex {
 				b.Fatal("steady-state query missed the index")
 			}
 		}
@@ -64,13 +66,72 @@ func BenchmarkNodeQuery(b *testing.B) {
 		keys := make([]uint64, b.N)
 		for i := range keys {
 			keys[i] = uint64(keyspace.HashString("bench-miss:" + strconv.Itoa(i)))
-			c.Node(1).Publish(keys[i], uint64(i))
+			mustPublish(b, c.Node(1), keys[i], uint64(i))
 		}
+		ctx := context.Background()
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if res := c.Node(0).Query(keys[i]); !res.Answered || res.FromIndex {
+			if res, err := c.Node(0).Query(ctx, keys[i]); err != nil || !res.Answered || res.FromIndex {
 				b.Fatalf("iteration %d: want a broadcast-answered miss, got %+v", i, res)
+			}
+		}
+	})
+}
+
+// BenchmarkClientQueryMany prices the batched client API against N unary
+// queries for the same warm keys — the amortize-per-request claim of the
+// API redesign in numbers. The batch variant issues one OpBatch per
+// destination peer (at most 2 here: three members, one of them the
+// caller); the unary variant pays one index probe plus one refresh RPC per
+// key. Round-trip and allocation counts per 32-key batch are the headline.
+func BenchmarkClientQueryMany(b *testing.B) {
+	const batch = 32
+	warm := func(b *testing.B, c *Cluster) []uint64 {
+		b.Helper()
+		keys := make([]uint64, batch)
+		for i := range keys {
+			keys[i] = uint64(keyspace.HashString("batch-bench:" + strconv.Itoa(i)))
+			mustPublish(b, c.Node(1), keys[i], uint64(i))
+			if res := mustQuery(b, c.Node(0), keys[i]); !res.Answered {
+				b.Fatal("warm-up query unanswered")
+			}
+		}
+		return keys
+	}
+
+	b.Run("batch=32", func(b *testing.B) {
+		c := benchCluster(b, 1024)
+		defer c.Close()
+		keys := warm(b, c)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results, err := c.Node(0).QueryMany(ctx, keys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range results {
+				if !results[j].FromIndex {
+					b.Fatalf("key %d missed the warm index", keys[j])
+				}
+			}
+		}
+	})
+
+	b.Run("unary=32", func(b *testing.B) {
+		c := benchCluster(b, 1024)
+		defer c.Close()
+		keys := warm(b, c)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, key := range keys {
+				if res, err := c.Node(0).Query(ctx, key); err != nil || !res.FromIndex {
+					b.Fatalf("key %d missed the warm index", key)
+				}
 			}
 		}
 	})

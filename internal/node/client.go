@@ -1,0 +1,531 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pdht/internal/gossip"
+	"pdht/internal/keyspace"
+	"pdht/internal/transport"
+)
+
+// RemoteConfig parameterizes a non-serving client. The Backend and Repl
+// knobs MUST match the cluster's: the view hash only fingerprints the
+// membership list, so a client with a different replica arithmetic would
+// mis-route without any peer noticing.
+type RemoteConfig struct {
+	// Seeds are cluster members to bootstrap (and re-bootstrap) the
+	// membership view from. At least one is required.
+	Seeds []string
+	// Backend and Repl mirror the cluster's Config fields.
+	Backend Backend
+	Repl    int
+	// KeyTtl is the expiration time, in rounds, this client attaches to
+	// its inserts and refreshes. Default 120.
+	KeyTtl int
+	// CallTimeout bounds each outbound RPC. Default 2s.
+	CallTimeout time.Duration
+}
+
+func (c *RemoteConfig) setDefaults() {
+	if c.Backend == "" {
+		c.Backend = BackendRing
+	}
+	if c.Repl == 0 {
+		c.Repl = 3
+	}
+	if c.KeyTtl == 0 {
+		c.KeyTtl = 120
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 2 * time.Second
+	}
+}
+
+func (c RemoteConfig) validate() error {
+	switch {
+	case len(c.Seeds) == 0:
+		return fmt.Errorf("node: remote client needs at least one seed")
+	case c.Repl < 1:
+		return fmt.Errorf("node: Repl %d must be positive", c.Repl)
+	case c.KeyTtl < 1:
+		return fmt.Errorf("node: KeyTtl %d must be positive", c.KeyTtl)
+	}
+	return nil
+}
+
+// RemoteClient speaks the wire protocol to an existing cluster without
+// joining it: it serves nothing, gossips nothing, and never appears in any
+// membership view. It bootstraps the member list with one anti-entropy
+// fetch from a seed (a GossipSync with no sender identity, which the
+// receiving member answers without adopting the asker), builds the same
+// overlay view the members run, and routes queries, batches and inserts
+// client-side — one wire message per probed peer. A StaleView refusal
+// carries the responder's membership state, so the client re-syncs and
+// retries instead of failing.
+//
+// It is the engine behind the public client package's non-serving mode.
+type RemoteClient struct {
+	cfg  RemoteConfig
+	pool *pool
+
+	mu     sync.Mutex
+	view   *view
+	closed bool
+}
+
+// DialRemote connects a non-serving client to the cluster behind the
+// seeds: the first reachable seed supplies the membership view. Fails with
+// ErrNoMembers when no seed answers.
+func DialRemote(ctx context.Context, tr transport.Transport, cfg RemoteConfig) (*RemoteClient, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &RemoteClient{cfg: cfg, pool: newPool(tr)}
+	if err := c.Resync(ctx); err != nil {
+		c.pool.close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close releases the client's connections. Idempotent.
+func (c *RemoteClient) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.pool.close()
+	return nil
+}
+
+// Members returns the client's current view of the cluster membership.
+func (c *RemoteClient) Members() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.view == nil {
+		return nil
+	}
+	return append([]string(nil), c.view.members...)
+}
+
+// currentView snapshots the installed view, or fails typed.
+func (c *RemoteClient) currentView() (*view, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.view == nil {
+		return nil, ErrNoMembers
+	}
+	return c.view, nil
+}
+
+// callWithin bounds one RPC by the caller's context and CallTimeout.
+func (c *RemoteClient) callWithin(ctx context.Context, addr string, req transport.Request) (transport.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	return c.pool.call(ctx, addr, req)
+}
+
+// Resync refetches the membership table from any reachable peer — current
+// members first, then the configured seeds — and rebuilds the view. The
+// request carries no sender identity, so the answering member does not
+// adopt the client into the membership.
+func (c *RemoteClient) Resync(ctx context.Context) error {
+	candidates := c.Members()
+	seen := make(map[string]bool, len(candidates)+len(c.cfg.Seeds))
+	for _, a := range candidates {
+		seen[a] = true
+	}
+	for _, s := range c.cfg.Seeds {
+		if !seen[s] {
+			candidates = append(candidates, s)
+		}
+	}
+	for _, addr := range candidates {
+		resp, err := c.callWithin(ctx, addr, transport.Request{
+			Op: transport.OpGossip, Gossip: &transport.Gossip{Kind: transport.GossipSync},
+		})
+		if err != nil || resp.Err != "" || resp.Gossip == nil {
+			if err := ctx.Err(); err != nil {
+				return ctxErr(err)
+			}
+			continue
+		}
+		return c.install(resp.Gossip.Updates)
+	}
+	if err := ctx.Err(); err != nil {
+		return ctxErr(err)
+	}
+	return ErrNoMembers
+}
+
+// install rebuilds the view from a wire membership table. Suspects count
+// as alive, exactly as in the members' own views, so the hash agrees.
+func (c *RemoteClient) install(updates []transport.PeerState) error {
+	alive := make([]string, 0, len(updates))
+	for _, u := range updates {
+		if gossip.Status(u.Status) != gossip.StatusDead {
+			alive = append(alive, u.Addr)
+		}
+	}
+	if len(alive) == 0 {
+		return ErrNoMembers
+	}
+	v, err := buildView(alive, c.cfg.Backend, c.cfg.Repl, 0)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.view = v
+	return nil
+}
+
+// handleStale folds a StaleView response's attached membership state into
+// a fresh view, reporting whether the caller should retry.
+func (c *RemoteClient) handleStale(resp transport.Response) bool {
+	if resp.Err != transport.StaleView || resp.Gossip == nil {
+		return false
+	}
+	return c.install(resp.Gossip.Updates) == nil
+}
+
+// Query resolves key with the selection algorithm, driven from outside the
+// cluster: probe the replica group responsible for the key (one wire
+// message per probe — the client routes locally, like the members do),
+// broadcast to the membership on a miss, and insert the resolved value
+// with KeyTtl. A stale view is refreshed from the refusing peer's attached
+// state and the query retried once; a stale view that cannot be refreshed
+// fails with ErrStaleView — the member list is untrustworthy, so routing
+// on it would silently mis-route.
+func (c *RemoteClient) Query(ctx context.Context, key uint64) (QueryResult, error) {
+	var res QueryResult
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return res, ctxErr(err)
+		}
+		v, err := c.currentView()
+		if err != nil {
+			return res, err
+		}
+		k := keyspace.Key(key)
+		probes := v.replicas(k)
+		res = QueryResult{}
+		if len(probes) > 0 {
+			res.Responsible = probes[0]
+		}
+		recovered, unrecoverable := false, false
+		for _, addr := range probes {
+			res.IndexMsgs++
+			resp, err := c.callWithin(ctx, addr, transport.Request{
+				Op: transport.OpQuery, Key: key, ViewHash: v.hash,
+			})
+			if err != nil {
+				continue
+			}
+			if resp.Err == transport.StaleView {
+				if c.handleStale(resp) {
+					recovered = true
+					break
+				}
+				unrecoverable = true
+				continue
+			}
+			if resp.Err != "" || !resp.Found {
+				continue
+			}
+			res.Answered, res.FromIndex = true, true
+			res.Value, res.AnsweredBy = resp.Value, addr
+			// Reset-on-hit: one explicit refresh message, as on a member.
+			res.RefreshMsgs++
+			c.callWithin(ctx, addr, transport.Request{
+				Op: transport.OpRefresh, Key: key, TTL: c.cfg.KeyTtl, ViewHash: v.hash,
+			})
+			return res, nil
+		}
+		if recovered && attempt == 0 {
+			continue // fresh view installed; re-route once
+		}
+		if unrecoverable && !recovered {
+			return res, ErrStaleView
+		}
+		return res, c.resolveMiss(ctx, key, &res)
+	}
+}
+
+// resolveMiss runs the client's miss path: broadcast to every member, and
+// insert the resolved value at the replica group with KeyTtl. The view is
+// re-snapshotted here — a stale-view refusal on the probe leg may have
+// just installed a fresher one, and the insert must carry its hash.
+func (c *RemoteClient) resolveMiss(ctx context.Context, key uint64, res *QueryResult) error {
+	v, err := c.currentView()
+	if err != nil {
+		return err
+	}
+	type answer struct {
+		addr  string
+		value uint64
+	}
+	var wg sync.WaitGroup
+	answers := make(chan answer, len(v.members))
+	for _, m := range v.members {
+		res.BroadcastMsgs++
+		wg.Add(1)
+		go func(m string) {
+			defer wg.Done()
+			resp, err := c.callWithin(ctx, m, transport.Request{Op: transport.OpBroadcast, Key: key})
+			if err == nil && resp.Err == "" && resp.Found {
+				answers <- answer{m, resp.Value}
+			}
+		}(m)
+	}
+	wg.Wait()
+	close(answers)
+	var foundAt string
+	var value uint64
+	for a := range answers {
+		if foundAt == "" || a.addr < foundAt {
+			value, foundAt = a.value, a.addr
+		}
+	}
+	if foundAt == "" {
+		if err := ctx.Err(); err != nil {
+			return ctxErr(err)
+		}
+		return nil // ran to completion; nobody holds the key
+	}
+	res.Answered, res.Value, res.AnsweredBy = true, value, foundAt
+	res.InsertMsgs = c.insert(ctx, v, key, value)
+	if err := ctx.Err(); err != nil {
+		return ctxErr(err)
+	}
+	return nil
+}
+
+// insert installs key→value with KeyTtl at every replica, returning the
+// message count.
+func (c *RemoteClient) insert(ctx context.Context, v *view, key, value uint64) (msgs int) {
+	for _, addr := range v.replicas(keyspace.Key(key)) {
+		if ctx.Err() != nil {
+			return msgs
+		}
+		msgs++
+		c.callWithin(ctx, addr, transport.Request{
+			Op: transport.OpInsert, Key: key, Value: value, TTL: c.cfg.KeyTtl, ViewHash: v.hash,
+		})
+	}
+	return msgs
+}
+
+// QueryMany resolves a batch of keys with one OpBatch request per
+// destination peer: group by responsible member, a single round trip per
+// group (query items carry KeyTtl, amortizing the reset-on-hit refresh),
+// and the full per-key fallback — replica flood, broadcast, insert — for
+// keys the batch could not resolve.
+func (c *RemoteClient) QueryMany(ctx context.Context, keys []uint64) ([]QueryResult, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
+	}
+	v, err := c.currentView()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]QueryResult, len(keys))
+	groups := make(map[string][]int)
+	for i, key := range keys {
+		probes := v.replicas(keyspace.Key(key))
+		if len(probes) == 0 {
+			continue
+		}
+		results[i].Responsible = probes[0]
+		groups[probes[0]] = append(groups[probes[0]], i)
+	}
+
+	var staleOnce sync.Once
+	var wg sync.WaitGroup
+	for addr, idxs := range groups {
+		wg.Add(1)
+		go func(addr string, idxs []int) {
+			defer wg.Done()
+			items := make([]transport.BatchItem, len(idxs))
+			for j, i := range idxs {
+				items[j] = transport.BatchItem{Op: transport.OpQuery, Key: keys[i], TTL: c.cfg.KeyTtl}
+			}
+			resp, err := c.callWithin(ctx, addr, transport.Request{
+				Op: transport.OpBatch, ViewHash: v.hash, Batch: items,
+			})
+			if err != nil {
+				return
+			}
+			if resp.Err == transport.StaleView {
+				// Refresh the view once for the whole batch; the keys of
+				// this group resolve through the fallback.
+				staleOnce.Do(func() { c.handleStale(resp) })
+				return
+			}
+			if resp.Err != "" || len(resp.Batch) != len(idxs) {
+				return
+			}
+			for j, i := range idxs {
+				results[i].IndexMsgs++
+				if br := resp.Batch[j]; br.Err == "" && br.Found {
+					results[i].Answered, results[i].FromIndex = true, true
+					results[i].Value, results[i].AnsweredBy = br.Value, addr
+				}
+			}
+		}(addr, idxs)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, ctxErr(err)
+	}
+
+	var ferr error
+	var errMu sync.Mutex
+	for i := range results {
+		if results[i].Answered {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := c.fallbackQuery(ctx, keys[i], &results[i]); err != nil {
+				errMu.Lock()
+				if ferr == nil {
+					ferr = err
+				}
+				errMu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return results, ferr
+}
+
+// fallbackQuery finishes one key the batch probe could not resolve: the
+// remaining replicas, then broadcast and insert.
+func (c *RemoteClient) fallbackQuery(ctx context.Context, key uint64, res *QueryResult) error {
+	v, err := c.currentView()
+	if err != nil {
+		return err
+	}
+	for _, addr := range v.replicas(keyspace.Key(key)) {
+		if addr == res.Responsible {
+			continue // the batch leg already asked it
+		}
+		if err := ctx.Err(); err != nil {
+			return ctxErr(err)
+		}
+		res.IndexMsgs++
+		resp, err := c.callWithin(ctx, addr, transport.Request{
+			Op: transport.OpQuery, Key: key, ViewHash: v.hash,
+		})
+		if err != nil || resp.Err != "" || !resp.Found {
+			continue
+		}
+		res.Answered, res.FromIndex = true, true
+		res.Value, res.AnsweredBy = resp.Value, addr
+		res.RefreshMsgs++
+		c.callWithin(ctx, addr, transport.Request{
+			Op: transport.OpRefresh, Key: key, TTL: c.cfg.KeyTtl, ViewHash: v.hash,
+		})
+		return nil
+	}
+	return c.resolveMiss(ctx, key, res)
+}
+
+// Publish makes key→value resolvable through the cluster's index: the
+// client cannot host content (it answers no broadcasts), so it installs
+// the pair at the key's replica group with KeyTtl. Like every indexed
+// entry, it expires unless queries keep refreshing it — a client that
+// wants its keys to outlive KeyTtl republished them or runs a member node.
+// Fails with ErrNoMembers when no replica accepted the insert.
+func (c *RemoteClient) Publish(ctx context.Context, key, value uint64) error {
+	return c.PublishMany(ctx, []KV{{Key: key, Value: value}})
+}
+
+// PublishMany installs a batch of pairs with one OpBatch request per
+// destination peer: each pair targets its replica group, items are grouped
+// by destination, and a single round trip per destination carries them
+// all. A pair counts as published when at least one replica stored it.
+func (c *RemoteClient) PublishMany(ctx context.Context, pairs []KV) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return ctxErr(err)
+	}
+	v, err := c.currentView()
+	if err != nil {
+		return err
+	}
+	type slot struct {
+		item transport.BatchItem
+		pair int // index into pairs
+	}
+	groups := make(map[string][]slot)
+	for i, p := range pairs {
+		for _, addr := range v.replicas(keyspace.Key(p.Key)) {
+			groups[addr] = append(groups[addr], slot{
+				item: transport.BatchItem{Op: transport.OpInsert, Key: p.Key, Value: p.Value, TTL: c.cfg.KeyTtl},
+				pair: i,
+			})
+		}
+	}
+	// stored: at least one replica accepted the pair; acked: at least one
+	// replica answered for it at all — the line between "index refused
+	// it" and "nobody reachable". Both guarded by statusMu.
+	stored := make([]bool, len(pairs))
+	acked := make([]bool, len(pairs))
+	var statusMu sync.Mutex
+	var wg sync.WaitGroup
+	for addr, slots := range groups {
+		wg.Add(1)
+		go func(addr string, slots []slot) {
+			defer wg.Done()
+			items := make([]transport.BatchItem, len(slots))
+			for j, s := range slots {
+				items[j] = s.item
+			}
+			resp, err := c.callWithin(ctx, addr, transport.Request{
+				Op: transport.OpBatch, ViewHash: v.hash, Batch: items,
+			})
+			if err != nil || resp.Err != "" || len(resp.Batch) != len(slots) {
+				return
+			}
+			statusMu.Lock()
+			for j, s := range slots {
+				acked[s.pair] = true
+				if resp.Batch[j].OK {
+					stored[s.pair] = true
+				}
+			}
+			statusMu.Unlock()
+		}(addr, slots)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return ctxErr(err)
+	}
+	for i, ok := range stored {
+		if ok {
+			continue
+		}
+		if acked[i] {
+			return fmt.Errorf("node: no replica stored key %d (index refused it)", pairs[i].Key)
+		}
+		return fmt.Errorf("%w: no replica of key %d answered", ErrNoMembers, pairs[i].Key)
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pdht/internal/transport"
+)
+
+// fakeMember serves a raw handler that looks like a cluster member to a
+// RemoteClient: it answers the bootstrap GossipSync with *table (read at
+// call time, so the table can be filled in after the addresses exist) and
+// every routed op with the scripted response.
+func fakeMember(t *testing.T, tr transport.Transport, table *[]transport.PeerState, routed func(transport.Request) transport.Response) string {
+	t.Helper()
+	srv, err := tr.Serve("", func(req transport.Request) transport.Response {
+		if req.Op == transport.OpGossip {
+			return transport.Response{OK: true, Gossip: &transport.Gossip{
+				Kind: transport.GossipAck, Full: true, Updates: *table,
+			}}
+		}
+		return routed(req)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr()
+}
+
+// TestRemoteClientUnrecoverableStaleView pins the ErrStaleView taxonomy: a
+// cluster that refuses every routed op as stale WITHOUT attaching its
+// membership state leaves the client no way to converge — the query must
+// fail typed instead of routing over an untrustworthy member list.
+func TestRemoteClientUnrecoverableStaleView(t *testing.T) {
+	tr := transport.NewMemory()
+	staleNoState := func(req transport.Request) transport.Response {
+		return transport.Response{Err: transport.StaleView} // no Gossip attached
+	}
+	var table []transport.PeerState
+	a := fakeMember(t, tr, &table, staleNoState)
+	b := fakeMember(t, tr, &table, staleNoState)
+	table = []transport.PeerState{{Addr: a}, {Addr: b}}
+
+	cl, err := DialRemote(context.Background(), tr, RemoteConfig{Seeds: []string{a}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query(context.Background(), 42); !errors.Is(err, ErrStaleView) {
+		t.Fatalf("query against stale-refusing cluster: err = %v, want ErrStaleView", err)
+	}
+}
+
+// TestRemoteClientStaleRecoveryRetries pins the recoverable half: a
+// refusal that attaches fresh membership state installs it, and the retry
+// resolves against the updated view.
+func TestRemoteClientStaleRecoveryRetries(t *testing.T) {
+	tr := transport.NewMemory()
+	// The fresh member answers queries; the old one refuses stale but
+	// points at the new single-member table.
+	var newTable, oldTable []transport.PeerState
+	answered := false
+	fresh := fakeMember(t, tr, &newTable, func(req transport.Request) transport.Response {
+		if req.Op == transport.OpQuery {
+			answered = true
+			return transport.Response{OK: true, Found: true, Value: 99}
+		}
+		return transport.Response{OK: true}
+	})
+	newTable = []transport.PeerState{{Addr: fresh}}
+	old := fakeMember(t, tr, &oldTable, func(req transport.Request) transport.Response {
+		return transport.Response{Err: transport.StaleView, Gossip: &transport.Gossip{
+			Kind: transport.GossipSync, Full: true, Updates: newTable,
+		}}
+	})
+	oldTable = []transport.PeerState{{Addr: old}}
+
+	cl, err := DialRemote(context.Background(), tr, RemoteConfig{Seeds: []string{old}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.Query(context.Background(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Answered || !res.FromIndex || res.Value != 99 || !answered {
+		t.Fatalf("post-recovery query = %+v (answered=%v), want index hit 99 at the fresh member", res, answered)
+	}
+}

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -167,7 +168,7 @@ func (c *Cluster) PublishRoundRobin(keys []uint64) {
 		return
 	}
 	for i, k := range keys {
-		live[i%len(live)].Publish(k, k)
+		live[i%len(live)].Publish(context.Background(), k, k)
 	}
 }
 
@@ -187,7 +188,7 @@ func (c *Cluster) PublishReplicated(keys []uint64, repl int) {
 			if nd == nil {
 				continue
 			}
-			nd.Publish(k, k)
+			nd.Publish(context.Background(), k, k)
 			placed++
 		}
 	}

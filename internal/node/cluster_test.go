@@ -67,7 +67,7 @@ func TestClusterZipfWorkloadWithChurn(t *testing.T) {
 	rng := rand.New(rand.NewPCG(1, 2))
 	answered, fromIndex := 0, 0
 	for q := 0; q < 600; q++ {
-		res := c.Node(rng.IntN(nodes)).Query(corpus[sampler.Sample()])
+		res := mustQuery(t, c.Node(rng.IntN(nodes)), corpus[sampler.Sample()])
 		if res.Answered {
 			answered++
 		}
@@ -107,7 +107,7 @@ func TestClusterZipfWorkloadWithChurn(t *testing.T) {
 		if from == victim {
 			from = (victim + 1) % nodes
 		}
-		res := c.Node(from).Query(corpus[sampler.Sample()])
+		res := mustQuery(t, c.Node(from), corpus[sampler.Sample()])
 		if !res.Answered {
 			t.Fatalf("phase 2: query %d unanswered during churn", q)
 		}
@@ -137,7 +137,7 @@ func TestClusterZipfWorkloadWithChurn(t *testing.T) {
 		t.Fatalf("phase 3: restarted node not readopted: %v", err)
 	}
 	for q := 0; q < 100; q++ {
-		res := c.Node(victim).Query(corpus[sampler.Sample()])
+		res := mustQuery(t, c.Node(victim), corpus[sampler.Sample()])
 		if !res.Answered {
 			t.Fatalf("phase 3: query %d from restarted node unanswered", q)
 		}
@@ -149,7 +149,7 @@ func TestClusterZipfWorkloadWithChurn(t *testing.T) {
 	// the churn, must still describe the recovered cluster.
 	recAnswered, recHits := 0, 0
 	for q := 0; q < 400; q++ {
-		res := c.Node(rng.IntN(nodes)).Query(corpus[sampler.Sample()])
+		res := mustQuery(t, c.Node(rng.IntN(nodes)), corpus[sampler.Sample()])
 		if res.Answered {
 			recAnswered++
 		}
@@ -174,15 +174,15 @@ func TestClusterZipfWorkloadWithChurn(t *testing.T) {
 
 	// Phase 4: a freshly-seen cold key walks the full selection path.
 	cold := uint64(keyspace.HashString("cold:never-queried-before"))
-	c.Node(0).Publish(cold, 31415)
-	res := c.Node(1).Query(cold)
+	mustPublish(t, c.Node(0), cold, 31415)
+	res := mustQuery(t, c.Node(1), cold)
 	if !res.Answered || res.FromIndex || res.Value != 31415 {
 		t.Fatalf("cold query = %+v, want broadcast answer 31415", res)
 	}
 	if res.BroadcastMsgs == 0 {
 		t.Fatal("cold query cost no broadcast messages")
 	}
-	res = c.Node(2).Query(cold)
+	res = mustQuery(t, c.Node(2), cold)
 	if !res.FromIndex {
 		t.Fatalf("repeat of cold key = %+v, want index hit", res)
 	}

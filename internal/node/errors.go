@@ -1,0 +1,38 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The typed failures of the application-facing request path. They are
+// errors.Is-able sentinels: callers branch on the failure class, not on
+// error strings. The public client package (pdht/client) re-exports them
+// under the same names.
+var (
+	// ErrClosed reports a request issued after Close.
+	ErrClosed = errors.New("pdht: closed")
+	// ErrNoMembers reports that no cluster member is known or reachable —
+	// a client whose seeds are all down, or a view that never formed.
+	ErrNoMembers = errors.New("pdht: no reachable members")
+	// ErrStaleView reports that the membership view disagreed with every
+	// peer asked and could not be refreshed — the request was refused
+	// rather than mis-routed.
+	ErrStaleView = errors.New("pdht: stale membership view")
+	// ErrTimeout reports that the caller's deadline expired mid-request.
+	// It wraps context.DeadlineExceeded, so both
+	// errors.Is(err, ErrTimeout) and
+	// errors.Is(err, context.DeadlineExceeded) hold.
+	ErrTimeout = fmt.Errorf("pdht: request timed out: %w", context.DeadlineExceeded)
+)
+
+// ctxErr translates a context failure into the API's typed errors: a
+// deadline expiry becomes ErrTimeout, a cancellation stays
+// context.Canceled (the caller chose to stop; that is not a timeout).
+func ctxErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrTimeout
+	}
+	return err
+}

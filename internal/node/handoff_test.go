@@ -74,7 +74,7 @@ func TestHandoffOnDeathServesFromNewOwner(t *testing.T) {
 	}
 	c.PublishReplicated(keys, 5)
 	for _, k := range keys {
-		if res := c.Node(0).Query(k); !res.Answered {
+		if res := mustQuery(t, c.Node(0), k); !res.Answered {
 			t.Fatalf("seeding query for %d unanswered", k)
 		}
 	}
@@ -150,7 +150,7 @@ func TestHandoffOnDeathServesFromNewOwner(t *testing.T) {
 
 	// And the cluster serves the key from the index — through the new
 	// group, with the dead node gone from every view.
-	res := live.Query(key)
+	res := mustQuery(t, live, key)
 	if !res.FromIndex {
 		t.Fatalf("query after handoff = %+v, want an index hit from the new group", res)
 	}
@@ -181,7 +181,7 @@ func TestHandoffTCPSmoke(t *testing.T) {
 	}
 	c.PublishReplicated(keys, 3)
 	for _, k := range keys {
-		if res := c.Node(0).Query(k); !res.Answered {
+		if res := mustQuery(t, c.Node(0), k); !res.Answered {
 			t.Fatalf("seeding query for %d unanswered", k)
 		}
 	}
@@ -206,6 +206,6 @@ func TestHandoffTCPSmoke(t *testing.T) {
 		t.Fatalf("TCP cluster did not converge after a crash: %v", err)
 	}
 	waitFor(t, 5*time.Second, func() bool {
-		return c.Node(0).Query(key).FromIndex || c.Node(2).Query(key).FromIndex
+		return mustQuery(t, c.Node(0), key).FromIndex || mustQuery(t, c.Node(2), key).FromIndex
 	}, "moved key served from the index over TCP")
 }

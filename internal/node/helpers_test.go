@@ -1,0 +1,27 @@
+package node
+
+import (
+	"context"
+	"testing"
+)
+
+// mustQuery is the test shorthand for the context-first Query API: a
+// background context and a hard failure on typed errors (closed node,
+// timeout), which no happy-path test expects.
+func mustQuery(tb testing.TB, n *Node, key uint64) QueryResult {
+	tb.Helper()
+	res, err := n.Query(context.Background(), key)
+	if err != nil {
+		tb.Fatalf("Query(%d): %v", key, err)
+	}
+	return res
+}
+
+// mustPublish installs key→value in n's content store, failing the test on
+// a typed error.
+func mustPublish(tb testing.TB, n *Node, key, value uint64) {
+	tb.Helper()
+	if err := n.Publish(context.Background(), key, value); err != nil {
+		tb.Fatalf("Publish(%d): %v", key, err)
+	}
+}

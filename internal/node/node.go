@@ -2,7 +2,6 @@ package node
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -159,10 +158,9 @@ type Node struct {
 	store       map[keyspace.Key]uint64
 	queryCounts map[keyspace.Key]uint64
 
-	// clientsMu guards the outbound connection pool.
-	clientsMu     sync.Mutex
-	clients       map[string]transport.Client
-	clientsClosed bool
+	// pool is the outbound connection pool (pool.go), shared logic with
+	// the non-serving RemoteClient.
+	pool *pool
 
 	// The adaptive control plane: nil unless cfg.Adaptive. The tuner owns
 	// the actuator state; the insert/refresh paths read its current keyTtl
@@ -203,7 +201,7 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 		cache:       cache,
 		store:       make(map[keyspace.Key]uint64),
 		queryCounts: make(map[keyspace.Key]uint64),
-		clients:     make(map[string]transport.Client),
+		pool:        newPool(tr),
 		stop:        make(chan struct{}),
 	}
 	if cfg.Adaptive {
@@ -252,7 +250,7 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 		cancel()
 		if err != nil {
 			srv.Close()
-			n.closeClients() // join may have pooled a connection to the seed
+			n.pool.close() // join may have pooled a connection to the seed
 			return nil, fmt.Errorf("node: %w", err)
 		}
 	}
@@ -303,7 +301,7 @@ func (n *Node) Close() error {
 		close(n.stop)
 		n.gossip.Stop()
 		n.srv.Close()
-		n.closeClients()
+		n.pool.close()
 		n.handoffs.Wait()
 	})
 	n.done.Wait()
@@ -408,7 +406,7 @@ func (n *Node) handle(req transport.Request) transport.Response {
 	// answer. Zero skips the check (handoff pushes span view changes by
 	// design).
 	switch req.Op {
-	case transport.OpQuery, transport.OpInsert, transport.OpRefresh:
+	case transport.OpQuery, transport.OpInsert, transport.OpRefresh, transport.OpBatch:
 		if req.ViewHash != 0 && req.ViewHash != hash {
 			st := n.gossip.State()
 			return transport.Response{Err: transport.StaleView, Gossip: &st}
@@ -452,6 +450,8 @@ func (n *Node) handle(req transport.Request) transport.Response {
 		}
 		reply, ok := n.gossip.HandleMessage(*req.Gossip)
 		return transport.Response{OK: ok, Gossip: &reply}
+	case transport.OpBatch:
+		return n.handleBatch(req)
 	default:
 		return transport.Response{Err: fmt.Sprintf("unknown op %v", req.Op)}
 	}
@@ -459,69 +459,22 @@ func (n *Node) handle(req transport.Request) transport.Response {
 
 // ---- RPC client side ----
 
-// client returns a pooled connection to addr, dialing on first use. The
-// dial happens outside the pool lock — a slow or blackholed peer must not
-// stall outbound calls to everyone else — so two goroutines can race to
-// dial the same peer; the loser's connection is closed and the winner's
-// kept.
-func (n *Node) client(addr string) (transport.Client, error) {
-	n.clientsMu.Lock()
-	if n.clientsClosed {
-		n.clientsMu.Unlock()
-		return nil, transport.ErrClosed
-	}
-	if c, ok := n.clients[addr]; ok {
-		n.clientsMu.Unlock()
-		return c, nil
-	}
-	n.clientsMu.Unlock()
-
-	c, err := n.tr.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	n.clientsMu.Lock()
-	defer n.clientsMu.Unlock()
-	if n.clientsClosed {
-		c.Close()
-		return nil, transport.ErrClosed
-	}
-	if existing, ok := n.clients[addr]; ok {
-		c.Close()
-		return existing, nil
-	}
-	n.clients[addr] = c
-	return c, nil
-}
-
-// closeClients shuts the outbound pool down for good: existing connections
-// close and client() refuses to dial new ones.
-func (n *Node) closeClients() {
-	n.clientsMu.Lock()
-	n.clientsClosed = true
-	clients := n.clients
-	n.clients = make(map[string]transport.Client)
-	n.clientsMu.Unlock()
-	for _, c := range clients {
-		c.Close()
-	}
-}
-
-// dropClient discards a connection that returned an error, so the next
-// call re-dials — the reconnect path under churn.
-func (n *Node) dropClient(addr string, c transport.Client) {
-	n.clientsMu.Lock()
-	if n.clients[addr] == c {
-		delete(n.clients, addr)
-	}
-	n.clientsMu.Unlock()
-	c.Close()
-}
-
-// call performs one outbound RPC with the configured timeout. Any failure
-// is returned as an error; the caller treats it as "peer did not answer".
+// call performs one outbound RPC with the configured timeout and no caller
+// context — background work (handoff pushes) that outlives any request.
+// The request path never uses it: every request-originated RPC routes
+// through callWithin so the caller's deadline and cancellation propagate.
 func (n *Node) call(addr string, req transport.Request) (transport.Response, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+	defer cancel()
+	return n.callCtx(ctx, addr, req)
+}
+
+// callWithin performs one outbound RPC bounded by both the caller's
+// context and the configured per-call timeout: a cancelled request aborts
+// its in-flight legs, and a patient caller still cannot hang on one dead
+// peer longer than CallTimeout.
+func (n *Node) callWithin(ctx context.Context, addr string, req transport.Request) (transport.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
 	defer cancel()
 	return n.callCtx(ctx, addr, req)
 }
@@ -529,24 +482,11 @@ func (n *Node) call(addr string, req transport.Request) (transport.Response, err
 // callCtx is call with the deadline under caller control — the membership
 // layer probes on its own, tighter clock.
 func (n *Node) callCtx(ctx context.Context, addr string, req transport.Request) (transport.Response, error) {
-	c, err := n.client(addr)
+	resp, err := n.pool.call(ctx, addr, req)
 	if err != nil {
 		n.rpcFailures.Add(1)
-		return transport.Response{}, err
 	}
-	resp, err := c.Call(ctx, req)
-	if err != nil {
-		n.rpcFailures.Add(1)
-		// A timeout means this one call expired, not that the shared
-		// multiplexed connection is broken — tearing it down would fail
-		// every concurrent in-flight call to that peer. Only drop the
-		// pooled client on transport-level errors.
-		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
-			n.dropClient(addr, c)
-		}
-		return transport.Response{}, err
-	}
-	return resp, nil
+	return resp, err
 }
 
 // ---- content ----
@@ -554,10 +494,35 @@ func (n *Node) callCtx(ctx context.Context, addr string, req transport.Request) 
 // Publish installs key→value in this node's local content store — the
 // content the unstructured broadcast searches. It models the node being a
 // content provider; published keys are what broadcasts can resolve.
-func (n *Node) Publish(key uint64, value uint64) {
+// Fails with ErrClosed after Close.
+func (n *Node) Publish(ctx context.Context, key, value uint64) error {
+	if err := ctx.Err(); err != nil {
+		return ctxErr(err)
+	}
 	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closing {
+		return ErrClosed
+	}
 	n.store[keyspace.Key(key)] = value
-	n.mu.Unlock()
+	return nil
+}
+
+// PublishMany installs a batch of key→value pairs in the local content
+// store — one lock acquisition for the whole batch.
+func (n *Node) PublishMany(ctx context.Context, pairs []KV) error {
+	if err := ctx.Err(); err != nil {
+		return ctxErr(err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closing {
+		return ErrClosed
+	}
+	for _, p := range pairs {
+		n.store[keyspace.Key(p.Key)] = p.Value
+	}
+	return nil
 }
 
 // StoredKeys returns the size of the local content store.
@@ -618,7 +583,16 @@ func (r QueryResult) Total() int {
 // index (routing locally, asking the responsible peer — and on a miss the
 // rest of the replica group — over the wire), broadcast on a miss, insert
 // the broadcast result with keyTtl, and refresh the TTL on a hit.
-func (n *Node) Query(key uint64) QueryResult {
+//
+// The context bounds the whole request: cancellation or deadline expiry
+// aborts the in-flight index, broadcast and insert legs and returns
+// context.Canceled or ErrTimeout (every outbound leg is additionally
+// capped at CallTimeout). A query that runs to completion but resolves
+// nothing is not an error — Answered stays false.
+func (n *Node) Query(ctx context.Context, key uint64) (QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return QueryResult{}, ctxErr(err)
+	}
 	k := keyspace.Key(key)
 	n.queries.Add(1)
 	if n.tuner != nil {
@@ -628,6 +602,10 @@ func (n *Node) Query(key uint64) QueryResult {
 	}
 
 	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		return QueryResult{}, ErrClosed
+	}
 	// The per-key counts only feed Report's Zipf fit; cap the tracked
 	// universe so a wide or adversarial key stream cannot grow memory
 	// without bound (the index cache itself is capacity-bounded).
@@ -654,63 +632,82 @@ func (n *Node) Query(key uint64) QueryResult {
 
 	// 1. Index search: responsible peer, then replica flood.
 	for i, addr := range probes {
+		if err := ctx.Err(); err != nil {
+			return res, ctxErr(err)
+		}
 		if i > 0 {
 			// Hops already priced the path to the responsible peer;
 			// each further replica probe is one flood message.
 			res.IndexMsgs++
 			n.counters.Inc(stats.MsgReplicaFlood)
 		}
-		value, ok := n.probeIndex(addr, k, hash)
+		value, ok := n.probeIndex(ctx, addr, k, hash)
 		if !ok {
 			continue
 		}
 		res.Answered, res.FromIndex, res.Value, res.AnsweredBy = true, true, value, addr
 		n.hits.Add(1)
-		res.RefreshMsgs = n.refreshHit(addr, k, hash)
-		return res
+		res.RefreshMsgs = n.refreshHit(ctx, addr, k, hash)
+		return res, nil
 	}
 	n.misses.Add(1)
+	err := n.missPath(ctx, k, &res, probes, hash)
+	return res, err
+}
 
-	// 2. Broadcast on miss. The membership snapshot is taken here, not
-	// on the hit fast path, which never needs it.
+// missPath runs legs 2 and 3 of the selection algorithm after the index
+// came up empty: broadcast the key to the membership, and insert the
+// resolved value with keyTtl at the replica group unless the adaptive
+// control plane gates it. Shared by the unary and batched query paths.
+func (n *Node) missPath(ctx context.Context, k keyspace.Key, res *QueryResult, replicas []string, hash uint64) error {
+	// The membership snapshot is taken here, not on the hit fast path,
+	// which never needs it.
 	n.mu.Lock()
 	members := append([]string(nil), n.view.members...)
 	n.mu.Unlock()
 	n.broadcasts.Add(1)
-	value, foundAt, msgs := n.broadcast(k, members)
+	value, foundAt, msgs := n.broadcast(ctx, k, members)
 	res.BroadcastMsgs = msgs
 	if foundAt == "" {
+		if err := ctx.Err(); err != nil {
+			// The broadcast was cut short by the caller, not answered
+			// in the negative.
+			return ctxErr(err)
+		}
 		n.unanswered.Add(1)
-		return res
+		return nil
 	}
 	n.broadcastAnswered.Add(1)
 	res.Answered, res.Value, res.AnsweredBy = true, value, foundAt
 
-	// 3. Insert the resolved key with keyTtl at every replica — unless
-	// the control plane estimates its query rate below fMin, in which
-	// case indexing it would cost more than the broadcasts it saves
-	// (the §2 decision, taken per key, online).
-	if n.tuner != nil && !n.tuner.ShouldIndex(key) {
+	// Insert the resolved key with keyTtl at every replica — unless the
+	// control plane estimates its query rate below fMin, in which case
+	// indexing it would cost more than the broadcasts it saves (the §2
+	// decision, taken per key, online).
+	if n.tuner != nil && !n.tuner.ShouldIndex(uint64(k)) {
 		n.gatedInserts.Add(1)
 		res.InsertGated = true
-		return res
+		return nil
 	}
-	res.InsertMsgs = n.insert(k, value, probes, hash)
+	res.InsertMsgs = n.insert(ctx, k, value, replicas, hash)
 	n.inserts.Add(1)
-	return res
+	if err := ctx.Err(); err != nil {
+		return ctxErr(err)
+	}
+	return nil
 }
 
 // probeIndex asks one peer (possibly ourselves) whether key is live in its
 // index cache. The probe carries the caller's membership hash; a stale-view
 // refusal is treated as a miss after feeding the peer's state to gossip.
-func (n *Node) probeIndex(addr string, k keyspace.Key, hash uint64) (uint64, bool) {
+func (n *Node) probeIndex(ctx context.Context, addr string, k keyspace.Key, hash uint64) (uint64, bool) {
 	if addr == n.cfg.Addr {
 		n.mu.Lock()
 		v, ok := n.cache.Get(k, n.now())
 		n.mu.Unlock()
 		return v64(v), ok
 	}
-	resp, err := n.call(addr, transport.Request{Op: transport.OpQuery, Key: uint64(k), ViewHash: hash})
+	resp, err := n.callWithin(ctx, addr, transport.Request{Op: transport.OpQuery, Key: uint64(k), ViewHash: hash})
 	if err != nil || !n.accept(resp) {
 		return 0, false
 	}
@@ -736,7 +733,7 @@ func (n *Node) accept(resp transport.Response) bool {
 
 // refreshHit applies the reset-on-hit rule at the answering peer,
 // returning the number of messages it cost.
-func (n *Node) refreshHit(addr string, k keyspace.Key, hash uint64) int {
+func (n *Node) refreshHit(ctx context.Context, addr string, k keyspace.Key, hash uint64) int {
 	ttl := n.keyTtl()
 	if addr == n.cfg.Addr {
 		now := n.now()
@@ -748,7 +745,7 @@ func (n *Node) refreshHit(addr string, k keyspace.Key, hash uint64) int {
 		return 0
 	}
 	n.counters.Inc(stats.MsgUpdate)
-	if resp, err := n.call(addr, transport.Request{Op: transport.OpRefresh, Key: uint64(k), TTL: ttl, ViewHash: hash}); err == nil {
+	if resp, err := n.callWithin(ctx, addr, transport.Request{Op: transport.OpRefresh, Key: uint64(k), TTL: ttl, ViewHash: hash}); err == nil {
 		n.accept(resp)
 	}
 	return 1
@@ -757,8 +754,10 @@ func (n *Node) refreshHit(addr string, k keyspace.Key, hash uint64) int {
 // broadcast fans the query out to every known member — the unstructured
 // search (cSUnstr). The local store is checked first for free; remote
 // members are asked concurrently and the lexicographically first answer
-// wins, keeping the result independent of goroutine scheduling.
-func (n *Node) broadcast(k keyspace.Key, members []string) (value uint64, foundAt string, msgs int) {
+// wins, keeping the result independent of goroutine scheduling. The legs
+// inherit the caller's context: a cancelled request aborts every in-flight
+// leg instead of waiting out CallTimeout on each.
+func (n *Node) broadcast(ctx context.Context, k keyspace.Key, members []string) (value uint64, foundAt string, msgs int) {
 	n.mu.Lock()
 	v, ok := n.store[k]
 	n.mu.Unlock()
@@ -779,7 +778,7 @@ func (n *Node) broadcast(k keyspace.Key, members []string) (value uint64, foundA
 		wg.Add(1)
 		go func(m string) {
 			defer wg.Done()
-			resp, err := n.call(m, transport.Request{Op: transport.OpBroadcast, Key: uint64(k)})
+			resp, err := n.callWithin(ctx, m, transport.Request{Op: transport.OpBroadcast, Key: uint64(k)})
 			if err == nil && resp.Found {
 				answers <- answer{m, resp.Value}
 			}
@@ -798,7 +797,7 @@ func (n *Node) broadcast(k keyspace.Key, members []string) (value uint64, foundA
 
 // insert installs key→value with keyTtl at every replica, returning the
 // number of messages spent.
-func (n *Node) insert(k keyspace.Key, value uint64, replicas []string, hash uint64) (msgs int) {
+func (n *Node) insert(ctx context.Context, k keyspace.Key, value uint64, replicas []string, hash uint64) (msgs int) {
 	ttl := n.keyTtl()
 	for _, addr := range replicas {
 		if addr == n.cfg.Addr {
@@ -808,9 +807,15 @@ func (n *Node) insert(k keyspace.Key, value uint64, replicas []string, hash uint
 			n.mu.Unlock()
 			continue
 		}
+		if ctx.Err() != nil {
+			// Cancelled mid-insert: the replicas already written keep
+			// their entries (they expire on their own); the rest are
+			// skipped.
+			return msgs
+		}
 		msgs++
 		n.counters.Inc(stats.MsgUpdate)
-		if resp, err := n.call(addr, transport.Request{Op: transport.OpInsert, Key: uint64(k), Value: value, TTL: ttl, ViewHash: hash}); err == nil {
+		if resp, err := n.callWithin(ctx, addr, transport.Request{Op: transport.OpInsert, Key: uint64(k), Value: value, TTL: ttl, ViewHash: hash}); err == nil {
 			n.accept(resp)
 		}
 	}

@@ -38,16 +38,16 @@ func TestSingleNodeMissBroadcastInsertHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nd.Close()
-	nd.Publish(99, 4242)
+	mustPublish(t, nd, 99, 4242)
 
-	first := nd.Query(99)
+	first := mustQuery(t, nd, 99)
 	if !first.Answered || first.FromIndex {
 		t.Fatalf("first query = %+v, want answered from broadcast", first)
 	}
 	if first.Value != 4242 {
 		t.Fatalf("first query value = %d, want 4242", first.Value)
 	}
-	second := nd.Query(99)
+	second := mustQuery(t, nd, 99)
 	if !second.Answered || !second.FromIndex {
 		t.Fatalf("second query = %+v, want index hit", second)
 	}
@@ -70,9 +70,9 @@ func TestClusterMissBroadcastInsertHit(t *testing.T) {
 
 	// Content lives only at node 2; node 0 queries.
 	const key = 7777
-	c.Node(2).Publish(key, 1234)
+	mustPublish(t, c.Node(2), key, 1234)
 
-	first := c.Node(0).Query(key)
+	first := mustQuery(t, c.Node(0), key)
 	if !first.Answered || first.FromIndex || first.Value != 1234 {
 		t.Fatalf("first query = %+v, want broadcast answer 1234", first)
 	}
@@ -85,7 +85,7 @@ func TestClusterMissBroadcastInsertHit(t *testing.T) {
 
 	// The insert leg must have installed the key; a repeat query — from a
 	// different node — hits the index without broadcasting.
-	second := c.Node(1).Query(key)
+	second := mustQuery(t, c.Node(1), key)
 	if !second.Answered || !second.FromIndex || second.Value != 1234 {
 		t.Fatalf("second query = %+v, want index hit 1234", second)
 	}
@@ -100,7 +100,7 @@ func TestUnansweredQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	res := c.Node(0).Query(31337) // nobody published it
+	res := mustQuery(t, c.Node(0), 31337) // nobody published it
 	if res.Answered {
 		t.Fatalf("query for unpublished key answered: %+v", res)
 	}
@@ -120,8 +120,8 @@ func TestTTLRefreshAndExpiry(t *testing.T) {
 	}
 	defer c.Close()
 	const key = 555
-	c.Node(1).Publish(key, 1)
-	if res := c.Node(0).Query(key); !res.Answered {
+	mustPublish(t, c.Node(1), key, 1)
+	if res := mustQuery(t, c.Node(0), key); !res.Answered {
 		t.Fatal("seed query unanswered")
 	}
 
@@ -129,13 +129,13 @@ func TestTTLRefreshAndExpiry(t *testing.T) {
 	// entry, keeping it alive far beyond the original 200ms.
 	deadline := time.Now().Add(600 * time.Millisecond)
 	for time.Now().Before(deadline) {
-		res := c.Node(0).Query(key)
+		res := mustQuery(t, c.Node(0), key)
 		if !res.Answered {
 			t.Fatal("key fell out of the index while being queried")
 		}
 		time.Sleep(80 * time.Millisecond)
 	}
-	if res := c.Node(0).Query(key); !res.FromIndex {
+	if res := mustQuery(t, c.Node(0), key); !res.FromIndex {
 		t.Fatalf("query after sustained refreshing = %+v, want index hit", res)
 	}
 
@@ -145,7 +145,7 @@ func TestTTLRefreshAndExpiry(t *testing.T) {
 	if got := c.IndexedKeys(); got != 0 {
 		t.Fatalf("%d keys still indexed after TTL silence, want 0", got)
 	}
-	res := c.Node(0).Query(key)
+	res := mustQuery(t, c.Node(0), key)
 	if !res.Answered || res.FromIndex {
 		t.Fatalf("post-expiry query = %+v, want broadcast answer", res)
 	}
@@ -158,9 +158,9 @@ func TestRefreshCountsAtStoringPeer(t *testing.T) {
 	}
 	defer c.Close()
 	const key = 808
-	c.Node(0).Publish(key, 9)
-	c.Node(0).Query(key) // miss → insert
-	res := c.Node(0).Query(key)
+	mustPublish(t, c.Node(0), key, 9)
+	mustQuery(t, c.Node(0), key) // miss → insert
+	res := mustQuery(t, c.Node(0), key)
 	if !res.FromIndex {
 		t.Fatalf("second query = %+v, want hit", res)
 	}
@@ -198,16 +198,16 @@ func TestBackendGenericity(t *testing.T) {
 				return true
 			}, "full membership")
 			for k := uint64(1); k <= 20; k++ {
-				c.Node(int(k)%4).Publish(k, k*10)
+				mustPublish(t, c.Node(int(k)%4), k, k*10)
 			}
 			for k := uint64(1); k <= 20; k++ {
-				if res := c.Node(0).Query(k); !res.Answered || res.Value != k*10 {
+				if res := mustQuery(t, c.Node(0), k); !res.Answered || res.Value != k*10 {
 					t.Fatalf("%s: cold query %d = %+v", backend, k, res)
 				}
 			}
 			hits := 0
 			for k := uint64(1); k <= 20; k++ {
-				if res := c.Node(1).Query(k); res.FromIndex {
+				if res := mustQuery(t, c.Node(1), k); res.FromIndex {
 					hits++
 				}
 			}
@@ -251,12 +251,12 @@ func TestReportModelComparison(t *testing.T) {
 	}
 	defer c.Close()
 	for k := uint64(1); k <= 30; k++ {
-		c.Node(int(k)%3).Publish(k, k)
+		mustPublish(t, c.Node(int(k)%3), k, k)
 	}
 	// A skewed workload: key k queried ~30/k times.
 	for k := uint64(1); k <= 30; k++ {
 		for q := uint64(0); q < 30/k; q++ {
-			c.Node(0).Query(k)
+			mustQuery(t, c.Node(0), k)
 		}
 	}
 	// The model needs at least one elapsed round for a finite fQry.

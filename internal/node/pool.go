@@ -1,0 +1,102 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"pdht/internal/transport"
+)
+
+// pool is an outbound connection pool over one transport: one multiplexed
+// client per peer, dialed on first use, re-dialed after transport-level
+// failures. Node and RemoteClient share it — the reconnect-under-churn
+// semantics of the request path live here, once.
+type pool struct {
+	tr transport.Transport
+
+	mu      sync.Mutex
+	clients map[string]transport.Client
+	closed  bool
+}
+
+func newPool(tr transport.Transport) *pool {
+	return &pool{tr: tr, clients: make(map[string]transport.Client)}
+}
+
+// get returns a pooled connection to addr, dialing on first use. The dial
+// happens outside the pool lock — a slow or blackholed peer must not stall
+// outbound calls to everyone else — so two goroutines can race to dial the
+// same peer; the loser's connection is closed and the winner's kept.
+func (p *pool) get(addr string) (transport.Client, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if c, ok := p.clients[addr]; ok {
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+
+	c, err := p.tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return nil, transport.ErrClosed
+	}
+	if existing, ok := p.clients[addr]; ok {
+		c.Close()
+		return existing, nil
+	}
+	p.clients[addr] = c
+	return c, nil
+}
+
+// drop discards a connection that returned an error, so the next call
+// re-dials — the reconnect path under churn.
+func (p *pool) drop(addr string, c transport.Client) {
+	p.mu.Lock()
+	if p.clients[addr] == c {
+		delete(p.clients, addr)
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+// close shuts the pool down for good: existing connections close and get
+// refuses to dial new ones.
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	clients := p.clients
+	p.clients = make(map[string]transport.Client)
+	p.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+// call performs one RPC to addr under ctx. A timeout means that one call
+// expired, not that the shared multiplexed connection is broken — tearing
+// it down would fail every concurrent in-flight call to that peer — so the
+// pooled client is only dropped on transport-level errors.
+func (p *pool) call(ctx context.Context, addr string, req transport.Request) (transport.Response, error) {
+	c, err := p.get(addr)
+	if err != nil {
+		return transport.Response{}, err
+	}
+	resp, err := c.Call(ctx, req)
+	if err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			p.drop(addr, c)
+		}
+		return transport.Response{}, err
+	}
+	return resp, nil
+}

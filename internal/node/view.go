@@ -3,7 +3,7 @@
 // result with keyTtl, refresh on a hit) executed over a real transport
 // instead of simulated rounds.
 //
-// Each Node serves five RPCs (Query/Insert/Refresh/Broadcast/Gossip, see
+// Each Node serves six RPCs (Query/Insert/Refresh/Broadcast/Gossip/Batch, see
 // internal/transport), keeps a TTL index cache (core.Cache) for the key
 // range it is responsible for, a local content store standing in for the
 // unstructured network's content, and a membership view over which it runs

@@ -7,9 +7,11 @@ import (
 )
 
 // Memory is an in-process loopback transport: a registry of named endpoints
-// whose handlers are invoked synchronously by Call. It gives the cluster
-// tests real RPC semantics — including unreachable peers when an endpoint
-// is killed — with none of the scheduling nondeterminism of sockets.
+// whose handlers are invoked directly by Call (on a short-lived goroutine,
+// so context cancellation abandons a slow call exactly like the TCP
+// client). It gives the cluster tests real RPC semantics — including
+// unreachable peers when an endpoint is killed and deadline expiry
+// mid-call — with none of the framing nondeterminism of sockets.
 //
 // Each Memory value is its own isolated network; two clusters built on two
 // Memory instances cannot see each other.
@@ -102,10 +104,19 @@ func (c *memClient) Call(ctx context.Context, req Request) (Response, error) {
 	if !ok {
 		return Response{}, fmt.Errorf("%w: %s", ErrUnreachable, c.addr)
 	}
-	// Synchronous delivery: the handler runs on the caller's goroutine.
-	// Handlers are required to be concurrency-safe, so this is equivalent
-	// to a zero-latency network — and keeps test interleavings minimal.
-	return h(req), nil
+	// The handler runs on its own goroutine so cancellation can abandon a
+	// slow call mid-flight — the same deadline semantics as the TCP
+	// client. The handler keeps running to completion (as it would on a
+	// real network: the server cannot tell the caller gave up); its
+	// response is discarded.
+	done := make(chan Response, 1)
+	go func() { done <- h(req) }()
+	select {
+	case resp := <-done:
+		return resp, nil
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
 }
 
 func (c *memClient) Close() error {

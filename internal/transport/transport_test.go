@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -206,8 +207,106 @@ func TestFrameRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.ID != 7 || out.Resp != nil || out.Req == nil || *out.Req != *in.Req {
+	if out.ID != 7 || out.Resp != nil || out.Req == nil || !reflect.DeepEqual(*out.Req, *in.Req) {
 		t.Fatalf("roundtrip: got %+v", out)
+	}
+}
+
+// TestBatchRoundtrip sends an OpBatch request through both transports and
+// checks the per-item results survive the wire — including a per-item
+// failure that must not disturb its neighbors (the partial-failure
+// contract of the batched API).
+func TestBatchRoundtrip(t *testing.T) {
+	// The handler answers each item positionally: even keys are found,
+	// odd keys miss, and a zero-TTL insert is refused per item.
+	batchHandler := func(req Request) Response {
+		if req.Op != OpBatch {
+			return Response{Err: "want batch"}
+		}
+		results := make([]BatchResult, len(req.Batch))
+		for i, it := range req.Batch {
+			switch {
+			case it.Op == OpInsert && it.TTL < 1:
+				results[i] = BatchResult{Err: "insert without ttl"}
+			case it.Op == OpQuery && it.Key%2 == 0:
+				results[i] = BatchResult{OK: true, Found: true, Value: it.Key * 10}
+			default:
+				results[i] = BatchResult{OK: true}
+			}
+		}
+		return Response{OK: true, Batch: results}
+	}
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			srv, err := tr.Serve("", batchHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			cl, err := tr.Dial(srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			resp, err := cl.Call(context.Background(), Request{Op: OpBatch, Batch: []BatchItem{
+				{Op: OpQuery, Key: 2, TTL: 30},
+				{Op: OpQuery, Key: 3},
+				{Op: OpInsert, Key: 4, Value: 9}, // malformed: no TTL
+				{Op: OpQuery, Key: 6},
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []BatchResult{
+				{OK: true, Found: true, Value: 20},
+				{OK: true},
+				{Err: "insert without ttl"},
+				{OK: true, Found: true, Value: 60},
+			}
+			if !resp.OK || !reflect.DeepEqual(resp.Batch, want) {
+				t.Fatalf("batch results = %+v, want %+v", resp.Batch, want)
+			}
+		})
+	}
+}
+
+// TestBatchCancellationMidCall cancels the context while an OpBatch call
+// is in flight at a slow peer: the call must return promptly with the
+// context's error on both transports instead of waiting the handler out.
+func TestBatchCancellationMidCall(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			release := make(chan struct{})
+			slow := func(req Request) Response {
+				<-release
+				return Response{OK: true, Batch: make([]BatchResult, len(req.Batch))}
+			}
+			srv, err := tr.Serve("", slow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			defer close(release) // let the in-flight handler finish
+			cl, err := tr.Dial(srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(20 * time.Millisecond)
+				cancel()
+			}()
+			start := time.Now()
+			_, err = cl.Call(ctx, Request{Op: OpBatch, Batch: []BatchItem{{Op: OpQuery, Key: 1}}})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled call: err = %v, want context.Canceled", err)
+			}
+			if waited := time.Since(start); waited > time.Second {
+				t.Fatalf("cancelled call returned after %v, want promptly", waited)
+			}
+		})
 	}
 }
 

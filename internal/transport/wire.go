@@ -7,12 +7,13 @@ import (
 	"io"
 )
 
-// Op identifies what a request asks the receiving node to do. The five
+// Op identifies what a request asks the receiving node to do. The
 // operations are the RPC surface of the selection algorithm (§5.1) plus
 // the membership layer: searching the index at a responsible peer,
 // inserting a resolved key with its expiration time, refreshing the
-// expiration time on a hit, the unstructured broadcast fallback, and the
-// SWIM gossip exchange that replaces one-shot joins.
+// expiration time on a hit, the unstructured broadcast fallback, the
+// SWIM gossip exchange that replaces one-shot joins, and the batched
+// index access the client API fans out per destination peer.
 type Op uint8
 
 const (
@@ -36,6 +37,14 @@ const (
 	// anti-entropy state exchange. The payload travels in Request.Gossip;
 	// the reply in Response.Gossip.
 	OpGossip
+	// OpBatch packs several index operations (query/insert/refresh) for
+	// the same destination into one request — the amortize-per-request
+	// leg of the batched client API. Items travel in Request.Batch and
+	// each produces one Response.Batch entry at the same position, so a
+	// partial failure (one malformed item, one full cache) stays per-key
+	// instead of failing the round trip. The ViewHash check applies once
+	// to the whole batch.
+	OpBatch
 )
 
 // String returns the short label used in logs and errors.
@@ -51,6 +60,8 @@ func (o Op) String() string {
 		return "broadcast"
 	case OpGossip:
 		return "gossip"
+	case OpBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -106,7 +117,32 @@ type Gossip struct {
 	Updates []PeerState `json:"updates,omitempty"`
 }
 
-// Request is the wire envelope of one call. One struct covers all five
+// BatchItem is one operation of an OpBatch request. Op selects what the
+// receiver does with it: OpQuery looks Key up (and, when TTL is positive,
+// applies the reset-on-hit rule in the same round trip — the refresh leg
+// the unary path pays a separate message for), OpInsert installs Key→Value
+// with TTL rounds of lifetime, OpRefresh resets a live entry's expiration.
+// Any other op is refused per item, not per batch.
+type BatchItem struct {
+	Op    Op     `json:"op"`
+	Key   uint64 `json:"key"`
+	Value uint64 `json:"value,omitempty"`
+	TTL   int    `json:"ttl,omitempty"`
+}
+
+// BatchResult is the outcome of one BatchItem, at the same index.
+type BatchResult struct {
+	// OK mirrors Response.OK (an insert stored, a refresh found a live
+	// entry); Found and Value report a query item's outcome.
+	OK    bool   `json:"ok,omitempty"`
+	Found bool   `json:"found,omitempty"`
+	Value uint64 `json:"value,omitempty"`
+	// Err is this item's application-level failure; other items of the
+	// batch are unaffected.
+	Err string `json:"err,omitempty"`
+}
+
+// Request is the wire envelope of one call. One struct covers all the
 // operations — fields unused by an op are zero and omitted from the
 // encoding — because the cost of a per-op type hierarchy outweighs a few
 // optional fields.
@@ -118,10 +154,12 @@ type Request struct {
 	// TTL is the entry lifetime in rounds for OpInsert/OpRefresh.
 	TTL int `json:"ttl,omitempty"`
 	// ViewHash is the sender's membership hash on routed operations
-	// (query/insert/refresh). A receiver whose own hash differs answers
+	// (query/insert/refresh/batch). A receiver whose own hash differs answers
 	// with the StaleView error instead of mis-routing; zero skips the
 	// check (handoff pushes, which are valid across view transitions).
 	ViewHash uint64 `json:"view,omitempty"`
+	// Batch carries the items of an OpBatch request.
+	Batch []BatchItem `json:"batch,omitempty"`
 	// Gossip is the membership payload of OpGossip.
 	Gossip *Gossip `json:"gossip,omitempty"`
 }
@@ -137,6 +175,9 @@ type Response struct {
 	// Err carries an application-level failure (malformed request,
 	// unknown op, StaleView). Transport-level failures never appear here.
 	Err string `json:"err,omitempty"`
+	// Batch carries the per-item outcomes of an OpBatch request, one
+	// entry per Request.Batch item, positions aligned.
+	Batch []BatchResult `json:"batch,omitempty"`
 	// Gossip carries the reply of an OpGossip exchange — and, on a
 	// StaleView error, the responder's full membership state so the
 	// caller can converge without an extra round trip.

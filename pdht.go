@@ -21,7 +21,14 @@
 //     (StrategyPartialTTL in the simulator; internal/core implements it
 //     against pluggable DHT backends).
 //
-// The package exposes three layers:
+// The package exposes four layers:
+//
+//   - The live system: Open builds an embeddable handle on a real cluster
+//     — a full member node, or with WithClientOnly a lightweight
+//     non-serving client — with a context-first, typed-error API and
+//     batched operations (QueryMany/PublishMany: one OpBatch round trip
+//     per destination peer). Package pdht/client is the full surface;
+//     Open and the With* options re-export it here.
 //
 //   - The analytical model: DefaultScenario, Solve, SolveTTL, Sweep,
 //     TTLSensitivity reproduce every figure of the paper's evaluation.
@@ -53,6 +60,10 @@
 package pdht
 
 import (
+	"context"
+	"time"
+
+	"pdht/client"
 	"pdht/internal/adapt"
 	"pdht/internal/churn"
 	"pdht/internal/metadata"
@@ -61,6 +72,65 @@ import (
 	"pdht/internal/workload"
 	"pdht/internal/zipf"
 )
+
+// ---- the live system: the embeddable client API ----
+
+// Client is one live handle on the partial DHT — a full member node or a
+// lightweight non-serving cluster client, built by Open. See package
+// pdht/client for the full surface (QueryMany, PublishMany, ParseAndQuery,
+// Report, …).
+type Client = client.Client
+
+// ClientResult is one resolved query of the live API.
+type ClientResult = client.Result
+
+// ClientKV is one key→value pair of a batched publish.
+type ClientKV = client.KV
+
+// ClientOption configures Open.
+type ClientOption = client.Option
+
+// The typed failures of the live request path — errors.Is-able, shared
+// with package pdht/client.
+var (
+	ErrClosed    = client.ErrClosed
+	ErrNoMembers = client.ErrNoMembers
+	ErrStaleView = client.ErrStaleView
+	ErrTimeout   = client.ErrTimeout
+)
+
+// Open builds a live handle on the partial DHT: by default a full member
+// node over TCP (serving the Query/Insert/Refresh/Broadcast/Gossip RPCs
+// and holding its share of the index), with WithClientOnly a non-serving
+// client that speaks the wire protocol to an existing cluster. Every
+// request on the handle is context-first and batched access is one wire
+// round trip per destination peer.
+//
+//	member, err := pdht.Open(ctx, pdht.WithListen("127.0.0.1:7070"))
+//	cl, err := pdht.Open(ctx, pdht.WithClientOnly(), pdht.WithSeeds("127.0.0.1:7070"))
+//	results, err := cl.QueryMany(ctx, keys)
+func Open(ctx context.Context, opts ...ClientOption) (*Client, error) {
+	return client.Open(ctx, opts...)
+}
+
+// The functional options of Open, re-exported from pdht/client.
+func WithTCP() ClientOption                          { return client.WithTCP() }
+func WithListen(addr string) ClientOption            { return client.WithListen(addr) }
+func WithSeeds(seeds ...string) ClientOption         { return client.WithSeeds(seeds...) }
+func WithClientOnly() ClientOption                   { return client.WithClientOnly() }
+func WithBackend(name string) ClientOption           { return client.WithBackend(name) }
+func WithReplication(repl int) ClientOption          { return client.WithReplication(repl) }
+func WithKeyTtl(rounds int) ClientOption             { return client.WithKeyTtl(rounds) }
+func WithCapacity(entries int) ClientOption          { return client.WithCapacity(entries) }
+func WithRoundDuration(d time.Duration) ClientOption { return client.WithRoundDuration(d) }
+func WithCallTimeout(d time.Duration) ClientOption   { return client.WithCallTimeout(d) }
+func WithGossipInterval(d time.Duration) ClientOption {
+	return client.WithGossipInterval(d)
+}
+func WithMaintainEnv(p float64) ClientOption { return client.WithMaintainEnv(p) }
+func WithAdaptive(retuneInterval time.Duration) ClientOption {
+	return client.WithAdaptive(retuneInterval)
+}
 
 // Scenario holds the parameters of the analytical model, one field per
 // symbol of the paper's Table 1.
