@@ -23,6 +23,13 @@
 // grouped by responsible peer and each group crosses the wire as a single
 // OpBatch round trip with per-key results, amortizing the per-request cost
 // exactly where a heavy query stream needs it.
+//
+// Availability under churn comes from the replica layer underneath
+// (internal/replica, WithReplication): every index entry lives at an
+// r-member replica set, writes fan out to all of it, reads fail over from
+// the primary through the backups before any broadcast, and hits
+// read-repair members that lost their copy — so a dead primary costs one
+// extra RPC, not a broadcast, until membership convergence repairs the set.
 package client
 
 import (

@@ -54,7 +54,7 @@ func run(args []string, out io.Writer) error {
 		listen      = fs.String("listen", "127.0.0.1:0", "address to serve on")
 		seed        = fs.String("seed", "", "existing cluster member to join")
 		backend     = fs.String("backend", "ring", "structured overlay: ring, trie or kademlia")
-		repl        = fs.Int("repl", 3, "replica-group size (the paper's repl)")
+		repl        = fs.Int("replicas", 3, "replica-set size: copies kept of every index entry (the paper's repl)")
 		keyTtl      = fs.Int("ttl", 120, "expiration time attached to inserted keys, in rounds")
 		capacity    = fs.Int("capacity", 1024, "index cache size (the paper's stor)")
 		round       = fs.Duration("round", time.Second, "wall-time length of one round")
@@ -71,6 +71,8 @@ func run(args []string, out io.Writer) error {
 		env         = fs.Float64("env", 0, "per-routing-entry per-round probe probability (the paper's env; feeds the adaptive fMin)")
 		demo        = fs.Bool("demo", false, "run the 3-node TCP-loopback demonstration and exit")
 	)
+	// -repl predates -replicas; both set the same knob.
+	fs.IntVar(repl, "repl", *repl, "alias of -replicas")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

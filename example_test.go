@@ -64,3 +64,84 @@ func ExampleOpen() {
 	// answered=true value=2001
 	// answered=true value=2002
 }
+
+// ExampleClient_QueryMany runs batched reads against a replicated cluster
+// and shows what replication buys: with replica sets of 2, killing the
+// node that answered a key leaves the key readable — the next batch fails
+// over to the surviving replica instead of losing the entry.
+func ExampleClient_QueryMany() {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// A 3-member cluster with 2-way replication of every index entry.
+	// All members host the content, so broadcasts can resolve misses.
+	opts := []pdht.ClientOption{pdht.WithReplication(2), pdht.WithRoundDuration(100 * time.Millisecond)}
+	seed, err := pdht.Open(ctx, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer seed.Close()
+	byAddr := map[string]*pdht.Client{seed.Addr(): seed}
+	for i := 0; i < 2; i++ {
+		m, err := pdht.Open(ctx, append(opts, pdht.WithSeeds(seed.Addr()))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer m.Close()
+		byAddr[m.Addr()] = m
+	}
+	// Wait for gossip to converge: replica placement is computed from the
+	// membership view, so writes should start once every member sees all 3.
+	for converged := false; !converged; time.Sleep(10 * time.Millisecond) {
+		converged = true
+		for _, m := range byAddr {
+			if len(m.Members()) != 3 {
+				converged = false
+			}
+		}
+	}
+	keys := []uint64{
+		pdht.QueryKey(pdht.Predicate{Element: "author", Value: "K. Aberer"}),
+		pdht.QueryKey(pdht.Predicate{Element: "size", Value: "42k"}),
+	}
+	for _, m := range byAddr {
+		if err := m.PublishMany(ctx, []pdht.ClientKV{{Key: keys[0], Value: 1}, {Key: keys[1], Value: 2}}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cl, err := pdht.Open(ctx, append(opts, pdht.WithClientOnly(), pdht.WithSeeds(seed.Addr()))...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	// First batch: misses resolve by broadcast and the entries are
+	// inserted at each key's 2-member replica set. Second batch: index
+	// hits, one OpBatch round trip per destination peer.
+	if _, err := cl.QueryMany(ctx, keys); err != nil {
+		log.Fatal(err)
+	}
+	warm, err := cl.QueryMany(ctx, keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warm: answered=%v,%v from index=%v,%v\n",
+		warm[0].Answered, warm[1].Answered, warm[0].FromIndex, warm[1].FromIndex)
+
+	// Kill the member that answered the first key. Its replica has the
+	// only surviving copy — the next batch reads it with no broadcast.
+	if m := byAddr[warm[0].AnsweredBy]; m != nil {
+		m.Close()
+	}
+	after, err := cl.QueryMany(ctx, keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after kill: answered=%v,%v values=%d,%d\n",
+		after[0].Answered, after[1].Answered, after[0].Value, after[1].Value)
+
+	// Output:
+	// warm: answered=true,true from index=true,true
+	// after kill: answered=true,true values=1,2
+}

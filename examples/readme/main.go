@@ -1,0 +1,64 @@
+// This is the README.md quickstart, verbatim: the code block under
+// "Quickstart" must stay byte-identical to main() below (the docs CI job
+// diffs them), so the README's first contact with the API is compiled and
+// vetted on every push.
+//
+//	go run ./examples/readme
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"pdht"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Boot a two-member cluster on TCP loopback. The first call seeds a
+	// fresh cluster; the second joins through it. In production these
+	// run in different processes on different machines. Every handle of
+	// a cluster must agree on the replication factor — it shapes replica
+	// placement, which is computed locally by each peer.
+	opts := []pdht.ClientOption{pdht.WithReplication(2)}
+	seed, err := pdht.Open(ctx, append(opts, pdht.WithListen("127.0.0.1:0"))...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer seed.Close()
+	peer, err := pdht.Open(ctx, append(opts, pdht.WithSeeds(seed.Addr()))...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer peer.Close()
+
+	// Publish: make two metadata keys resolvable through the cluster.
+	article := pdht.QueryKey(pdht.Predicate{Element: "title", Value: "Weather Iráklion"})
+	date := pdht.QueryKey(pdht.Predicate{Element: "date", Value: "2004/03/14"})
+	if err := peer.PublishMany(ctx, []pdht.ClientKV{
+		{Key: article, Value: 2001},
+		{Key: date, Value: 2002},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Connect a lightweight client — speaks the wire protocol, serves
+	// nothing, appears in no membership view — and resolve a batch:
+	// one OpBatch round trip per destination peer.
+	cl, err := pdht.Open(ctx, append(opts, pdht.WithClientOnly(), pdht.WithSeeds(seed.Addr()))...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	results, err := cl.QueryMany(ctx, []uint64{article, date})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
+		fmt.Printf("answered=%v value=%d by=%s\n", res.Answered, res.Value, res.AnsweredBy)
+	}
+}

@@ -35,6 +35,13 @@ type Inputs struct {
 	// env). Zero means maintenance-free routing: indexing costs nothing to
 	// hold, fMin is zero, and the tuner recommends TTLMax with no gating.
 	Env float64
+	// RefreshFanout reports that the node keeps replica sets TTL-coherent
+	// by fanning the reset-on-hit refresh out to the whole set
+	// (internal/replica): every index hit then costs Repl−1 extra write
+	// legs, which the fitted model charges against the benefit of indexing
+	// so the derived fMin — and through it the keyTtl actuation and the
+	// insert gate — stays honest about what a hit really costs.
+	RefreshFanout bool
 	// WindowRounds is how many rounds elapsed since the previous Retune —
 	// the denominator that turns window counts into rates.
 	WindowRounds int
@@ -275,6 +282,12 @@ func (t *Tuner) Retune(in Inputs) (Decision, error) {
 		Env:      in.Env,
 		Dup:      t.cfg.Dup,
 		Dup2:     t.cfg.Dup2,
+	}
+	if in.RefreshFanout {
+		// The extra write legs of the replica-coherent refresh (the hit
+		// peer itself rides the probe's round trip; the other Repl−1
+		// members cost one message each).
+		p.WriteFanout = float64(in.Repl - 1)
 	}
 	dist, err := zipf.New(alpha, distinct)
 	if err != nil {

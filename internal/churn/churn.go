@@ -6,7 +6,8 @@
 //
 // Sessions follow the standard exponential on/off model: a peer stays
 // online for an Exp(1/MeanOnline) number of rounds, then offline for an
-// Exp(1/MeanOffline) number of rounds. The process is initialized in its
+// Exp(1/MeanOffline) number of rounds. Model holds the two means; Process
+// drives a netsim population one round at a time, initialized in its
 // stationary distribution so measurements need no warm-up.
 package churn
 

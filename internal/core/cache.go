@@ -9,7 +9,10 @@
 // The package is written against the dht.Index interface, so the selection
 // algorithm runs unchanged over the P-Grid-style trie or the Chord-style
 // ring (the paper: "generic enough such that it can be used for any of the
-// DHT based systems").
+// DHT based systems"). PDHT is the simulator-side selection algorithm;
+// Cache is the capacity-bounded TTL index one peer holds (the live node
+// subsystem reuses it verbatim); TTLEstimator is the online keyTtl
+// self-tuner of §5.1.1.
 package core
 
 import (

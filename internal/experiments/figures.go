@@ -3,7 +3,9 @@
 // defines. Each experiment returns a rendered plain-text table (the repo's
 // equivalent of the paper's plots) together with the underlying numbers, so
 // the same code serves the pdht-bench binary, the benchmark suite and the
-// EXPERIMENTS.md record.
+// EXPERIMENTS.md record. Each TableN/FigureN function returns a rendered
+// stats.Table; ValidationRow and CalibrationResult carry the underlying
+// numbers.
 package experiments
 
 import (

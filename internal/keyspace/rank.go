@@ -1,0 +1,42 @@
+package keyspace
+
+import "sort"
+
+// This file is the replica-ranking half of the key space: a total,
+// deterministic "closeness" order of peers around a key, which
+// internal/replica uses to place the r replicas of an index entry and to
+// fix the failover order reads walk. Peers are mapped into the key space by
+// hashing their address (HashString), so every node that knows the same
+// membership list derives the same ranking with no extra protocol.
+
+// RingDistance returns the clockwise distance from a to b in the key ring:
+// how far a successor-walk starting just after a travels before reaching b.
+// The key space wraps, so the distance is asymmetric — RingDistance(a, b)
+// and RingDistance(b, a) sum to 2⁶⁴ for distinct points — which is exactly
+// what successor-style placement wants: each key has one nearest point in
+// each direction, and ranking by clockwise distance yields a total order
+// with no equidistant pairs (short of hash collisions).
+func RingDistance(a, b Key) uint64 {
+	return uint64(b) - uint64(a)
+}
+
+// RankClosest returns the indices of points ordered by ascending clockwise
+// distance from key — the replica ranking: points[result[0]] is the first
+// successor of key on the ring, points[result[1]] the next, and so on.
+// Ties (colliding points) break by index, keeping the order total and
+// deterministic. The input is not modified.
+func RankClosest(key Key, points []Key) []int {
+	out := make([]int, len(points))
+	for i := range out {
+		out[i] = i
+	}
+	sort.SliceStable(out, func(x, y int) bool {
+		dx := RingDistance(key, points[out[x]])
+		dy := RingDistance(key, points[out[y]])
+		if dx != dy {
+			return dx < dy
+		}
+		return out[x] < out[y]
+	})
+	return out
+}

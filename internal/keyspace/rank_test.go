@@ -1,0 +1,63 @@
+package keyspace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRingDistanceWrapsAndIsAsymmetric(t *testing.T) {
+	if d := RingDistance(10, 13); d != 3 {
+		t.Fatalf("RingDistance(10,13) = %d, want 3", d)
+	}
+	// Wrapping: going clockwise from 13 back to 10 crosses zero.
+	if d := RingDistance(13, 10); d != math.MaxUint64-2 {
+		t.Fatalf("RingDistance(13,10) = %d, want 2⁶⁴−3", d)
+	}
+	if a, b := RingDistance(10, 13), RingDistance(13, 10); a+b != 0 {
+		// uint64 arithmetic: the two directions sum to 2⁶⁴ ≡ 0.
+		t.Fatalf("distances %d + %d do not close the ring", a, b)
+	}
+	if d := RingDistance(42, 42); d != 0 {
+		t.Fatalf("RingDistance(x,x) = %d, want 0", d)
+	}
+}
+
+func TestRankClosestOrdersBySuccessorWalk(t *testing.T) {
+	key := Key(100)
+	points := []Key{90, 110, 101, 5}
+	// Clockwise from 100: 101 (d=1), 110 (d=10), then wrapping far: 5,
+	// then 90 (just behind the key is the farthest successor).
+	got := RankClosest(key, points)
+	want := []int{2, 1, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RankClosest order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRankClosestDeterministicAndNonMutating(t *testing.T) {
+	key := HashString("some key")
+	points := []Key{HashString("a"), HashString("b"), HashString("c"), HashString("d")}
+	orig := append([]Key(nil), points...)
+	first := RankClosest(key, points)
+	second := RankClosest(key, points)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("rankings differ across calls: %v vs %v", first, second)
+		}
+	}
+	for i := range points {
+		if points[i] != orig[i] {
+			t.Fatal("RankClosest mutated its input")
+		}
+	}
+	// Ties (identical points) break by index, keeping the order total.
+	dup := []Key{7, 7, 7}
+	got := RankClosest(3, dup)
+	for i, idx := range []int{0, 1, 2} {
+		if got[i] != idx {
+			t.Fatalf("tie-break order = %v, want [0 1 2]", got)
+		}
+	}
+}

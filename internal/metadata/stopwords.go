@@ -4,7 +4,9 @@
 // conjunctions of predicates over those elements; index keys are obtained by
 // hashing single or concatenated element=value pairs, after removing stop
 // words — "a standard approach in information retrieval" that the paper
-// assumes (§4).
+// assumes (§4). Article is one generated news item; Query a parsed
+// conjunction of Predicates; IndexKey a hashed element=value pair — the
+// unit the DHT actually indexes.
 package metadata
 
 import "strings"

@@ -43,6 +43,14 @@ type Params struct {
 	// Dup2 is the message duplication factor of floods in the replica
 	// subnetwork (dup2).
 	Dup2 float64
+	// WriteFanout is the number of extra write messages an index HIT costs
+	// on top of the search — the live deployment's replica-coherent
+	// reset-on-hit refresh, which fans out to the other repl−1 members of
+	// the key's replica set (internal/replica) instead of piggybacking on
+	// the answer. Zero is the paper-exact model, where the refresh is
+	// free. The fan-out charges against the benefit of indexing: both fMin
+	// (eq. 2's break-even frequency) and the eq. 17 total cost see it.
+	WriteFanout float64
 }
 
 // DefaultScenario returns the paper's sample scenario (Table 1): a news
@@ -115,6 +123,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("model: Dup = %v must be at least 1 (every search sends at least one copy)", p.Dup)
 	case p.Dup2 < 1:
 		return fmt.Errorf("model: Dup2 = %v must be at least 1", p.Dup2)
+	case p.WriteFanout < 0 || math.IsNaN(p.WriteFanout) || math.IsInf(p.WriteFanout, 0):
+		return fmt.Errorf("model: WriteFanout = %v must be non-negative and finite", p.WriteFanout)
 	}
 	return nil
 }

@@ -110,7 +110,11 @@ func nextMaxRank(p Params, dist *zipf.Distribution, indexedKeys float64, sol *So
 	sol.CUpd = cUpd
 	sol.CIndKey = cIndKey
 
-	denom := sol.CSUnstr - cSIndx
+	// Each answered query saves a broadcast but pays the index search —
+	// and, when the deployment keeps replica sets TTL-coherent, the
+	// per-hit refresh fan-out (Params.WriteFanout, zero in the
+	// paper-exact model).
+	denom := sol.CSUnstr - cSIndx - p.WriteFanout
 	if denom <= 0 {
 		// Searching the index is no cheaper than broadcasting; nothing
 		// is worth indexing (eq. 1 can never be positive).

@@ -220,3 +220,65 @@ func TestMaxRankForBoundaries(t *testing.T) {
 		t.Errorf("rank %d should have been included", r+1)
 	}
 }
+
+func TestWriteFanoutRaisesFMinAndCost(t *testing.T) {
+	// The replica-coherent refresh fan-out charges r−1 extra write legs
+	// against every index hit. That must (1) raise the break-even
+	// frequency fMin — fewer keys are worth indexing when a hit costs
+	// more — (2) raise eq. 17's total at the same TTL, and (3) at the
+	// extreme, price indexing out entirely (fMin = +∞).
+	base := DefaultScenario()
+	fan := base
+	fan.WriteFanout = 3
+	solBase, err := Solve(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solFan, err := Solve(fan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solFan.FMin <= solBase.FMin {
+		t.Errorf("fMin with fan-out %v not above paper-exact %v", solFan.FMin, solBase.FMin)
+	}
+	if solFan.MaxRank >= solBase.MaxRank {
+		t.Errorf("maxRank with fan-out %d not below paper-exact %d", solFan.MaxRank, solBase.MaxRank)
+	}
+
+	ttlBase, err := SolveTTL(base, nil, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttlFan, err := SolveTTL(fan, nil, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttlFan.Cost <= ttlBase.Cost {
+		t.Errorf("eq. 17 cost with fan-out %v not above paper-exact %v", ttlFan.Cost, ttlBase.Cost)
+	}
+	// The fan-out applies per hit only: index size and hit probability
+	// are TTL properties and must not move.
+	if ttlFan.PIndxd != ttlBase.PIndxd || ttlFan.IndexSize != ttlBase.IndexSize {
+		t.Errorf("fan-out moved pIndxd/indexSize: %v/%v vs %v/%v",
+			ttlFan.PIndxd, ttlFan.IndexSize, ttlBase.PIndxd, ttlBase.IndexSize)
+	}
+
+	// Extreme: write legs above the broadcast saving → nothing is worth
+	// indexing.
+	out := base
+	out.WriteFanout = CSUnstr(base) + 1
+	solOut, err := Solve(out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(solOut.FMin, 1) || solOut.MaxRank != 0 {
+		t.Errorf("overwhelming fan-out: fMin %v maxRank %d, want +Inf and 0", solOut.FMin, solOut.MaxRank)
+	}
+
+	// Malformed fan-outs are rejected.
+	bad := base
+	bad.WriteFanout = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative WriteFanout accepted")
+	}
+}

@@ -87,8 +87,13 @@ func SolveTTL(p Params, dist *zipf.Distribution, keyTtl float64) (TTLSolution, e
 	cRtn := CRtn(p, nap, indexSize)
 	cSUnstr := CSUnstr(p)
 
+	// A hit pays the degraded index search and, in a deployment that fans
+	// the reset-on-hit refresh out to the whole replica set, WriteFanout
+	// extra write legs (zero in the paper-exact model). A miss pays a
+	// failed search, a broadcast, and a re-insert (priced as a second
+	// index search: route plus the replica-set write flood).
 	cost := indexSize*cRtn +
-		pIndxd*q*cSIndx2 +
+		pIndxd*q*(cSIndx2+p.WriteFanout) +
 		(1-pIndxd)*q*(cSIndx2+cSUnstr+cSIndx2)
 
 	return TTLSolution{

@@ -6,7 +6,8 @@
 // and loss are outside its model. Accordingly, netsim does not deliver
 // payloads asynchronously — overlay algorithms walk the topology directly
 // and report every message they would have sent to the network's counters,
-// which is exactly the quantity Figures 1–4 plot.
+// which is exactly the quantity Figures 1–4 plot. Network is the
+// population; PeerID names one peer within it.
 package netsim
 
 import (

@@ -2,11 +2,11 @@ package node
 
 import (
 	"context"
-	"sort"
 	"sync"
 
 	"pdht/internal/core"
 	"pdht/internal/keyspace"
+	"pdht/internal/replica"
 	"pdht/internal/stats"
 	"pdht/internal/transport"
 )
@@ -180,6 +180,13 @@ func (n *Node) QueryMany(ctx context.Context, keys []uint64) ([]QueryResult, err
 			fallbacks = append(fallbacks, i)
 		}
 	}
+	// Replica-coherent reset-on-hit for the batch hits: the query items
+	// already refreshed the answering peer (the TTL rode with them); the
+	// other members of each hit key's set get their refresh in one OpBatch
+	// per destination, with read repair for members that answered without
+	// holding an entry. Runs before the fallbacks so only phase-1 hits are
+	// synced here — fallback hits sync through syncHit.
+	n.syncBatchHits(ctx, keys, results, ttl)
 	if err := ctx.Err(); err != nil {
 		return results, ctxErr(err)
 	}
@@ -202,24 +209,146 @@ func (n *Node) QueryMany(ctx context.Context, keys []uint64) ([]QueryResult, err
 	return results, ferr
 }
 
+// syncBatchHits fans the reset-on-hit refresh of every phase-1 batch hit
+// out to the rest of the key's replica set — one OpBatch of refresh items
+// per destination — and read-repairs members that answered without holding
+// an entry with a follow-up OpBatch of inserts. The batched counterpart of
+// syncHit: same coherence, one round trip per destination instead of one
+// RPC per (key, member). Placement and the stale-view hash are snapshotted
+// from the SAME view here — stamping the query-time hash onto placements
+// computed from a newer view would get every leg refused mid-transition.
+func (n *Node) syncBatchHits(ctx context.Context, keys []uint64, results []QueryResult, ttl int) {
+	if !n.cfg.FloodOnMiss {
+		// No failover probing → no replica coherence to maintain: the
+		// query items already refreshed the answering primaries.
+		return
+	}
+	type slot struct {
+		i     int // index into keys/results
+		key   uint64
+		value uint64
+	}
+	// Under the lock, only the cheap part: snapshot the hash and each hit
+	// key's raw replica group (the overlay instance is also mutated by the
+	// sweeper's maintenance, so idx reads stay behind n.mu). The per-hit
+	// ranking work — address hashing, sorting — runs after release, so a
+	// large batch does not serialize every other RPC behind n.mu.
+	type hit struct {
+		s     slot
+		group []string
+	}
+	var hits []hit
+	n.mu.Lock()
+	hash := n.view.hash
+	for i := range results {
+		if !results[i].Answered || !results[i].FromIndex {
+			continue
+		}
+		hits = append(hits, hit{slot{i, keys[i], results[i].Value}, n.view.replicas(keyspace.Key(keys[i]))})
+	}
+	n.mu.Unlock()
+
+	groups := make(map[string][]slot)
+	var local []slot
+	for _, h := range hits {
+		rs := replica.NewSet(keyspace.Key(h.s.key), results[h.s.i].Responsible, h.group)
+		for _, addr := range rs.All() {
+			if addr == results[h.s.i].AnsweredBy {
+				continue // the query item's TTL already refreshed it
+			}
+			if addr == n.cfg.Addr {
+				local = append(local, h.s)
+			} else {
+				groups[addr] = append(groups[addr], h.s)
+			}
+		}
+	}
+
+	if len(local) > 0 {
+		now := n.now()
+		n.mu.Lock()
+		for _, s := range local {
+			k := keyspace.Key(s.key)
+			if n.cache.Refresh(k, now+ttl, now) || n.cache.Put(k, core.Value(s.value), now+ttl, now) {
+				n.refreshes.Add(1)
+			}
+		}
+		n.mu.Unlock()
+	}
+
+	// resMu guards the per-result counters: a key's backups live at
+	// different destinations, so two goroutines may touch the same result.
+	var resMu sync.Mutex
+	var wg sync.WaitGroup
+	for addr, slots := range groups {
+		wg.Add(1)
+		go func(addr string, slots []slot) {
+			defer wg.Done()
+			items := make([]transport.BatchItem, len(slots))
+			for j, s := range slots {
+				items[j] = transport.BatchItem{Op: transport.OpRefresh, Key: s.key, TTL: ttl}
+			}
+			n.counters.Add(stats.MsgUpdate, int64(len(items)))
+			resMu.Lock()
+			for _, s := range slots {
+				results[s.i].RefreshMsgs++
+			}
+			resMu.Unlock()
+			resp, err := n.callWithin(ctx, addr, transport.Request{
+				Op: transport.OpBatch, From: n.cfg.Addr, ViewHash: hash, Batch: items,
+			})
+			if err != nil || !n.accept(resp) || len(resp.Batch) != len(slots) {
+				return
+			}
+			// Read repair: members that answered the refresh without the
+			// entry get it re-inserted, one more round trip.
+			var repairs []slot
+			for j, s := range slots {
+				if br := resp.Batch[j]; br.Err == "" && !br.OK {
+					repairs = append(repairs, s)
+				}
+			}
+			if len(repairs) == 0 || ctx.Err() != nil {
+				return
+			}
+			items = make([]transport.BatchItem, len(repairs))
+			for j, s := range repairs {
+				items[j] = transport.BatchItem{Op: transport.OpInsert, Key: s.key, Value: s.value, TTL: ttl}
+			}
+			n.counters.Add(stats.MsgUpdate, int64(len(items)))
+			n.readRepairs.Add(uint64(len(items)))
+			resMu.Lock()
+			for _, s := range repairs {
+				results[s.i].RepairMsgs++
+			}
+			resMu.Unlock()
+			if resp, err := n.callWithin(ctx, addr, transport.Request{
+				Op: transport.OpBatch, From: n.cfg.Addr, ViewHash: hash, Batch: items,
+			}); err == nil {
+				n.accept(resp)
+			}
+		}(addr, slots)
+	}
+	wg.Wait()
+}
+
 // fallbackQuery finishes one key the batch probe could not resolve: the
-// replica flood beyond the responsible peer (which the batch already
+// failover probes beyond the responsible peer (which the batch already
 // asked), then the broadcast and gated insert of the unary miss path.
 func (n *Node) fallbackQuery(ctx context.Context, key uint64, res *QueryResult) error {
 	k := keyspace.Key(key)
 	n.mu.Lock()
 	hash := n.view.hash
-	var probes []string
-	if n.cfg.FloodOnMiss {
-		probes = n.view.replicas(k)
-		sort.SliceStable(probes, func(i, j int) bool {
-			return probes[i] == res.Responsible && probes[j] != res.Responsible
-		})
-	} else if res.Responsible != "" {
-		probes = []string{res.Responsible}
-	}
+	rs, _ := n.view.set(n.cfg.Addr, k)
 	n.mu.Unlock()
 
+	probes := rs.All()
+	if !n.cfg.FloodOnMiss {
+		probes = nil
+		if res.Responsible != "" {
+			probes = []string{res.Responsible}
+		}
+	}
 	for _, addr := range probes {
 		if addr == res.Responsible {
 			continue // the batch leg already asked it
@@ -235,7 +364,7 @@ func (n *Node) fallbackQuery(ctx context.Context, key uint64, res *QueryResult) 
 		}
 		res.Answered, res.FromIndex, res.Value, res.AnsweredBy = true, true, value, addr
 		n.hits.Add(1)
-		res.RefreshMsgs = n.refreshHit(ctx, addr, k, hash)
+		res.RefreshMsgs, res.RepairMsgs = n.syncHit(ctx, rs, addr, k, value, hash)
 		return nil
 	}
 	n.misses.Add(1)

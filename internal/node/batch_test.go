@@ -182,6 +182,11 @@ func TestQueryManyOneRequestPerDestination(t *testing.T) {
 	if len(destinations) == 0 {
 		t.Fatal("every key landed on the caller; the assertion is vacuous")
 	}
+	// Every destination sees only OpBatch traffic: one query round trip
+	// (the grouping under test), plus at most one batched reset-on-hit
+	// refresh round trip for the keys it backs up — the replica-coherence
+	// traffic rides OpBatch too, never unary RPCs. The warm-up wrote every
+	// replica, so no read-repair batch follows.
 	calls := ct.snapshot()
 	for addr, ops := range calls {
 		for op, n := range ops {
@@ -191,14 +196,14 @@ func TestQueryManyOneRequestPerDestination(t *testing.T) {
 			if op != transport.OpBatch {
 				t.Fatalf("destination %s saw %d %v requests, want OpBatch only", addr, n, op)
 			}
-			if n != 1 {
-				t.Fatalf("destination %s saw %d OpBatch requests, want exactly 1", addr, n)
+			if n > 2 {
+				t.Fatalf("destination %s saw %d OpBatch requests, want 1 query + at most 1 refresh", addr, n)
 			}
 		}
 	}
 	for addr := range destinations {
-		if calls[addr][transport.OpBatch] != 1 {
-			t.Fatalf("destination %s saw %d OpBatch requests, want exactly 1", addr, calls[addr][transport.OpBatch])
+		if n := calls[addr][transport.OpBatch]; n < 1 || n > 2 {
+			t.Fatalf("destination %s saw %d OpBatch requests, want 1 query + at most 1 refresh", addr, n)
 		}
 	}
 }

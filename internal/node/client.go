@@ -8,6 +8,7 @@ import (
 
 	"pdht/internal/gossip"
 	"pdht/internal/keyspace"
+	"pdht/internal/replica"
 	"pdht/internal/transport"
 )
 
@@ -198,6 +199,48 @@ func (c *RemoteClient) handleStale(resp transport.Response) bool {
 	return c.install(resp.Gossip.Updates) == nil
 }
 
+// clientSet orders key's replica group into the probe/write order: the
+// placement-designated responsible peer first, then the rest of the group
+// in the keyspace ranking — the same order the members walk, so client and
+// cluster agree on the primary and the failover sequence.
+func clientSet(v *view, k keyspace.Key) replicaSet {
+	group := v.replicas(k)
+	if len(group) == 0 {
+		return replicaSet{}
+	}
+	return replica.NewSet(k, group[0], group)
+}
+
+// syncHit is the client-side reset-on-hit: refresh every member of the hit
+// key's replica set concurrently (each leg bounded by the caller's ctx
+// capped at CallTimeout) and read-repair members that answered without
+// holding the entry, exactly as a member node's syncHit does.
+func (c *RemoteClient) syncHit(ctx context.Context, v *view, rs replicaSet, key, value uint64, res *QueryResult) {
+	var mu sync.Mutex
+	replica.Fanout(ctx, rs.All(), func(ctx context.Context, addr string) bool {
+		mu.Lock()
+		res.RefreshMsgs++
+		mu.Unlock()
+		resp, err := c.callWithin(ctx, addr, transport.Request{
+			Op: transport.OpRefresh, Key: key, TTL: c.cfg.KeyTtl, ViewHash: v.hash,
+		})
+		if err != nil || resp.Err != "" {
+			return false
+		}
+		if resp.OK {
+			return true
+		}
+		// Answered without the entry: read repair.
+		mu.Lock()
+		res.RepairMsgs++
+		mu.Unlock()
+		rresp, err := c.callWithin(ctx, addr, transport.Request{
+			Op: transport.OpInsert, Key: key, Value: value, TTL: c.cfg.KeyTtl, ViewHash: v.hash,
+		})
+		return err == nil && rresp.Err == "" && rresp.OK
+	})
+}
+
 // Query resolves key with the selection algorithm, driven from outside the
 // cluster: probe the replica group responsible for the key (one wire
 // message per probe — the client routes locally, like the members do),
@@ -217,13 +260,10 @@ func (c *RemoteClient) Query(ctx context.Context, key uint64) (QueryResult, erro
 			return res, err
 		}
 		k := keyspace.Key(key)
-		probes := v.replicas(k)
-		res = QueryResult{}
-		if len(probes) > 0 {
-			res.Responsible = probes[0]
-		}
+		rs := clientSet(v, k)
+		res = QueryResult{Responsible: rs.Primary}
 		recovered, unrecoverable := false, false
-		for _, addr := range probes {
+		for _, addr := range rs.All() {
 			res.IndexMsgs++
 			resp, err := c.callWithin(ctx, addr, transport.Request{
 				Op: transport.OpQuery, Key: key, ViewHash: v.hash,
@@ -244,11 +284,8 @@ func (c *RemoteClient) Query(ctx context.Context, key uint64) (QueryResult, erro
 			}
 			res.Answered, res.FromIndex = true, true
 			res.Value, res.AnsweredBy = resp.Value, addr
-			// Reset-on-hit: one explicit refresh message, as on a member.
-			res.RefreshMsgs++
-			c.callWithin(ctx, addr, transport.Request{
-				Op: transport.OpRefresh, Key: key, TTL: c.cfg.KeyTtl, ViewHash: v.hash,
-			})
+			// Reset-on-hit across the whole set, with read repair.
+			c.syncHit(ctx, v, rs, key, resp.Value, &res)
 			return res, nil
 		}
 		if recovered && attempt == 0 {
@@ -310,18 +347,22 @@ func (c *RemoteClient) resolveMiss(ctx context.Context, key uint64, res *QueryRe
 	return nil
 }
 
-// insert installs key→value with KeyTtl at every replica, returning the
-// message count.
+// insert installs key→value with KeyTtl at every member of the replica
+// set, returning the message count. The legs run concurrently
+// (replica.Fanout), each bounded by the caller's ctx capped at
+// CallTimeout — one stalled member cannot serialize the others out of
+// their write.
 func (c *RemoteClient) insert(ctx context.Context, v *view, key, value uint64) (msgs int) {
-	for _, addr := range v.replicas(keyspace.Key(key)) {
-		if ctx.Err() != nil {
-			return msgs
-		}
+	var mu sync.Mutex
+	replica.Fanout(ctx, v.replicas(keyspace.Key(key)), func(ctx context.Context, addr string) bool {
+		mu.Lock()
 		msgs++
-		c.callWithin(ctx, addr, transport.Request{
+		mu.Unlock()
+		resp, err := c.callWithin(ctx, addr, transport.Request{
 			Op: transport.OpInsert, Key: key, Value: value, TTL: c.cfg.KeyTtl, ViewHash: v.hash,
 		})
-	}
+		return err == nil && resp.Err == "" && resp.OK
+	})
 	return msgs
 }
 
@@ -344,12 +385,12 @@ func (c *RemoteClient) QueryMany(ctx context.Context, keys []uint64) ([]QueryRes
 	results := make([]QueryResult, len(keys))
 	groups := make(map[string][]int)
 	for i, key := range keys {
-		probes := v.replicas(keyspace.Key(key))
-		if len(probes) == 0 {
+		rs := clientSet(v, keyspace.Key(key))
+		if rs.Primary == "" {
 			continue
 		}
-		results[i].Responsible = probes[0]
-		groups[probes[0]] = append(groups[probes[0]], i)
+		results[i].Responsible = rs.Primary
+		groups[rs.Primary] = append(groups[rs.Primary], i)
 	}
 
 	var staleOnce sync.Once
@@ -387,6 +428,9 @@ func (c *RemoteClient) QueryMany(ctx context.Context, keys []uint64) ([]QueryRes
 		}(addr, idxs)
 	}
 	wg.Wait()
+	// Replica-coherent reset-on-hit for the batch hits, before the
+	// fallbacks run — fallback hits sync through syncHit on their own.
+	c.syncBatchHits(ctx, v, keys, results)
 	if err := ctx.Err(); err != nil {
 		return results, ctxErr(err)
 	}
@@ -413,14 +457,88 @@ func (c *RemoteClient) QueryMany(ctx context.Context, keys []uint64) ([]QueryRes
 	return results, ferr
 }
 
+// syncBatchHits fans the reset-on-hit refresh of every phase-1 batch hit
+// out to the rest of the key's replica set — one OpBatch of refresh items
+// per destination — and read-repairs members that answered without holding
+// an entry with a follow-up OpBatch of inserts. The client-side counterpart
+// of the member node's syncBatchHits.
+func (c *RemoteClient) syncBatchHits(ctx context.Context, v *view, keys []uint64, results []QueryResult) {
+	type slot struct {
+		i     int
+		key   uint64
+		value uint64
+	}
+	groups := make(map[string][]slot)
+	for i := range results {
+		if !results[i].Answered || !results[i].FromIndex {
+			continue
+		}
+		k := keyspace.Key(keys[i])
+		for _, addr := range clientSet(v, k).All() {
+			if addr == results[i].AnsweredBy {
+				continue // the query item's TTL already refreshed it
+			}
+			groups[addr] = append(groups[addr], slot{i, keys[i], results[i].Value})
+		}
+	}
+	// resMu guards the per-result counters: a key's backups live at
+	// different destinations, so two goroutines may touch the same result.
+	var resMu sync.Mutex
+	var wg sync.WaitGroup
+	for addr, slots := range groups {
+		wg.Add(1)
+		go func(addr string, slots []slot) {
+			defer wg.Done()
+			items := make([]transport.BatchItem, len(slots))
+			for j, s := range slots {
+				items[j] = transport.BatchItem{Op: transport.OpRefresh, Key: s.key, TTL: c.cfg.KeyTtl}
+			}
+			resMu.Lock()
+			for _, s := range slots {
+				results[s.i].RefreshMsgs++
+			}
+			resMu.Unlock()
+			resp, err := c.callWithin(ctx, addr, transport.Request{
+				Op: transport.OpBatch, ViewHash: v.hash, Batch: items,
+			})
+			if err != nil || resp.Err != "" || len(resp.Batch) != len(slots) {
+				return
+			}
+			var repairs []slot
+			for j, s := range slots {
+				if br := resp.Batch[j]; br.Err == "" && !br.OK {
+					repairs = append(repairs, s)
+				}
+			}
+			if len(repairs) == 0 || ctx.Err() != nil {
+				return
+			}
+			items = make([]transport.BatchItem, len(repairs))
+			for j, s := range repairs {
+				items[j] = transport.BatchItem{Op: transport.OpInsert, Key: s.key, Value: s.value, TTL: c.cfg.KeyTtl}
+			}
+			resMu.Lock()
+			for _, s := range repairs {
+				results[s.i].RepairMsgs++
+			}
+			resMu.Unlock()
+			c.callWithin(ctx, addr, transport.Request{
+				Op: transport.OpBatch, ViewHash: v.hash, Batch: items,
+			})
+		}(addr, slots)
+	}
+	wg.Wait()
+}
+
 // fallbackQuery finishes one key the batch probe could not resolve: the
-// remaining replicas, then broadcast and insert.
+// failover probes beyond the responsible peer, then broadcast and insert.
 func (c *RemoteClient) fallbackQuery(ctx context.Context, key uint64, res *QueryResult) error {
 	v, err := c.currentView()
 	if err != nil {
 		return err
 	}
-	for _, addr := range v.replicas(keyspace.Key(key)) {
+	rs := clientSet(v, keyspace.Key(key))
+	for _, addr := range rs.All() {
 		if addr == res.Responsible {
 			continue // the batch leg already asked it
 		}
@@ -436,10 +554,7 @@ func (c *RemoteClient) fallbackQuery(ctx context.Context, key uint64, res *Query
 		}
 		res.Answered, res.FromIndex = true, true
 		res.Value, res.AnsweredBy = resp.Value, addr
-		res.RefreshMsgs++
-		c.callWithin(ctx, addr, transport.Request{
-			Op: transport.OpRefresh, Key: key, TTL: c.cfg.KeyTtl, ViewHash: v.hash,
-		})
+		c.syncHit(ctx, v, rs, key, resp.Value, res)
 		return nil
 	}
 	return c.resolveMiss(ctx, key, res)

@@ -1,104 +1,57 @@
 package node
 
 import (
-	"slices"
-
 	"pdht/internal/core"
+	"pdht/internal/replica"
 	"pdht/internal/stats"
 	"pdht/internal/transport"
 )
 
-// Key handoff: when a confirmed membership change moves a key's replica
-// group, the entry must reach its new owners or the index silently loses
-// it — the next query pays a broadcast the paper's model doesn't predict,
-// and under sustained churn the partial index never reaches its
-// steady-state hit rate. DistHash-style active re-replication is the fix:
-// walk the local cache, recompute placement under the new view, and push
-// what moved.
+// Key handoff and replica repair: when a confirmed membership change moves
+// or shrinks a key's replica set, the surviving copies must reach the set's
+// new members or the index silently loses first redundancy, then the entry
+// itself — the next query pays a broadcast the paper's model doesn't
+// predict, and under sustained churn the partial index never reaches its
+// steady-state hit rate. The planning rules (designated pusher, orphan
+// rescue, TTL preservation, no deletion) live in replica.PlanRepair; this
+// file snapshots the cache, feeds the planner, and executes the plan.
 //
-// Invariants:
-//
-//   - Exactly-once planning, at-least-once effect: for each entry, the
-//     FIRST member of the old replica group that survived into the new
-//     view is the designated pusher. Every survivor evaluates the same
-//     deterministic rule against the same (old, new) view pair, so in the
-//     converged case one node pushes and the rest stay silent; while views
-//     are still settling, duplicate pushes are possible and harmless
-//     (inserts are idempotent, latest-expiry wins).
-//   - TTL preservation: entries travel with their REMAINING lifetime
-//     (expires − now, in rounds), not a fresh keyTtl. A key that was about
-//     to lapse still lapses on schedule at its new owner — the expiry
-//     semantics of §5.1 are membership-change invariant.
-//   - No deletion: the local copy is kept even when self left the group.
-//     It stops being probed under the new view, so it simply expires on
-//     schedule; dropping it early would lose data if the view flaps back.
-//   - Pushes carry ViewHash 0: a handoff is, by definition, a message
-//     between two sides of a view transition, so the stale-view guard
-//     must not apply.
+// Pushes carry ViewHash 0: a repair push is, by definition, a message
+// between two sides of a view transition, so the stale-view guard must not
+// apply.
 
-// handoffPush is one planned transfer: key→value to a new owner with its
-// remaining TTL.
-type handoffPush struct {
-	to    string
-	key   uint64
-	value uint64
-	ttl   int // remaining lifetime in rounds, ≥ 1
-}
-
-// planHandoff computes the pushes this node owes for a view transition.
-// Pure function of (old view, new view, self, cache snapshot) — every
-// surviving member of an entry's old group computes the same plan and the
-// designated-pusher rule leaves at most one of them responsible.
-func planHandoff(old, next *view, self string, entries []core.Entry, now int) []handoffPush {
-	var plan []handoffPush
+// planHandoff computes the pushes this node owes for a view transition:
+// the cache snapshot reduced to its live entries (with REMAINING TTLs) and
+// handed to the replica repair planner. Pure function of (old view, new
+// view, self, cache snapshot).
+func planHandoff(old, next *view, self string, entries []core.Entry, now int) []replica.Push {
+	held := make([]replica.Entry, 0, len(entries))
 	for _, e := range entries {
-		ttl := e.Expires - now
-		if ttl < 1 {
-			continue // lapsed between snapshot and planning
-		}
-		oldGroup := old.replicas(e.Key)
-		pusher := ""
-		for _, a := range oldGroup {
-			if _, survived := next.rank[a]; survived {
-				pusher = a
-				break
-			}
-		}
-		if pusher != self {
-			// Either another survivor owns the push, or the whole old
-			// group died with the data (nothing anyone can do), or self
-			// holds a copy from an even older view — the current group
-			// members handle those keys.
-			continue
-		}
-		newGroup := next.replicas(e.Key)
-		for _, a := range newGroup {
-			if a == self || slices.Contains(oldGroup, a) {
-				continue
-			}
-			plan = append(plan, handoffPush{to: a, key: uint64(e.Key), value: uint64(e.Value), ttl: ttl})
+		if ttl := e.Expires - now; ttl >= 1 {
+			held = append(held, replica.Entry{Key: e.Key, Value: uint64(e.Value), TTL: ttl})
 		}
 	}
-	return plan
+	return replica.PlanRepair(old, next, self, held)
 }
 
 // runHandoff executes the plan for one view transition. It runs on its own
 // goroutine (registered in n.handoffs before spawn): pushes are plain
 // inserts with the remaining TTL, so a lost push degrades to the pre-
-// handoff behavior — the key's next query misses and re-inserts. Pushes
-// are grouped by destination, and a destination is abandoned on its first
-// transport failure: a newcomer that crashed mid-transition costs one
-// failed call, not one CallTimeout per entry it was owed.
+// handoff behavior — the key's next query misses and re-inserts (or a later
+// hit read-repairs it). Pushes are grouped by destination, and a
+// destination is abandoned on its first transport failure: a newcomer that
+// crashed mid-transition costs one failed call, not one CallTimeout per
+// entry it was owed.
 func (n *Node) runHandoff(old, next *view, entries []core.Entry) {
 	defer n.handoffs.Done()
 	plan := planHandoff(old, next, n.cfg.Addr, entries, n.now())
 	dests := make([]string, 0, 4)
-	byDest := make(map[string][]handoffPush)
+	byDest := make(map[string][]replica.Push)
 	for _, p := range plan {
-		if _, seen := byDest[p.to]; !seen {
-			dests = append(dests, p.to)
+		if _, seen := byDest[p.To]; !seen {
+			dests = append(dests, p.To)
 		}
-		byDest[p.to] = append(byDest[p.to], p)
+		byDest[p.To] = append(byDest[p.To], p)
 	}
 	for _, dest := range dests {
 		for _, p := range byDest[dest] {
@@ -109,8 +62,8 @@ func (n *Node) runHandoff(old, next *view, entries []core.Entry) {
 			}
 			n.handoffMsgs.Add(1)
 			n.counters.Inc(stats.MsgControl)
-			resp, err := n.call(p.to, transport.Request{
-				Op: transport.OpInsert, Key: p.key, Value: p.value, TTL: p.ttl,
+			resp, err := n.call(p.To, transport.Request{
+				Op: transport.OpInsert, Key: uint64(p.Key), Value: p.Value, TTL: p.TTL,
 			})
 			if err != nil {
 				break // unreachable; its keys degrade to broadcast-on-miss

@@ -3,7 +3,6 @@ package node
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +11,7 @@ import (
 	"pdht/internal/core"
 	"pdht/internal/gossip"
 	"pdht/internal/keyspace"
+	"pdht/internal/replica"
 	"pdht/internal/stats"
 	"pdht/internal/transport"
 )
@@ -39,10 +39,13 @@ type Config struct {
 	RoundDuration time.Duration
 	// CallTimeout bounds each outbound RPC. Default 2s.
 	CallTimeout time.Duration
-	// FloodOnMiss extends an index search that misses at the responsible
-	// peer to the rest of the replica group — the cSIndx2 flood the
-	// selection algorithm needs because TTL expiry leaves replicas
-	// loosely synchronized. DefaultConfig turns it on.
+	// FloodOnMiss extends an index search that misses, is refused or
+	// times out at the primary to the rest of the replica set, in the
+	// deterministic keyspace-ranked failover order — the cSIndx2 flood
+	// the selection algorithm needs because TTL expiry leaves replicas
+	// loosely synchronized, and the failover that masks a dead primary.
+	// It also gates the replica-coherent write fan-out: with it on, hits
+	// refresh (and read-repair) the whole set. DefaultConfig turns it on.
 	FloodOnMiss bool
 	// MaintainEnv is the per-entry per-round probe probability of the
 	// local overlay instance (the paper's env). Zero disables probing.
@@ -172,6 +175,7 @@ type Node struct {
 	broadcastAnswered, inserts, refreshes,
 	unanswered, rpcFailures, staleViews,
 	handoffKeys, handoffMsgs,
+	readRepairs,
 	gatedInserts, retunes atomic.Uint64
 	indexSize atomic.Int64 // gauge, updated by the sweeper
 
@@ -562,12 +566,15 @@ type QueryResult struct {
 	Responsible string
 	AnsweredBy  string
 	// IndexMsgs, BroadcastMsgs and InsertMsgs break down the cost in the
-	// legs of eq. 17; RefreshMsgs is the reset-on-hit RPC a remote index
-	// hit pays.
+	// legs of eq. 17; RefreshMsgs counts the reset-on-hit refresh legs a
+	// hit fans out to the key's replica set, and RepairMsgs the read-repair
+	// re-inserts sent to set members that answered the refresh without
+	// holding the entry (the primary after losing it to churn).
 	IndexMsgs     int
 	BroadcastMsgs int
 	InsertMsgs    int
 	RefreshMsgs   int
+	RepairMsgs    int
 	// InsertGated reports that the broadcast resolved the key but the
 	// adaptive control plane refused to index it (estimated rate below
 	// fMin).
@@ -576,7 +583,7 @@ type QueryResult struct {
 
 // Total returns the query's full message cost.
 func (r QueryResult) Total() int {
-	return r.IndexMsgs + r.BroadcastMsgs + r.InsertMsgs + r.RefreshMsgs
+	return r.IndexMsgs + r.BroadcastMsgs + r.InsertMsgs + r.RefreshMsgs + r.RepairMsgs
 }
 
 // Query resolves key with the selection algorithm of §5.1: search the
@@ -612,32 +619,31 @@ func (n *Node) Query(ctx context.Context, key uint64) (QueryResult, error) {
 	if _, tracked := n.queryCounts[k]; tracked || len(n.queryCounts) < 8*n.cfg.Capacity {
 		n.queryCounts[k]++
 	}
-	responsible, hops, routeOK := n.view.route(n.cfg.Addr, k)
+	rs, hops := n.view.set(n.cfg.Addr, k)
 	hash := n.view.hash
-	var probes []string
-	if routeOK {
-		if n.cfg.FloodOnMiss {
-			probes = n.view.replicas(k)
-			// Responsible first; the rest of the group in placement order.
-			sort.SliceStable(probes, func(i, j int) bool { return probes[i] == responsible && probes[j] != responsible })
-		} else {
-			probes = []string{responsible}
-		}
-	}
 	n.mu.Unlock()
 
-	res := QueryResult{Responsible: responsible}
+	if !n.cfg.FloodOnMiss && rs.Primary != "" {
+		// No failover probing → no replica coherence to maintain either:
+		// the set collapses to the primary, so the hit path below fans
+		// nothing out (matching the tuner's WriteFanout accounting).
+		rs = replicaSet{Primary: rs.Primary}
+	}
+	probes := rs.All()
+
+	res := QueryResult{Responsible: rs.Primary}
 	res.IndexMsgs = hops
 	n.counters.Add(stats.MsgIndexLookup, int64(hops))
 
-	// 1. Index search: responsible peer, then replica flood.
+	// 1. Index search: the primary, failing over through the ranked
+	// backups on a miss, refusal or timeout.
 	for i, addr := range probes {
 		if err := ctx.Err(); err != nil {
 			return res, ctxErr(err)
 		}
 		if i > 0 {
-			// Hops already priced the path to the responsible peer;
-			// each further replica probe is one flood message.
+			// Hops already priced the path to the primary; each failover
+			// probe is one more message.
 			res.IndexMsgs++
 			n.counters.Inc(stats.MsgReplicaFlood)
 		}
@@ -647,7 +653,7 @@ func (n *Node) Query(ctx context.Context, key uint64) (QueryResult, error) {
 		}
 		res.Answered, res.FromIndex, res.Value, res.AnsweredBy = true, true, value, addr
 		n.hits.Add(1)
-		res.RefreshMsgs = n.refreshHit(ctx, addr, k, hash)
+		res.RefreshMsgs, res.RepairMsgs = n.syncHit(ctx, rs, addr, k, value, hash)
 		return res, nil
 	}
 	n.misses.Add(1)
@@ -731,24 +737,68 @@ func (n *Node) accept(resp transport.Response) bool {
 	return false
 }
 
-// refreshHit applies the reset-on-hit rule at the answering peer,
-// returning the number of messages it cost.
-func (n *Node) refreshHit(ctx context.Context, addr string, k keyspace.Key, hash uint64) int {
+// syncHit applies the reset-on-hit rule across the key's whole replica set
+// and read-repairs the holes it finds: every member's TTL is refreshed
+// concurrently (each leg derives its deadline from the caller's ctx, capped
+// at CallTimeout), keeping the set's expiry coherent so a failover probe
+// after the primary dies still finds a live entry. A member that answers
+// the refresh without holding the entry — the primary after losing it to
+// churn, a restart or a failed insert leg — is re-inserted from the value
+// the hit supplied. Members that do not answer at all are left alone:
+// repairing a dead peer would burn a CallTimeout per query on an address
+// the membership layer is already evicting.
+//
+// The fan-out is synchronous — the read-repair guarantee is "the set is
+// whole when Query returns", which the tests pin — so a SILENTLY
+// partitioned member (no RST; a crashed process refuses in microseconds)
+// can hold a hit for up to CallTimeout until suspicion convicts it. The
+// legs run concurrently, so that bound does not stack per member.
+func (n *Node) syncHit(ctx context.Context, rs replicaSet, hitAddr string, k keyspace.Key, value uint64, hash uint64) (refreshMsgs, repairMsgs int) {
 	ttl := n.keyTtl()
-	if addr == n.cfg.Addr {
-		now := n.now()
-		n.mu.Lock()
-		if n.cache.Refresh(k, now+ttl, now) {
-			n.refreshes.Add(1)
+	targets := rs.All()
+	if !rs.Contains(hitAddr) {
+		// Routing resolved no set (cannot happen with self in the view):
+		// fall back to the plain reset-on-hit rule at the answering peer.
+		targets = []string{hitAddr}
+	}
+	var mu sync.Mutex
+	replica.Fanout(ctx, targets, func(ctx context.Context, addr string) bool {
+		if addr == n.cfg.Addr {
+			now := n.now()
+			n.mu.Lock()
+			ok := n.cache.Refresh(k, now+ttl, now)
+			if !ok {
+				// Local read repair: no message, and self's share of the
+				// set is populated again.
+				ok = n.cache.Put(k, core.Value(value), now+ttl, now)
+			}
+			n.mu.Unlock()
+			if ok {
+				n.refreshes.Add(1)
+			}
+			return ok
 		}
-		n.mu.Unlock()
-		return 0
-	}
-	n.counters.Inc(stats.MsgUpdate)
-	if resp, err := n.callWithin(ctx, addr, transport.Request{Op: transport.OpRefresh, Key: uint64(k), TTL: ttl, ViewHash: hash}); err == nil {
-		n.accept(resp)
-	}
-	return 1
+		mu.Lock()
+		refreshMsgs++
+		mu.Unlock()
+		n.counters.Inc(stats.MsgUpdate)
+		resp, err := n.callWithin(ctx, addr, transport.Request{Op: transport.OpRefresh, Key: uint64(k), TTL: ttl, ViewHash: hash})
+		if err != nil || !n.accept(resp) {
+			return false
+		}
+		if resp.OK {
+			return true
+		}
+		// The member answered but does not hold the entry: read repair.
+		mu.Lock()
+		repairMsgs++
+		mu.Unlock()
+		n.readRepairs.Add(1)
+		n.counters.Inc(stats.MsgUpdate)
+		rresp, err := n.callWithin(ctx, addr, transport.Request{Op: transport.OpInsert, Key: uint64(k), Value: value, TTL: ttl, ViewHash: hash})
+		return err == nil && rresp.Err == "" && rresp.OK
+	})
+	return refreshMsgs, repairMsgs
 }
 
 // broadcast fans the query out to every known member — the unstructured
@@ -795,30 +845,29 @@ func (n *Node) broadcast(ctx context.Context, k keyspace.Key, members []string) 
 	return value, foundAt, msgs
 }
 
-// insert installs key→value with keyTtl at every replica, returning the
-// number of messages spent.
+// insert installs key→value with keyTtl at every member of the replica
+// set, returning the number of messages spent. The write legs run
+// concurrently (replica.Fanout), each bounded by the caller's ctx capped at
+// CallTimeout; a cancelled request stops spawning legs, and the replicas
+// already written keep their entries — they expire on their own.
 func (n *Node) insert(ctx context.Context, k keyspace.Key, value uint64, replicas []string, hash uint64) (msgs int) {
 	ttl := n.keyTtl()
-	for _, addr := range replicas {
+	var mu sync.Mutex
+	replica.Fanout(ctx, replicas, func(ctx context.Context, addr string) bool {
 		if addr == n.cfg.Addr {
 			now := n.now()
 			n.mu.Lock()
-			n.cache.Put(k, core.Value(value), now+ttl, now)
+			ok := n.cache.Put(k, core.Value(value), now+ttl, now)
 			n.mu.Unlock()
-			continue
+			return ok
 		}
-		if ctx.Err() != nil {
-			// Cancelled mid-insert: the replicas already written keep
-			// their entries (they expire on their own); the rest are
-			// skipped.
-			return msgs
-		}
+		mu.Lock()
 		msgs++
+		mu.Unlock()
 		n.counters.Inc(stats.MsgUpdate)
-		if resp, err := n.callWithin(ctx, addr, transport.Request{Op: transport.OpInsert, Key: uint64(k), Value: value, TTL: ttl, ViewHash: hash}); err == nil {
-			n.accept(resp)
-		}
-	}
+		resp, err := n.callWithin(ctx, addr, transport.Request{Op: transport.OpInsert, Key: uint64(k), Value: value, TTL: ttl, ViewHash: hash})
+		return err == nil && n.accept(resp) && resp.OK
+	})
 	return msgs
 }
 
@@ -886,6 +935,9 @@ func (n *Node) retuner() {
 				Repl:         n.cfg.Repl,
 				Env:          n.cfg.MaintainEnv,
 				WindowRounds: window,
+				// Hits fan the refresh out to the whole set whenever
+				// reads can fail over to it.
+				RefreshFanout: n.cfg.FloodOnMiss,
 			}
 			if _, err := n.tuner.Retune(in); err == nil {
 				n.retunes.Add(1)

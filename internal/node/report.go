@@ -29,9 +29,13 @@ type Report struct {
 	// disagreed on membership — each one a mis-route the hash check
 	// turned into an explicit miss.
 	StaleViews uint64
-	// HandoffMsgs counts entry pushes sent on view changes; HandoffKeys
-	// the ones the new owner accepted.
+	// HandoffMsgs counts entry pushes sent on view changes (the replica
+	// repair pass); HandoffKeys the ones the new owner accepted.
 	HandoffMsgs, HandoffKeys uint64
+	// ReadRepairs counts replica-set members re-inserted on a hit because
+	// they answered the reset-on-hit refresh without holding the entry —
+	// the read-repair path closing holes churn and lost write legs punch.
+	ReadRepairs uint64
 
 	// Adaptive is the control plane's state — nil unless the node runs
 	// with Config.Adaptive.
@@ -127,6 +131,7 @@ func (n *Node) Report() Report {
 		StaleViews:        n.staleViews.Load(),
 		HandoffMsgs:       n.handoffMsgs.Load(),
 		HandoffKeys:       n.handoffKeys.Load(),
+		ReadRepairs:       n.readRepairs.Load(),
 		ViewVersion:       viewVersion,
 		Membership:        n.gossip.Snapshot(),
 		IndexedKeys:       live,
@@ -172,6 +177,11 @@ func (n *Node) modelComparison(r Report, members, repl, distinct int, counts []i
 		Dup:  1.8,
 		Dup2: 1.8,
 	}
+	if n.cfg.FloodOnMiss {
+		// Hits fan the reset-on-hit refresh out to the whole replica set;
+		// the prediction must pay the same extra write legs the node does.
+		p.WriteFanout = float64(repl - 1)
+	}
 	sol, err := model.SolveTTL(p, nil, float64(n.keyTtl()))
 	if err != nil {
 		return nil
@@ -197,8 +207,8 @@ func (r Report) String() string {
 		r.Queries, r.Hits, r.Misses, 100*r.HitRate)
 	fmt.Fprintf(&b, "  broadcasts %d (answered %d)  inserts %d  refreshes %d  unanswered %d  rpc-failures %d\n",
 		r.Broadcasts, r.BroadcastAnswered, r.Inserts, r.Refreshes, r.Unanswered, r.RPCFailures)
-	fmt.Fprintf(&b, "  stale-views %d  handoff %d/%d keys accepted/pushed\n",
-		r.StaleViews, r.HandoffKeys, r.HandoffMsgs)
+	fmt.Fprintf(&b, "  stale-views %d  handoff %d/%d keys accepted/pushed  read-repairs %d\n",
+		r.StaleViews, r.HandoffKeys, r.HandoffMsgs, r.ReadRepairs)
 	fmt.Fprintf(&b, "  index entries %d  published keys %d\n", r.IndexedKeys, r.StoredKeys)
 	if a := r.Adaptive; a != nil {
 		fmt.Fprintf(&b, "  adaptive: keyTtl %d  retunes %d  gated inserts %d  sketches %d KiB\n",

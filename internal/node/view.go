@@ -1,7 +1,9 @@
 // Package node is the live peer: the paper's selection algorithm
 // (StrategyPartialTTL — query the index, broadcast on a miss, insert the
 // result with keyTtl, refresh on a hit) executed over a real transport
-// instead of simulated rounds.
+// instead of simulated rounds. Node is the serving member engine,
+// RemoteClient the non-serving engine behind the public client package,
+// and Cluster the multi-node harness with kill/restart.
 //
 // Each Node serves six RPCs (Query/Insert/Refresh/Broadcast/Gossip/Batch, see
 // internal/transport), keeps a TTL index cache (core.Cache) for the key
@@ -11,11 +13,19 @@
 // Kademlia) to decide responsibility and replica placement — the same
 // routing structures the simulator uses, now consulted per live query.
 //
+// Every index entry lives at an r-member replica set (replica.Set: the
+// routing-designated primary plus the keyspace-ranked backups). Writes —
+// inserts and the reset-on-hit refresh, unary and batched — fan out to the
+// whole set concurrently; reads probe the primary and fail over through
+// the backups before any broadcast, and a hit read-repairs set members
+// that answered without holding the entry. Config.Repl sizes the set,
+// Config.FloodOnMiss gates the failover probing.
+//
 // Membership is owned by internal/gossip (SWIM: probing, suspicion,
 // incarnations, anti-entropy). Every confirmed change rebuilds the view at
-// a new version, and a handoff pass pushes index entries whose replica
-// group moved to their new owners with their remaining TTL, so the paper's
-// expiry semantics survive the transfer.
+// a new version, and a repair pass (replica.PlanRepair) pushes index
+// entries whose replica set moved to the set's new members with their
+// remaining TTL, so the paper's expiry semantics survive the transfer.
 //
 // Rounds: the paper's clock unit (one round = one second) maps to a
 // configurable RoundDuration. TTLs cross the wire in rounds, so a cluster
@@ -33,6 +43,7 @@ import (
 	"pdht/internal/dht"
 	"pdht/internal/keyspace"
 	"pdht/internal/netsim"
+	"pdht/internal/replica"
 )
 
 // Backend selects which structured overlay the membership view runs.
@@ -170,6 +181,35 @@ func (v *view) replicas(key keyspace.Key) []string {
 	}
 	return out
 }
+
+// Replicas and Contains make *view a replica.View, the slice the repair
+// planner (replica.PlanRepair) sees of a membership view.
+
+// Replicas returns the addresses of key's replica group.
+func (v *view) Replicas(key keyspace.Key) []string { return v.replicas(key) }
+
+// Contains reports whether addr is a member of this view.
+func (v *view) Contains(addr string) bool {
+	_, ok := v.rank[addr]
+	return ok
+}
+
+// set returns key's ordered replica set under this view: the
+// routing-designated responsible peer first (resolved from self), then the
+// rest of the group in the keyspace ranking — the probe, failover and
+// write-fanout order of the live replication scheme. hops reports the
+// local routing cost to the primary.
+func (v *view) set(self string, key keyspace.Key) (s replicaSet, hops int) {
+	responsible, hops, ok := v.route(self, key)
+	if !ok {
+		return replicaSet{}, hops
+	}
+	return replica.NewSet(key, responsible, v.replicas(key)), hops
+}
+
+// replicaSet aliases the replica package's set type — it appears in enough
+// node signatures that the shorter name keeps them readable.
+type replicaSet = replica.Set
 
 // maintain runs one round of routing-table probing on the local overlay
 // instance and reports its cost.

@@ -4,7 +4,8 @@
 // or — as the paper assumes for its cost model — by multiple random walks
 // [LvCa02]. Content is replicated at random peers with a given factor, and
 // search cost is measured in messages, including the duplicates the
-// topology inflicts (the paper's dup factor).
+// topology inflicts (the paper's dup factor). Graph is the topology;
+// Store holds the replicated content the searches look for.
 package overlay
 
 import (

@@ -1,0 +1,110 @@
+package replica
+
+import (
+	"slices"
+
+	"pdht/internal/keyspace"
+)
+
+// Replica repair: when a confirmed membership change moves or shrinks a
+// key's replica set, the surviving copies must reach the set's new members
+// or the index silently loses redundancy — first the availability margin,
+// then (when the last holder churns out) the entry itself, and the next
+// query pays a broadcast the paper's model doesn't predict. DistHash-style
+// active re-replication is the fix: walk the local cache, recompute
+// placement under the new view, and push what the new set is missing.
+//
+// Invariants:
+//
+//   - Exactly-once planning, at-least-once effect: for each entry, the
+//     FIRST member of the old replica set that survived into the new view
+//     is the designated pusher. Every survivor evaluates the same
+//     deterministic rule against the same (old, new) view pair, so in the
+//     converged case one node pushes and the rest stay silent; while views
+//     are still settling, duplicate pushes are possible and harmless
+//     (inserts are idempotent, latest-expiry wins).
+//   - Orphan rescue: when NO member of the old set survived, any node still
+//     holding a copy — typically from an even older view, kept by the
+//     no-deletion rule below — pushes it to the entire new set. Without
+//     this the "whole set died with the data" case is unrecoverable even
+//     while a live copy exists.
+//   - TTL preservation: entries travel with their REMAINING lifetime
+//     (expires − now, in rounds), not a fresh keyTtl. A key that was about
+//     to lapse still lapses on schedule at its new owner — the expiry
+//     semantics of §5.1 are membership-change invariant.
+//   - No deletion: the holder keeps its copy even when it left the set.
+//     It stops being probed under the new view, so it simply expires on
+//     schedule; dropping it early would lose data if the view flaps back.
+
+// View is the slice of a membership view the repair planner needs: replica
+// placement and membership tests. internal/node's view satisfies it.
+type View interface {
+	// Replicas returns the addresses of key's replica group under this
+	// view, placement order preserved.
+	Replicas(k keyspace.Key) []string
+	// Contains reports whether addr is a member of this view.
+	Contains(addr string) bool
+}
+
+// Entry is one index entry a holder offers to the repair pass.
+type Entry struct {
+	Key   keyspace.Key
+	Value uint64
+	// TTL is the remaining lifetime in rounds; entries with TTL < 1 are
+	// skipped (lapsed between snapshot and planning).
+	TTL int
+}
+
+// Push is one planned transfer: key→value to a member of the new replica
+// set, with the entry's remaining TTL.
+type Push struct {
+	To    string
+	Key   keyspace.Key
+	Value uint64
+	TTL   int
+}
+
+// PlanRepair computes the pushes self owes for the view transition
+// old→next, given the entries self holds. Pure function of its inputs —
+// every surviving member of an entry's old set computes the same plan and
+// the designated-pusher rule leaves at most one of them responsible; the
+// orphan-rescue rule adds a pusher only when that leaves nobody.
+func PlanRepair(old, next View, self string, entries []Entry) []Push {
+	var plan []Push
+	for _, e := range entries {
+		if e.TTL < 1 {
+			continue
+		}
+		oldSet := old.Replicas(e.Key)
+		pusher := ""
+		for _, a := range oldSet {
+			if next.Contains(a) {
+				pusher = a
+				break
+			}
+		}
+		if pusher == "" {
+			// The whole old set is gone, but self still holds a copy (the
+			// no-deletion rule keeps entries through set changes): rescue
+			// it into the current set.
+			for _, a := range next.Replicas(e.Key) {
+				if a != self {
+					plan = append(plan, Push{To: a, Key: e.Key, Value: e.Value, TTL: e.TTL})
+				}
+			}
+			continue
+		}
+		if pusher != self {
+			// Another survivor owns the push, or self holds a copy from an
+			// even older view — the current set members handle those keys.
+			continue
+		}
+		for _, a := range next.Replicas(e.Key) {
+			if a == self || slices.Contains(oldSet, a) {
+				continue
+			}
+			plan = append(plan, Push{To: a, Key: e.Key, Value: e.Value, TTL: e.TTL})
+		}
+	}
+	return plan
+}

@@ -1,0 +1,105 @@
+package replica
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"pdht/internal/keyspace"
+)
+
+// staticView is a test View: one fixed replica set for every key, over a
+// fixed membership.
+type staticView struct {
+	set     []string
+	members map[string]bool
+}
+
+func newStaticView(set []string, members ...string) staticView {
+	v := staticView{set: set, members: make(map[string]bool)}
+	for _, m := range members {
+		v.members[m] = true
+	}
+	return v
+}
+
+func (v staticView) Replicas(keyspace.Key) []string { return v.set }
+func (v staticView) Contains(addr string) bool      { return v.members[addr] }
+
+func pushTargets(plan []Push) []string {
+	out := make([]string, len(plan))
+	for i, p := range plan {
+		out[i] = p.To
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPlanRepairDesignatedPusher(t *testing.T) {
+	// Set moves from {a,b,c} to {a,b,d}: c died, d is the new member.
+	old := newStaticView([]string{"a", "b", "c"}, "a", "b", "c")
+	next := newStaticView([]string{"a", "b", "d"}, "a", "b", "d")
+	entries := []Entry{{Key: 1, Value: 10, TTL: 7}}
+
+	// The first surviving member of the old set pushes to the newcomer…
+	plan := PlanRepair(old, next, "a", entries)
+	if want := []string{"d"}; !reflect.DeepEqual(pushTargets(plan), want) {
+		t.Fatalf("pusher a plans %v, want %v", pushTargets(plan), want)
+	}
+	if plan[0].TTL != 7 || plan[0].Value != 10 {
+		t.Fatalf("push %+v lost the remaining TTL or value", plan[0])
+	}
+	// …and every other survivor stays silent.
+	if plan := PlanRepair(old, next, "b", entries); len(plan) != 0 {
+		t.Fatalf("survivor b plans %v, want nothing", plan)
+	}
+	// A holder outside both sets (a stray copy while the old set still has
+	// a survivor) also stays silent — the survivors own the repair.
+	if plan := PlanRepair(old, next, "z", entries); len(plan) != 0 {
+		t.Fatalf("stray holder z plans %v, want nothing", plan)
+	}
+}
+
+func TestPlanRepairFirstSurvivorWins(t *testing.T) {
+	// a died: b becomes the designated pusher, c stays silent.
+	old := newStaticView([]string{"a", "b", "c"}, "a", "b", "c")
+	next := newStaticView([]string{"b", "c", "d"}, "b", "c", "d")
+	entries := []Entry{{Key: 2, Value: 20, TTL: 3}}
+	if plan := PlanRepair(old, next, "b", entries); !reflect.DeepEqual(pushTargets(plan), []string{"d"}) {
+		t.Fatalf("pusher b plans %v, want [d]", pushTargets(plan))
+	}
+	if plan := PlanRepair(old, next, "c", entries); len(plan) != 0 {
+		t.Fatalf("survivor c plans %v, want nothing", plan)
+	}
+}
+
+func TestPlanRepairOrphanRescue(t *testing.T) {
+	// The entire old set {x,y} died; self holds a copy from an even older
+	// view. Without rescue the entry is unreachable despite being alive.
+	old := newStaticView([]string{"x", "y"}, "x", "y")
+	next := newStaticView([]string{"a", "b"}, "a", "b", "self")
+	entries := []Entry{{Key: 3, Value: 30, TTL: 5}}
+	plan := PlanRepair(old, next, "self", entries)
+	if want := []string{"a", "b"}; !reflect.DeepEqual(pushTargets(plan), want) {
+		t.Fatalf("orphan rescue plans %v, want %v", pushTargets(plan), want)
+	}
+	// A rescuer inside the new set does not push to itself.
+	next2 := newStaticView([]string{"a", "self"}, "a", "self")
+	plan = PlanRepair(old, next2, "self", entries)
+	if want := []string{"a"}; !reflect.DeepEqual(pushTargets(plan), want) {
+		t.Fatalf("in-set rescuer plans %v, want %v", pushTargets(plan), want)
+	}
+}
+
+func TestPlanRepairSkipsLapsedAndUnmovedEntries(t *testing.T) {
+	old := newStaticView([]string{"a", "b"}, "a", "b")
+	// Set unchanged: nothing to push even for the designated pusher.
+	if plan := PlanRepair(old, old, "a", []Entry{{Key: 4, TTL: 9}}); len(plan) != 0 {
+		t.Fatalf("unmoved set plans %v, want nothing", plan)
+	}
+	next := newStaticView([]string{"a", "c"}, "a", "c")
+	// Lapsed between snapshot and planning: dropped.
+	if plan := PlanRepair(old, next, "a", []Entry{{Key: 5, TTL: 0}}); len(plan) != 0 {
+		t.Fatalf("lapsed entry planned %v, want nothing", plan)
+	}
+}

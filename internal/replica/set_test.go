@@ -1,0 +1,130 @@
+package replica
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pdht/internal/keyspace"
+)
+
+func TestNewSetPrimaryFirstThenRanking(t *testing.T) {
+	key := keyspace.HashString("some hot key")
+	group := []string{"addr-a", "addr-b", "addr-c", "addr-d"}
+	s := NewSet(key, "addr-c", group)
+	if s.Primary != "addr-c" {
+		t.Fatalf("primary = %q, want addr-c", s.Primary)
+	}
+	if len(s.Backups) != 3 || s.Size() != 4 {
+		t.Fatalf("backups = %v (size %d), want the 3 other members", s.Backups, s.Size())
+	}
+	// The backup order is the keyspace ranking: successor-walk order of
+	// the hashed addresses from the key.
+	points := make([]keyspace.Key, 0, 3)
+	rest := make([]string, 0, 3)
+	for _, a := range group {
+		if a != "addr-c" {
+			rest = append(rest, a)
+			points = append(points, keyspace.HashString(a))
+		}
+	}
+	want := make([]string, 0, 3)
+	for _, idx := range keyspace.RankClosest(key, points) {
+		want = append(want, rest[idx])
+	}
+	if !reflect.DeepEqual(s.Backups, want) {
+		t.Fatalf("backups = %v, want ranking order %v", s.Backups, want)
+	}
+	// All() is primary-first.
+	all := s.All()
+	if all[0] != "addr-c" || !reflect.DeepEqual(all[1:], s.Backups) {
+		t.Fatalf("All() = %v, want primary first then backups", all)
+	}
+}
+
+func TestNewSetDeterministicAcrossCallers(t *testing.T) {
+	// Two peers that agree on the membership list must walk the same
+	// failover order — the property that makes the ranking protocol-free.
+	key := keyspace.HashString("agreement")
+	group := []string{"n1", "n2", "n3", "n4", "n5"}
+	shuffled := []string{"n4", "n1", "n5", "n3", "n2"}
+	a := NewSet(key, "n2", group)
+	b := NewSet(key, "n2", shuffled)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("sets differ with the same members: %+v vs %+v", a, b)
+	}
+}
+
+func TestNewSetPromotesPrimaryAndDedupes(t *testing.T) {
+	key := keyspace.HashString("promotion")
+	s := NewSet(key, "", []string{"x", "y", "x", "z", "y"})
+	if s.Primary == "" {
+		t.Fatal("no primary promoted from the ranking")
+	}
+	if s.Size() != 3 {
+		t.Fatalf("size = %d after dedupe, want 3", s.Size())
+	}
+	for _, b := range s.Backups {
+		if b == s.Primary {
+			t.Fatalf("primary %q repeated in backups %v", s.Primary, s.Backups)
+		}
+	}
+	if !s.Contains("x") || !s.Contains("y") || !s.Contains("z") || s.Contains("w") || s.Contains("") {
+		t.Fatal("Contains disagrees with membership")
+	}
+	if got := NewSet(key, "solo", nil); got.Primary != "solo" || got.Size() != 1 {
+		t.Fatalf("empty group set = %+v, want just the primary", got)
+	}
+}
+
+func TestFanoutRunsAllLegsConcurrently(t *testing.T) {
+	// Every leg blocks until all legs have started: serial execution would
+	// deadlock, so completing at all proves concurrency.
+	addrs := []string{"a", "b", "c", "d"}
+	var started sync.WaitGroup
+	started.Add(len(addrs))
+	done := make(chan struct{})
+	ok := Fanout(context.Background(), addrs, func(ctx context.Context, addr string) bool {
+		started.Done()
+		started.Wait()
+		return addr != "c"
+	})
+	close(done)
+	if ok != 3 {
+		t.Fatalf("Fanout reported %d successful legs, want 3", ok)
+	}
+}
+
+func TestFanoutStopsSpawningWhenCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var legs atomic.Int32
+	ok := Fanout(ctx, []string{"a", "b", "c"}, func(ctx context.Context, addr string) bool {
+		legs.Add(1)
+		return true
+	})
+	if legs.Load() != 0 || ok != 0 {
+		t.Fatalf("cancelled Fanout ran %d legs (ok %d), want none", legs.Load(), ok)
+	}
+
+	// Legs already in flight keep their context: cancellation reaches them
+	// through ctx, not by abandonment.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var sawCancel atomic.Bool
+	var once sync.Once
+	Fanout(ctx2, []string{"a", "b"}, func(ctx context.Context, addr string) bool {
+		once.Do(cancel2)
+		select {
+		case <-ctx.Done():
+			sawCancel.Store(true)
+		case <-time.After(2 * time.Second):
+		}
+		return false
+	})
+	if !sawCancel.Load() {
+		t.Fatal("in-flight leg never observed the cancellation")
+	}
+}

@@ -1,13 +1,12 @@
-// Package replica implements the replica subnetwork of the paper's update
-// model (§3.3.2, [DaHa03]): the peers responsible for a key maintain "an
-// unstructured replica subnetwork among each other"; an update reaches one
-// responsible peer through the index and is then gossiped to the others,
-// costing repl·dup2 messages. Peers that were offline pull missed updates
-// when they come back — the hybrid push/pull scheme.
-//
-// The same subnetwork carries the query floods of the selection algorithm
-// (eq. 16): a responsible peer that cannot answer a query floods its
-// replica group, because TTL expiry leaves replicas poorly synchronized.
+// This file is the simulation half's replica subnetwork (§3.3.2,
+// [DaHa03]): the peers responsible for a key maintain "an unstructured
+// replica subnetwork among each other"; an update reaches one responsible
+// peer through the index and is then gossiped to the others, costing
+// repl·dup2 messages. Peers that were offline pull missed updates when
+// they come back — the hybrid push/pull scheme. The same subnetwork
+// carries the query floods of the selection algorithm (eq. 16): a
+// responsible peer that cannot answer a query floods its replica group,
+// because TTL expiry leaves replicas poorly synchronized.
 package replica
 
 import (

@@ -305,3 +305,42 @@ func TestModelParamsRoundTrip(t *testing.T) {
 		t.Errorf("ModelParams mismatch: %+v vs %+v", p, cfg)
 	}
 }
+
+// TestReplicationMasksChurn is the replicated-vs-single A/B under churn:
+// the same workload, the same churn process, the same pinned keyTtl — the
+// runs differ only in the replica-set size. With r=1 every entry lost to an
+// offline peer is a hit-rate cliff until the next miss re-inserts it; with
+// r=5 the replica flood fails over to an online copy, so both the index hit
+// rate and the overall answer rate must come out measurably higher.
+func TestReplicationMasksChurn(t *testing.T) {
+	run := func(repl int) Result {
+		cfg := quickConfig(StrategyPartialTTL)
+		cfg.Repl = repl
+		cfg.KeyTtl = 60 // pinned: the A/B must not also move the TTL knob
+		cfg.Churn = churn.Model{MeanOnline: 600, MeanOffline: 200}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Queries == 0 {
+			t.Fatal("no queries under churn")
+		}
+		return res
+	}
+	single := run(1)
+	replicated := run(5)
+	t.Logf("hit rate: r=1 %.3f vs r=5 %.3f; answer rate: r=1 %.3f vs r=5 %.3f",
+		single.HitRate, replicated.HitRate,
+		float64(single.Answered)/float64(single.Queries),
+		float64(replicated.Answered)/float64(replicated.Queries))
+	if replicated.HitRate <= single.HitRate {
+		t.Errorf("replication did not lift the hit rate under churn: r=5 %.3f vs r=1 %.3f",
+			replicated.HitRate, single.HitRate)
+	}
+	ansSingle := float64(single.Answered) / float64(single.Queries)
+	ansRepl := float64(replicated.Answered) / float64(replicated.Queries)
+	if ansRepl <= ansSingle {
+		t.Errorf("replication did not lift the answer rate under churn: r=5 %.3f vs r=1 %.3f",
+			ansRepl, ansSingle)
+	}
+}

@@ -318,3 +318,77 @@ func TestFrameLengthGuard(t *testing.T) {
 		t.Fatal("oversized frame length accepted")
 	}
 }
+
+// TestFanoutLegDeadlinesAreIndependent models the replica write fan-out
+// (internal/replica.Fanout): one caller fires concurrent legs at several
+// peers, each leg with its own context derived from the request's. A leg
+// whose peer stalls must time out on ITS deadline without delaying or
+// poisoning the legs to healthy peers — otherwise one dead replica would
+// cost every write the full timeout.
+func TestFanoutLegDeadlinesAreIndependent(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			release := make(chan struct{})
+			stuck, err := tr.Serve("", func(req Request) Response {
+				<-release // stalls until the test ends
+				return Response{OK: true}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer stuck.Close()
+			defer close(release)
+			healthy, err := tr.Serve("", echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer healthy.Close()
+
+			ctx := context.Background()
+			type leg struct {
+				resp Response
+				err  error
+				took time.Duration
+			}
+			results := make(map[string]leg)
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for _, addr := range []string{stuck.Addr(), healthy.Addr(), healthy.Addr()} {
+				wg.Add(1)
+				go func(addr string) {
+					defer wg.Done()
+					legCtx, cancel := context.WithTimeout(ctx, 150*time.Millisecond)
+					defer cancel()
+					cl, err := tr.Dial(addr)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer cl.Close()
+					start := time.Now()
+					resp, err := cl.Call(legCtx, Request{Op: OpInsert, Key: 7, Value: 8, TTL: 9})
+					mu.Lock()
+					if _, dup := results[addr]; !dup || err == nil {
+						results[addr] = leg{resp, err, time.Since(start)}
+					}
+					mu.Unlock()
+				}(addr)
+			}
+			wg.Wait()
+
+			if l := results[healthy.Addr()]; l.err != nil || !l.resp.OK {
+				t.Fatalf("healthy leg = %+v / %v, want a clean response", l.resp, l.err)
+			}
+			l := results[stuck.Addr()]
+			if l.err == nil {
+				t.Fatalf("stuck leg returned %+v, want a deadline error", l.resp)
+			}
+			if !errors.Is(l.err, context.DeadlineExceeded) {
+				t.Fatalf("stuck leg failed with %v, want context.DeadlineExceeded", l.err)
+			}
+			if l.took > 2*time.Second {
+				t.Fatalf("stuck leg held its caller %v, want release at the 150ms leg deadline", l.took)
+			}
+		})
+	}
+}

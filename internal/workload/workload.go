@@ -2,7 +2,9 @@
 // Zipf-distributed queries at fQry per peer per round, uniform updates at
 // fUpd per key per round, and the query-distribution shifts ("the
 // popularity of keys can change dramatically over time", §1) that the
-// selection algorithm must adapt to.
+// selection algorithm must adapt to. QueryGen and UpdateGen are the steady
+// generators; ShiftEvent and Schedule script the mid-run popularity
+// changes.
 package workload
 
 import (

@@ -42,13 +42,16 @@
 //   - Metadata utilities: NewsQuery and QueryKey map the paper's
 //     element=value metadata predicates to index keys.
 //
-// Beyond the reproduction, internal/node, internal/gossip and
-// internal/transport serve the selection algorithm as a live system —
+// Beyond the reproduction, internal/node, internal/gossip, internal/replica
+// and internal/transport serve the selection algorithm as a live system —
 // peers exchanging Query/Insert/Refresh/Broadcast/Gossip RPCs over TCP,
-// with SWIM-style membership detecting crashes, evicting dead peers and
-// handing moved index keys to their new owners with their remaining TTLs —
-// and cmd/pdht-node is the deployable; see its -demo mode for the whole
-// story on a 3-node loopback cluster. internal/adapt closes the title's
+// every index entry replicated at an r-member replica set (writes fan out,
+// reads fail over from the primary through the keyspace-ranked backups
+// before any broadcast, hits read-repair the holes churn punches), with
+// SWIM-style membership detecting crashes, evicting dead peers and
+// re-replicating moved index keys to the set's new members with their
+// remaining TTLs — and cmd/pdht-node is the deployable; see its -demo mode
+// for the whole story on a 3-node loopback cluster. internal/adapt closes the title's
 // loop at runtime: each peer sketches its own query stream in O(1) per
 // query and bounded memory, refits the model periodically, retunes keyTtl,
 // and gates the indexing of keys whose measured rate falls below fMin
