@@ -1,0 +1,44 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); keeping them here means the local invocation
+# and the gate can never drift apart.
+
+# The model-backed experiments: deterministic, sub-second each, no
+# simulator population to churn — the stable subset the perf trajectory
+# records on every run. The sim-backed experiments (validate, sweep,
+# adapt, ...) stay interactive-only; they are minutes, not seconds.
+BENCH_EXPERIMENTS := table1 fig1 fig2 fig3 fig4 ttlsens alpha kary
+
+.PHONY: all build test race bench fmt vet
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# The live subsystem under the race detector — the CI race matrix.
+race:
+	go test -race ./client/ ./internal/adapt/ ./internal/gossip/... \
+		./internal/node/ ./internal/obs/ ./internal/replica/ \
+		./internal/transport/ ./cmd/pdht-node/
+
+# The perf trajectory artifact: one JSON object per experiment table, in
+# the {title, header, rows} schema pdht-bench -format json emits, written
+# to BENCH_node.json at the repo root so successive PRs can be charted
+# against each other.
+bench:
+	@: > BENCH_node.json
+	@for e in $(BENCH_EXPERIMENTS); do \
+		echo "bench: $$e"; \
+		go run ./cmd/pdht-bench -experiment $$e -format json \
+			| grep -v '^$$' >> BENCH_node.json || exit 1; \
+	done
+	@echo "wrote BENCH_node.json ($$(wc -l < BENCH_node.json) tables)"
+
+fmt:
+	gofmt -l .
+
+vet:
+	go vet ./...

@@ -36,9 +36,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 
 	"pdht/internal/metadata"
 	"pdht/internal/node"
+	"pdht/internal/obs"
 )
 
 // The typed failures of the request path, re-exported from the node
@@ -61,6 +63,17 @@ type KV struct {
 	Key   uint64
 	Value uint64
 }
+
+// QueryTrace is one finished query's per-leg causality record, delivered to
+// a WithTraceHook hook and retained by the slow-query log: the key, the
+// wall-clock span, the end-to-end outcome, and every leg — index probes
+// primary → ranked backups, the broadcast fan-out, the insert-gate verdict,
+// refreshes, read repairs and stale-view re-syncs — with its offset,
+// duration and outcome. Timeline() renders it for humans.
+type QueryTrace = obs.QueryTrace
+
+// TraceLeg is one step of a QueryTrace.
+type TraceLeg = obs.Leg
 
 // Result reports one resolved query.
 type Result struct {
@@ -188,6 +201,28 @@ func (c *Client) Report() (string, bool) {
 		return "", false
 	}
 	return c.nd.Report().String(), true
+}
+
+// DebugHandler returns the member node's debug HTTP plane — /metrics
+// (Prometheus text exposition of every layer's instruments), /report (the
+// self-measurement as JSON), /traces (the slow-query ring), /healthz and
+// /debug/pprof — ready to mount on any mux or serve on its own port, as
+// cmd/pdht-node's -http flag does. ok=false in client-only mode.
+func (c *Client) DebugHandler() (http.Handler, bool) {
+	if c.nd == nil {
+		return nil, false
+	}
+	return c.nd.DebugHandler(), true
+}
+
+// SlowQueries returns the member node's retained slow-query traces, newest
+// first — empty unless WithSlowQueryLog enabled the ring, and always empty
+// in client-only mode.
+func (c *Client) SlowQueries() []QueryTrace {
+	if c.nd == nil {
+		return nil
+	}
+	return c.nd.SlowQueries()
 }
 
 // Query resolves one key with the paper's selection algorithm: index

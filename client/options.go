@@ -27,6 +27,10 @@ type config struct {
 
 	adaptive    bool
 	retuneEvery time.Duration
+
+	traceHook     func(QueryTrace)
+	slowThreshold time.Duration
+	slowCapacity  int
 }
 
 // Option configures Open. Options are applied in order; later options win.
@@ -128,6 +132,27 @@ func WithAdaptive(retuneInterval time.Duration) Option {
 	}
 }
 
+// WithTraceHook registers hook to receive every finished Query's trace —
+// the per-leg causality record of index probes (primary → ranked backups),
+// the broadcast fan-out, the insert-gate verdict, refreshes, read repairs
+// and stale-view re-syncs, each with its offset and duration. The hook is
+// called synchronously at the end of Query in both member and client-only
+// mode; keep it cheap. QueryTrace.Timeline renders the record for humans.
+func WithTraceHook(hook func(QueryTrace)) Option {
+	return func(c *config) { c.traceHook = hook }
+}
+
+// WithSlowQueryLog keeps the traces of the most recent queries that took
+// threshold or longer in a ring of the given capacity (0: 64), served on
+// the member node's debug endpoint under /traces and readable through
+// SlowQueries. Ignored in client-only mode.
+func WithSlowQueryLog(threshold time.Duration, capacity int) Option {
+	return func(c *config) {
+		c.slowThreshold = threshold
+		c.slowCapacity = capacity
+	}
+}
+
 // build validates the option set and splits it into the two engines'
 // configurations.
 func (c *config) build() (node.Config, node.RemoteConfig, error) {
@@ -162,6 +187,9 @@ func (c *config) build() (node.Config, node.RemoteConfig, error) {
 	nodeCfg.MaintainEnv = c.maintainEnv
 	nodeCfg.Adaptive = c.adaptive
 	nodeCfg.RetuneInterval = c.retuneEvery
+	nodeCfg.TraceHook = c.traceHook
+	nodeCfg.SlowQueryThreshold = c.slowThreshold
+	nodeCfg.SlowQueryCapacity = c.slowCapacity
 
 	remoteCfg := node.RemoteConfig{
 		Seeds:       c.seeds,
@@ -170,5 +198,6 @@ func (c *config) build() (node.Config, node.RemoteConfig, error) {
 		KeyTtl:      c.keyTtl,
 		CallTimeout: c.callTimeout,
 	}
+	remoteCfg.TraceHook = c.traceHook
 	return nodeCfg, remoteCfg, nil
 }

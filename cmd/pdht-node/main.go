@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -69,6 +71,8 @@ func run(args []string, out io.Writer) error {
 		adaptive    = fs.Bool("adaptive", false, "run the query-adaptive control plane: sketch the query stream, retune keyTtl online, gate below-fMin inserts")
 		retuneEvery = fs.Duration("retune-interval", 0, "adaptive refit period and observation window (0: 60 rounds)")
 		env         = fs.Float64("env", 0, "per-routing-entry per-round probe probability (the paper's env; feeds the adaptive fMin)")
+		httpAddr    = fs.String("http", "", "serve the debug HTTP plane on this address (/metrics, /report, /traces, /healthz, /debug/pprof); empty disables it")
+		slowQuery   = fs.Duration("slow-query", 0, "retain traces of queries at or above this duration, served under /traces (0 disables the slow-query log)")
 		demo        = fs.Bool("demo", false, "run the 3-node TCP-loopback demonstration and exit")
 	)
 	// -repl predates -replicas; both set the same knob.
@@ -97,6 +101,7 @@ func run(args []string, out io.Writer) error {
 	cfg.Adaptive = *adaptive
 	cfg.RetuneInterval = *retuneEvery
 	cfg.MaintainEnv = *env
+	cfg.SlowQueryThreshold = *slowQuery
 
 	nd, err := node.New(transport.NewTCP(), cfg)
 	if err != nil {
@@ -104,6 +109,17 @@ func run(args []string, out io.Writer) error {
 	}
 	defer nd.Close()
 	fmt.Fprintf(out, "serving on %s (%d members known)\n", nd.Addr(), len(nd.Members()))
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("debug http: %w", err)
+		}
+		srv := &http.Server{Handler: nd.DebugHandler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(out, "debug http on http://%s/ (metrics, report, traces, healthz, debug/pprof)\n", ln.Addr())
+	}
 
 	if *publish > 0 {
 		n, err := publishArticles(nd, *publish, *publishSeed)

@@ -65,6 +65,47 @@ func ExampleOpen() {
 	// answered=true value=2002
 }
 
+// ExampleWithTraceHook attaches a trace hook to a member node and shows the
+// per-leg record of each query: the cold query walks the whole selection
+// algorithm — index probe, broadcast, insert — and the warm repeat is a
+// single probe hit. On a one-node cluster every leg is local, so the
+// timeline is deterministic.
+func ExampleWithTraceHook() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var traces []pdht.QueryTrace
+	nd, err := pdht.Open(ctx,
+		pdht.WithTraceHook(func(qt pdht.QueryTrace) { traces = append(traces, qt) }))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nd.Close()
+
+	key := pdht.QueryKey(pdht.Predicate{Element: "title", Value: "Weather Iráklion"})
+	if err := nd.Publish(ctx, key, 2001); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := nd.Query(ctx, key); err != nil { // cold: miss → broadcast → insert
+		log.Fatal(err)
+	}
+	if _, err := nd.Query(ctx, key); err != nil { // warm: index hit
+		log.Fatal(err)
+	}
+
+	for i, qt := range traces {
+		fmt.Printf("query %d: %s —", i+1, qt.Outcome)
+		for _, leg := range qt.Legs {
+			fmt.Printf(" %s:%s", leg.Name, leg.Outcome)
+		}
+		fmt.Println()
+	}
+
+	// Output:
+	// query 1: broadcast — probe:miss broadcast:answered insert:ok
+	// query 2: hit — probe:hit
+}
+
 // ExampleClient_QueryMany runs batched reads against a replicated cluster
 // and shows what replication buys: with replica sets of 2, killing the
 // node that answered a key leaves the key readable — the next batch fails

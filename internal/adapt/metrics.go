@@ -1,0 +1,58 @@
+package adapt
+
+import (
+	"math"
+
+	"pdht/internal/obs"
+)
+
+// RegisterMetrics exposes the control loop's state on reg under pdht_adapt_*
+// as scrape-time gauges: the fitted scenario (fMin, alpha, fQry, distinct
+// keys), the actuated knobs (keyTtl, gate threshold), and the loop's own
+// activity (retunes, observed queries, insert-gate verdicts, summary
+// footprint). Values that need a successful retune read NaN until one lands,
+// so a dashboard can tell "no fit yet" from "fitted zero".
+func (t *Tuner) RegisterMetrics(reg *obs.Registry) {
+	fitted := func(get func(Decision) float64) func() float64 {
+		return func() float64 {
+			snap := t.Snapshot()
+			if !snap.Ready {
+				return math.NaN()
+			}
+			return get(snap.Last)
+		}
+	}
+	reg.GaugeFunc("pdht_adapt_fmin",
+		"Fitted indexing threshold fMin in network-wide queries per round; +Inf gates everything, NaN before the first fit.",
+		fitted(func(d Decision) float64 { return d.FMin }))
+	reg.GaugeFunc("pdht_adapt_keyttl",
+		"Actuated keyTtl in rounds (1/fMin clamped to the configured range); NaN before the first fit.",
+		fitted(func(d Decision) float64 { return float64(d.KeyTtl) }))
+	reg.GaugeFunc("pdht_adapt_alpha",
+		"Fitted Zipf exponent of the observed query stream; NaN before the first fit.",
+		fitted(func(d Decision) float64 { return d.Alpha }))
+	reg.GaugeFunc("pdht_adapt_fqry",
+		"Measured per-peer query rate in queries per round; NaN before the first fit.",
+		fitted(func(d Decision) float64 { return d.FQry }))
+	reg.GaugeFunc("pdht_adapt_distinct_keys",
+		"Estimated distinct-key count behind the fit; NaN before the first fit.",
+		fitted(func(d Decision) float64 { return float64(d.DistinctKeys) }))
+	reg.GaugeFunc("pdht_adapt_gate_threshold",
+		"Insert gate in sketch counts; 0 or 1 admits everything, NaN before the first fit.",
+		fitted(func(d Decision) float64 { return float64(d.GateThreshold) }))
+	reg.GaugeFunc("pdht_adapt_retunes",
+		"Successful retunes since boot.",
+		func() float64 { return float64(t.retunes.Load()) })
+	reg.GaugeFunc("pdht_adapt_observed_queries",
+		"Queries fed to the tuner since boot.",
+		func() float64 { return float64(t.observed.Load()) })
+	reg.GaugeFunc("pdht_adapt_inserts_gated",
+		"Insert candidates refused by the fMin gate since boot.",
+		func() float64 { return float64(t.gated.Load()) })
+	reg.GaugeFunc("pdht_adapt_inserts_allowed",
+		"Insert candidates admitted by the fMin gate since boot.",
+		func() float64 { return float64(t.allowed.Load()) })
+	reg.GaugeFunc("pdht_adapt_summary_bytes",
+		"Fixed memory footprint of the frequency summaries.",
+		func() float64 { return float64(t.Snapshot().MemoryBytes) })
+}

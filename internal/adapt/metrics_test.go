@@ -1,0 +1,57 @@
+package adapt
+
+import (
+	"strings"
+	"testing"
+
+	"pdht/internal/obs"
+)
+
+// TestRegisterMetrics checks the scrape surface on both sides of the first
+// retune: fitted gauges read NaN before a fit and real values after.
+func TestRegisterMetrics(t *testing.T) {
+	tuner, err := NewTuner(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tuner.RegisterMetrics(reg)
+
+	render := func() string {
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	out := render()
+	if !strings.Contains(out, "pdht_adapt_fmin NaN") {
+		t.Errorf("fmin before first fit should be NaN:\n%s", out)
+	}
+	if !strings.Contains(out, "pdht_adapt_observed_queries 0") {
+		t.Errorf("observed gauge missing:\n%s", out)
+	}
+
+	// A skewed window over enough rounds gives the fit something to chew.
+	for i := 0; i < 2000; i++ {
+		tuner.Observe(uint64(i % 50))
+	}
+	if _, err := tuner.Retune(Inputs{
+		Members: 16, Observers: 1, Capacity: 100, Repl: 2,
+		Env: 0.1, WindowRounds: 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	out = render()
+	if strings.Contains(out, "pdht_adapt_keyttl NaN") {
+		t.Errorf("keyttl still NaN after a successful retune:\n%s", out)
+	}
+	if !strings.Contains(out, "pdht_adapt_retunes 1") {
+		t.Errorf("retunes gauge wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "pdht_adapt_observed_queries 2000") {
+		t.Errorf("observed gauge wrong:\n%s", out)
+	}
+}

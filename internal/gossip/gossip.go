@@ -195,6 +195,9 @@ type Service struct {
 	stop     chan struct{}
 	done     sync.WaitGroup
 	stopOnce sync.Once
+
+	// metrics is set by RegisterMetrics before Start, nil otherwise.
+	metrics *metrics
 }
 
 // New builds a stopped service; Start launches the protocol loop. The
@@ -378,11 +381,18 @@ func (s *Service) probeRound() {
 	s.mu.Unlock()
 
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ProbeTimeout)
+	pingStart := time.Now()
 	reply, ok, err := s.call(ctx, target, ping)
 	cancel()
 	if err == nil && ok {
+		if s.metrics != nil {
+			s.metrics.probeRTT.Observe(time.Since(pingStart))
+		}
 		s.merge(reply.Updates)
 		return
+	}
+	if s.metrics != nil {
+		s.metrics.probeFailures.Inc()
 	}
 
 	// Indirect probes: ask k other live members to ping the target. One
@@ -458,6 +468,9 @@ func (s *Service) expireSuspects() {
 			m.since = now
 			s.version++
 			s.enqueueLocked(transport.PeerState{Addr: addr, Status: uint8(StatusDead), Incarnation: m.incarnation})
+			if s.metrics != nil {
+				s.metrics.deaths.Inc()
+			}
 			changed = true
 		case m.status == StatusDead && now.Sub(m.since) >= s.cfg.DeadRetention:
 			delete(s.members, addr)
@@ -475,6 +488,9 @@ func (s *Service) suspect(addr string) {
 		m.status = StatusSuspect
 		m.since = time.Now()
 		s.enqueueLocked(transport.PeerState{Addr: addr, Status: uint8(StatusSuspect), Incarnation: m.incarnation})
+		if s.metrics != nil {
+			s.metrics.suspicions.Inc()
+		}
 	}
 	s.mu.Unlock()
 }
@@ -531,6 +547,9 @@ func (s *Service) applyLocked(u transport.PeerState) bool {
 		case status != StatusAlive && u.Incarnation >= self.incarnation:
 			self.incarnation = u.Incarnation + 1
 			s.enqueueLocked(transport.PeerState{Addr: s.cfg.Addr, Status: uint8(StatusAlive), Incarnation: self.incarnation})
+			if s.metrics != nil {
+				s.metrics.refutations.Inc()
+			}
 		case status == StatusAlive && u.Incarnation > self.incarnation:
 			self.incarnation = u.Incarnation
 		}

@@ -61,7 +61,7 @@ func (n *Node) handleBatch(req transport.Request) transport.Response {
 		}
 	}
 	n.mu.Unlock()
-	n.refreshes.Add(refreshed)
+	n.m.refreshes.Add(refreshed)
 	return transport.Response{OK: true, Batch: results}
 }
 
@@ -83,7 +83,7 @@ func (n *Node) QueryMany(ctx context.Context, keys []uint64) ([]QueryResult, err
 	if err := ctx.Err(); err != nil {
 		return nil, ctxErr(err)
 	}
-	n.queries.Add(uint64(len(keys)))
+	n.m.queries.Add(uint64(len(keys)))
 	if n.tuner != nil {
 		// The batch leg feeds the control plane key by key: the sketches
 		// must see the true query stream, not one event per batch.
@@ -135,7 +135,7 @@ func (n *Node) QueryMany(ctx context.Context, keys []uint64) ([]QueryResult, err
 				results[i].Answered, results[i].FromIndex = true, true
 				results[i].Value, results[i].AnsweredBy = v64(v), n.cfg.Addr
 				if n.cache.Refresh(k, now+ttl, now) {
-					n.refreshes.Add(1)
+					n.m.refreshes.Add(1)
 				}
 			}
 		}
@@ -156,7 +156,7 @@ func (n *Node) QueryMany(ctx context.Context, keys []uint64) ([]QueryResult, err
 			resp, err := n.callWithin(ctx, addr, transport.Request{
 				Op: transport.OpBatch, From: n.cfg.Addr, ViewHash: hash, Batch: items,
 			})
-			if err != nil || !n.accept(resp) || len(resp.Batch) != len(idxs) {
+			if err != nil || !n.accept(ctx, resp) || len(resp.Batch) != len(idxs) {
 				return // the whole group falls back per key
 			}
 			for j, i := range idxs {
@@ -175,7 +175,7 @@ func (n *Node) QueryMany(ctx context.Context, keys []uint64) ([]QueryResult, err
 	var fallbacks []int
 	for i := range results {
 		if results[i].Answered {
-			n.hits.Add(1)
+			n.m.hits.Add(1)
 		} else {
 			fallbacks = append(fallbacks, i)
 		}
@@ -270,7 +270,7 @@ func (n *Node) syncBatchHits(ctx context.Context, keys []uint64, results []Query
 		for _, s := range local {
 			k := keyspace.Key(s.key)
 			if n.cache.Refresh(k, now+ttl, now) || n.cache.Put(k, core.Value(s.value), now+ttl, now) {
-				n.refreshes.Add(1)
+				n.m.refreshes.Add(1)
 			}
 		}
 		n.mu.Unlock()
@@ -297,7 +297,7 @@ func (n *Node) syncBatchHits(ctx context.Context, keys []uint64, results []Query
 			resp, err := n.callWithin(ctx, addr, transport.Request{
 				Op: transport.OpBatch, From: n.cfg.Addr, ViewHash: hash, Batch: items,
 			})
-			if err != nil || !n.accept(resp) || len(resp.Batch) != len(slots) {
+			if err != nil || !n.accept(ctx, resp) || len(resp.Batch) != len(slots) {
 				return
 			}
 			// Read repair: members that answered the refresh without the
@@ -316,7 +316,7 @@ func (n *Node) syncBatchHits(ctx context.Context, keys []uint64, results []Query
 				items[j] = transport.BatchItem{Op: transport.OpInsert, Key: s.key, Value: s.value, TTL: ttl}
 			}
 			n.counters.Add(stats.MsgUpdate, int64(len(items)))
-			n.readRepairs.Add(uint64(len(items)))
+			n.m.readRepairs.Add(uint64(len(items)))
 			resMu.Lock()
 			for _, s := range repairs {
 				results[s.i].RepairMsgs++
@@ -325,7 +325,7 @@ func (n *Node) syncBatchHits(ctx context.Context, keys []uint64, results []Query
 			if resp, err := n.callWithin(ctx, addr, transport.Request{
 				Op: transport.OpBatch, From: n.cfg.Addr, ViewHash: hash, Batch: items,
 			}); err == nil {
-				n.accept(resp)
+				n.accept(ctx, resp)
 			}
 		}(addr, slots)
 	}
@@ -363,10 +363,10 @@ func (n *Node) fallbackQuery(ctx context.Context, key uint64, res *QueryResult) 
 			continue
 		}
 		res.Answered, res.FromIndex, res.Value, res.AnsweredBy = true, true, value, addr
-		n.hits.Add(1)
+		n.m.hits.Add(1)
 		res.RefreshMsgs, res.RepairMsgs = n.syncHit(ctx, rs, addr, k, value, hash)
 		return nil
 	}
-	n.misses.Add(1)
+	n.m.misses.Add(1)
 	return n.missPath(ctx, k, res, probes, hash)
 }

@@ -8,6 +8,7 @@ import (
 
 	"pdht/internal/gossip"
 	"pdht/internal/keyspace"
+	"pdht/internal/obs"
 	"pdht/internal/replica"
 	"pdht/internal/transport"
 )
@@ -28,6 +29,11 @@ type RemoteConfig struct {
 	KeyTtl int
 	// CallTimeout bounds each outbound RPC. Default 2s.
 	CallTimeout time.Duration
+	// TraceHook, when set, receives every finished Query's trace — the
+	// per-leg record of probes, the broadcast, the insert and any
+	// stale-view re-sync. Called synchronously at the end of Query; keep
+	// it cheap.
+	TraceHook func(obs.QueryTrace)
 }
 
 func (c *RemoteConfig) setDefaults() {
@@ -250,6 +256,23 @@ func (c *RemoteClient) syncHit(ctx context.Context, v *view, rs replicaSet, key,
 // fails with ErrStaleView — the member list is untrustworthy, so routing
 // on it would silently mis-route.
 func (c *RemoteClient) Query(ctx context.Context, key uint64) (QueryResult, error) {
+	tr := obs.TraceFrom(ctx)
+	owned := tr == nil && c.cfg.TraceHook != nil
+	if owned {
+		tr = obs.NewTrace(key)
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	res, err := c.query(ctx, key)
+	if owned {
+		c.cfg.TraceHook(tr.Finish(queryOutcome(res, err)))
+	}
+	return res, err
+}
+
+// query is the client-side selection algorithm proper; Query wraps it with
+// the optional trace.
+func (c *RemoteClient) query(ctx context.Context, key uint64) (QueryResult, error) {
+	tr := obs.TraceFrom(ctx)
 	var res QueryResult
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -265,14 +288,27 @@ func (c *RemoteClient) Query(ctx context.Context, key uint64) (QueryResult, erro
 		recovered, unrecoverable := false, false
 		for _, addr := range rs.All() {
 			res.IndexMsgs++
+			var legStart time.Time
+			if tr != nil {
+				legStart = time.Now()
+			}
 			resp, err := c.callWithin(ctx, addr, transport.Request{
 				Op: transport.OpQuery, Key: key, ViewHash: v.hash,
 			})
 			if err != nil {
+				if tr != nil {
+					tr.Leg("probe", addr, "failed", legStart)
+				}
 				continue
 			}
 			if resp.Err == transport.StaleView {
+				if tr != nil {
+					tr.Leg("probe", addr, "refused", legStart)
+				}
 				if c.handleStale(resp) {
+					if tr != nil {
+						tr.Mark("stale-view", addr, "resync")
+					}
 					recovered = true
 					break
 				}
@@ -280,7 +316,13 @@ func (c *RemoteClient) Query(ctx context.Context, key uint64) (QueryResult, erro
 				continue
 			}
 			if resp.Err != "" || !resp.Found {
+				if tr != nil {
+					tr.Leg("probe", addr, "miss", legStart)
+				}
 				continue
+			}
+			if tr != nil {
+				tr.Leg("probe", addr, "hit", legStart)
 			}
 			res.Answered, res.FromIndex = true, true
 			res.Value, res.AnsweredBy = resp.Value, addr
@@ -306,6 +348,11 @@ func (c *RemoteClient) resolveMiss(ctx context.Context, key uint64, res *QueryRe
 	v, err := c.currentView()
 	if err != nil {
 		return err
+	}
+	tr := obs.TraceFrom(ctx)
+	var legStart time.Time
+	if tr != nil {
+		legStart = time.Now()
 	}
 	type answer struct {
 		addr  string
@@ -334,13 +381,23 @@ func (c *RemoteClient) resolveMiss(ctx context.Context, key uint64, res *QueryRe
 		}
 	}
 	if foundAt == "" {
+		if tr != nil {
+			tr.Leg("broadcast", "", "unanswered", legStart)
+		}
 		if err := ctx.Err(); err != nil {
 			return ctxErr(err)
 		}
 		return nil // ran to completion; nobody holds the key
 	}
+	if tr != nil {
+		tr.Leg("broadcast", foundAt, "answered", legStart)
+		legStart = time.Now()
+	}
 	res.Answered, res.Value, res.AnsweredBy = true, value, foundAt
 	res.InsertMsgs = c.insert(ctx, v, key, value)
+	if tr != nil {
+		tr.Leg("insert", "", "ok", legStart)
+	}
 	if err := ctx.Err(); err != nil {
 		return ctxErr(err)
 	}

@@ -60,7 +60,7 @@ func (n *Node) runHandoff(old, next *view, entries []core.Entry) {
 				return
 			default:
 			}
-			n.handoffMsgs.Add(1)
+			n.m.handoffMsgs.Add(1)
 			n.counters.Inc(stats.MsgControl)
 			resp, err := n.call(p.To, transport.Request{
 				Op: transport.OpInsert, Key: uint64(p.Key), Value: p.Value, TTL: p.TTL,
@@ -69,7 +69,7 @@ func (n *Node) runHandoff(old, next *view, entries []core.Entry) {
 				break // unreachable; its keys degrade to broadcast-on-miss
 			}
 			if resp.OK {
-				n.handoffKeys.Add(1)
+				n.m.handoffKeys.Add(1)
 			}
 		}
 	}

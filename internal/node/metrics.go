@@ -1,0 +1,120 @@
+package node
+
+import (
+	"net/http"
+	"time"
+
+	"pdht/internal/obs"
+	"pdht/internal/stats"
+)
+
+// nodeMetrics holds the node layer's registered instruments. Every counter
+// that Report serves lives here, on the same registry the /metrics endpoint
+// renders — the two surfaces are views over one set of atomics and can never
+// disagree.
+type nodeMetrics struct {
+	queries, hits, misses                     *obs.Counter
+	broadcasts, broadcastAnswered             *obs.Counter
+	inserts, refreshes                        *obs.Counter
+	unanswered, rpcFailures                   *obs.Counter
+	staleViews                                *obs.Counter
+	handoffMsgs, handoffKeys                  *obs.Counter
+	readRepairs                               *obs.Counter
+	gatedInserts, retunes                     *obs.Counter
+	indexSize                                 *obs.Gauge
+	latencyHit, latencyBroadcast, latencyMiss *obs.Histogram
+}
+
+func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
+	m := &nodeMetrics{
+		queries: reg.Counter("pdht_node_queries_total",
+			"Queries this node resolved (or tried to) end to end."),
+		hits: reg.Counter("pdht_node_hits_total",
+			"Queries the index answered — the pIndxd events of eq. 14."),
+		misses: reg.Counter("pdht_node_misses_total",
+			"Queries the whole replica set missed on."),
+		broadcasts: reg.Counter("pdht_node_broadcasts_total",
+			"Unstructured broadcast searches issued after index misses."),
+		broadcastAnswered: reg.Counter("pdht_node_broadcasts_answered_total",
+			"Broadcast searches a content holder answered."),
+		inserts: reg.Counter("pdht_node_inserts_total",
+			"Broadcast-resolved keys inserted at their replica set."),
+		refreshes: reg.Counter("pdht_node_refreshes_total",
+			"Reset-on-hit TTL refreshes applied (served plus local)."),
+		unanswered: reg.Counter("pdht_node_unanswered_total",
+			"Queries nobody could answer: index missed and no content holder."),
+		rpcFailures: reg.Counter("pdht_node_rpc_failures_total",
+			"Outbound RPCs that failed at the transport level."),
+		staleViews: reg.Counter("pdht_node_stale_views_total",
+			"Routed RPCs a peer refused over a membership-hash mismatch."),
+		handoffMsgs: reg.Counter("pdht_node_handoff_msgs_total",
+			"Entry pushes sent on view changes (the replica repair pass)."),
+		handoffKeys: reg.Counter("pdht_node_handoff_keys_total",
+			"Handed-off entries the new owner accepted."),
+		readRepairs: reg.Counter("pdht_node_read_repairs_total",
+			"Replica-set members re-inserted on a hit after answering a refresh without the entry."),
+		gatedInserts: reg.Counter("pdht_node_gated_inserts_total",
+			"Broadcast-resolved keys the fMin gate refused to index."),
+		retunes: reg.Counter("pdht_node_retunes_total",
+			"Successful control-plane refits applied by this node."),
+		indexSize: reg.Gauge("pdht_node_index_entries",
+			"Live entries in the index cache (updated each round by the sweeper)."),
+	}
+	m.latencyHit = reg.Histogram("pdht_node_query_seconds",
+		"End-to-end query latency by outcome: hit (index answered), broadcast (resolved by flooding), miss (unanswered or cancelled).",
+		nil, obs.L("outcome", "hit"))
+	m.latencyBroadcast = reg.Histogram("pdht_node_query_seconds", "", nil, obs.L("outcome", "broadcast"))
+	m.latencyMiss = reg.Histogram("pdht_node_query_seconds", "", nil, obs.L("outcome", "miss"))
+	return m
+}
+
+// observeQuery files one finished unary query under its outcome bucket.
+func (m *nodeMetrics) observeQuery(res QueryResult, d time.Duration) {
+	switch {
+	case res.FromIndex:
+		m.latencyHit.Observe(d)
+	case res.Answered:
+		m.latencyBroadcast.Observe(d)
+	default:
+		m.latencyMiss.Observe(d)
+	}
+}
+
+// registerGauges binds the scrape-time views that need the node itself: the
+// content-store size and the per-class message counters Report also serves.
+func (n *Node) registerGauges(reg *obs.Registry) {
+	reg.GaugeFunc("pdht_node_stored_keys",
+		"Keys in the local content store (what broadcasts can resolve here).",
+		func() float64 { return float64(n.StoredKeys()) })
+	for _, c := range stats.Classes() {
+		c := c
+		reg.GaugeFunc("pdht_node_messages_total",
+			"Messages sent by class, the cost breakdown of the paper's eq. 17.",
+			func() float64 { return float64(n.counters.Get(c)) },
+			obs.L("class", c.String()))
+	}
+}
+
+// Metrics returns the node's registry — every layer's instruments
+// (pdht_transport_*, pdht_node_*, pdht_gossip_*, pdht_adapt_*) registered at
+// construction. Shared with Config.Metrics when one was supplied.
+func (n *Node) Metrics() *obs.Registry { return n.reg }
+
+// SlowQueries returns the retained slow-query traces, newest first — empty
+// unless Config.SlowQueryThreshold enabled the log.
+func (n *Node) SlowQueries() []obs.QueryTrace {
+	if n.slowLog == nil {
+		return nil
+	}
+	return n.slowLog.Dump()
+}
+
+// DebugHandler returns the node's debug HTTP plane: /metrics (Prometheus
+// text), /report (the self-measurement as JSON), /traces (the slow-query
+// ring), /healthz and /debug/pprof. What cmd/pdht-node serves under -http.
+func (n *Node) DebugHandler() http.Handler {
+	return obs.Handler(n.reg,
+		func() any { return n.Report() },
+		func() any { return n.SlowQueries() },
+	)
+}

@@ -4,13 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"pdht/internal/adapt"
 	"pdht/internal/core"
 	"pdht/internal/gossip"
 	"pdht/internal/keyspace"
+	"pdht/internal/obs"
 	"pdht/internal/replica"
 	"pdht/internal/stats"
 	"pdht/internal/transport"
@@ -74,6 +74,21 @@ type Config struct {
 	// Tuner parameterizes the control plane (zero fields take
 	// adapt.DefaultConfig); ignored unless Adaptive is set.
 	Tuner adapt.Config
+	// Metrics is the registry every layer's instruments land on. Nil gives
+	// the node a private registry (still served by Metrics() and
+	// DebugHandler()); supply one to aggregate several nodes — registration
+	// is idempotent, but shared counters then sum across them.
+	Metrics *obs.Registry
+	// TraceHook, when set, receives every finished query's trace — the
+	// per-leg record of probes, broadcasts, gate verdicts, refreshes and
+	// repairs. Called synchronously at the end of Query; keep it cheap.
+	TraceHook func(obs.QueryTrace)
+	// SlowQueryThreshold enables the slow-query log: finished queries at or
+	// above it are retained in a ring (newest first, served on /traces).
+	// Zero disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryCapacity is the ring size of the slow-query log. Default 64.
+	SlowQueryCapacity int
 }
 
 // DefaultConfig returns the configuration a live deployment starts from.
@@ -121,6 +136,9 @@ func (c *Config) setDefaults() {
 	if c.RetuneInterval == 0 {
 		c.RetuneInterval = 60 * c.RoundDuration
 	}
+	if c.SlowQueryCapacity == 0 {
+		c.SlowQueryCapacity = 64
+	}
 }
 
 func (c Config) validate() error {
@@ -139,6 +157,10 @@ func (c Config) validate() error {
 		return fmt.Errorf("node: negative gossip interval")
 	case c.RetuneInterval < 0:
 		return fmt.Errorf("node: negative RetuneInterval")
+	case c.SlowQueryThreshold < 0:
+		return fmt.Errorf("node: negative SlowQueryThreshold")
+	case c.SlowQueryCapacity < 0:
+		return fmt.Errorf("node: negative SlowQueryCapacity")
 	}
 	return nil
 }
@@ -170,14 +192,15 @@ type Node struct {
 	// recommendation lock-free via keyTtl().
 	tuner *adapt.Tuner
 
-	counters stats.Counters
-	queries, hits, misses, broadcasts,
-	broadcastAnswered, inserts, refreshes,
-	unanswered, rpcFailures, staleViews,
-	handoffKeys, handoffMsgs,
-	readRepairs,
-	gatedInserts, retunes atomic.Uint64
-	indexSize atomic.Int64 // gauge, updated by the sweeper
+	// The telemetry plane: reg is the registry /metrics renders, m the
+	// node-layer instruments on it (Report reads the same atomics), slowLog
+	// the ring of traces that crossed SlowQueryThreshold. counters keeps
+	// the per-class message breakdown, exposed as gauges on reg.
+	reg       *obs.Registry
+	m         *nodeMetrics
+	slowLog   *obs.SlowLog
+	traceHook func(obs.QueryTrace)
+	counters  stats.Counters
 
 	stop      chan struct{}
 	done      sync.WaitGroup
@@ -198,6 +221,13 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	// Every RPC this node issues or serves crosses the instrumented
+	// transport, so the wire metrics land on the same registry.
+	tr = transport.Instrument(tr, transport.NewMetrics(reg))
 	n := &Node{
 		cfg:         cfg,
 		tr:          tr,
@@ -206,14 +236,22 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 		store:       make(map[keyspace.Key]uint64),
 		queryCounts: make(map[keyspace.Key]uint64),
 		pool:        newPool(tr),
+		reg:         reg,
+		m:           newNodeMetrics(reg),
+		traceHook:   cfg.TraceHook,
 		stop:        make(chan struct{}),
 	}
+	if cfg.SlowQueryThreshold > 0 {
+		n.slowLog = obs.NewSlowLog(cfg.SlowQueryCapacity, cfg.SlowQueryThreshold)
+	}
+	n.registerGauges(reg)
 	if cfg.Adaptive {
 		t, err := adapt.NewTuner(cfg.Tuner)
 		if err != nil {
 			return nil, err
 		}
 		n.tuner = t
+		t.RegisterMetrics(reg)
 	}
 	srv, err := tr.Serve(cfg.Addr, n.handle)
 	if err != nil {
@@ -243,6 +281,7 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 		srv.Close()
 		return nil, err
 	}
+	g.RegisterMetrics(reg)
 	// Assigned under mu: the endpoint is already serving, and handle()
 	// checks readiness (view and gossip installed) under the same lock.
 	n.mu.Lock()
@@ -440,7 +479,7 @@ func (n *Node) handle(req transport.Request) transport.Response {
 		ok := n.cache.Refresh(keyspace.Key(req.Key), now+req.TTL, now)
 		n.mu.Unlock()
 		if ok {
-			n.refreshes.Add(1)
+			n.m.refreshes.Add(1)
 		}
 		return transport.Response{OK: ok}
 	case transport.OpBroadcast:
@@ -488,7 +527,7 @@ func (n *Node) callWithin(ctx context.Context, addr string, req transport.Reques
 func (n *Node) callCtx(ctx context.Context, addr string, req transport.Request) (transport.Response, error) {
 	resp, err := n.pool.call(ctx, addr, req)
 	if err != nil {
-		n.rpcFailures.Add(1)
+		n.m.rpcFailures.Add(1)
 	}
 	return resp, err
 }
@@ -600,8 +639,50 @@ func (n *Node) Query(ctx context.Context, key uint64) (QueryResult, error) {
 	if err := ctx.Err(); err != nil {
 		return QueryResult{}, ctxErr(err)
 	}
+	// Tracing is opt-in per node (hook or slow log) or per call (a trace
+	// already in ctx); the untraced hot path pays one context lookup.
+	tr := obs.TraceFrom(ctx)
+	owned := tr == nil && (n.traceHook != nil || n.slowLog != nil)
+	if owned {
+		tr = obs.NewTrace(key)
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	start := time.Now()
+	res, err := n.query(ctx, key)
+	n.m.observeQuery(res, time.Since(start))
+	if owned {
+		qt := tr.Finish(queryOutcome(res, err))
+		if n.slowLog != nil {
+			n.slowLog.Record(qt)
+		}
+		if n.traceHook != nil {
+			n.traceHook(qt)
+		}
+	}
+	return res, err
+}
+
+// queryOutcome labels a finished query for its trace.
+func queryOutcome(res QueryResult, err error) string {
+	switch {
+	case err != nil:
+		return "error"
+	case res.FromIndex:
+		return "hit"
+	case res.InsertGated:
+		return "gated"
+	case res.Answered:
+		return "broadcast"
+	default:
+		return "unanswered"
+	}
+}
+
+// query is the selection algorithm proper; Query wraps it with the latency
+// histogram and the optional trace.
+func (n *Node) query(ctx context.Context, key uint64) (QueryResult, error) {
 	k := keyspace.Key(key)
-	n.queries.Add(1)
+	n.m.queries.Inc()
 	if n.tuner != nil {
 		// Feed the frequency sketches — O(1), allocation-free, before
 		// the lock (the tuner has its own).
@@ -652,11 +733,11 @@ func (n *Node) Query(ctx context.Context, key uint64) (QueryResult, error) {
 			continue
 		}
 		res.Answered, res.FromIndex, res.Value, res.AnsweredBy = true, true, value, addr
-		n.hits.Add(1)
+		n.m.hits.Add(1)
 		res.RefreshMsgs, res.RepairMsgs = n.syncHit(ctx, rs, addr, k, value, hash)
 		return res, nil
 	}
-	n.misses.Add(1)
+	n.m.misses.Add(1)
 	err := n.missPath(ctx, k, &res, probes, hash)
 	return res, err
 }
@@ -671,19 +752,30 @@ func (n *Node) missPath(ctx context.Context, k keyspace.Key, res *QueryResult, r
 	n.mu.Lock()
 	members := append([]string(nil), n.view.members...)
 	n.mu.Unlock()
-	n.broadcasts.Add(1)
+	n.m.broadcasts.Add(1)
+	tr := obs.TraceFrom(ctx)
+	var legStart time.Time
+	if tr != nil {
+		legStart = time.Now()
+	}
 	value, foundAt, msgs := n.broadcast(ctx, k, members)
 	res.BroadcastMsgs = msgs
 	if foundAt == "" {
+		if tr != nil {
+			tr.Leg("broadcast", "", "unanswered", legStart)
+		}
 		if err := ctx.Err(); err != nil {
 			// The broadcast was cut short by the caller, not answered
 			// in the negative.
 			return ctxErr(err)
 		}
-		n.unanswered.Add(1)
+		n.m.unanswered.Add(1)
 		return nil
 	}
-	n.broadcastAnswered.Add(1)
+	if tr != nil {
+		tr.Leg("broadcast", foundAt, "answered", legStart)
+	}
+	n.m.broadcastAnswered.Add(1)
 	res.Answered, res.Value, res.AnsweredBy = true, value, foundAt
 
 	// Insert the resolved key with keyTtl at every replica — unless the
@@ -691,12 +783,24 @@ func (n *Node) missPath(ctx context.Context, k keyspace.Key, res *QueryResult, r
 	// indexing it would cost more than the broadcasts it saves (the §2
 	// decision, taken per key, online).
 	if n.tuner != nil && !n.tuner.ShouldIndex(uint64(k)) {
-		n.gatedInserts.Add(1)
+		n.m.gatedInserts.Add(1)
 		res.InsertGated = true
+		if tr != nil {
+			tr.Mark("insert-gate", "", "gated")
+		}
 		return nil
 	}
+	if tr != nil {
+		if n.tuner != nil {
+			tr.Mark("insert-gate", "", "allowed")
+		}
+		legStart = time.Now()
+	}
 	res.InsertMsgs = n.insert(ctx, k, value, replicas, hash)
-	n.inserts.Add(1)
+	if tr != nil {
+		tr.Leg("insert", "", "ok", legStart)
+	}
+	n.m.inserts.Add(1)
 	if err := ctx.Err(); err != nil {
 		return ctxErr(err)
 	}
@@ -707,29 +811,61 @@ func (n *Node) missPath(ctx context.Context, k keyspace.Key, res *QueryResult, r
 // index cache. The probe carries the caller's membership hash; a stale-view
 // refusal is treated as a miss after feeding the peer's state to gossip.
 func (n *Node) probeIndex(ctx context.Context, addr string, k keyspace.Key, hash uint64) (uint64, bool) {
+	tr := obs.TraceFrom(ctx)
+	var legStart time.Time
+	if tr != nil {
+		legStart = time.Now()
+	}
 	if addr == n.cfg.Addr {
 		n.mu.Lock()
 		v, ok := n.cache.Get(k, n.now())
 		n.mu.Unlock()
+		if tr != nil {
+			tr.Leg("probe", addr, hitMiss(ok), legStart)
+		}
 		return v64(v), ok
 	}
 	resp, err := n.callWithin(ctx, addr, transport.Request{Op: transport.OpQuery, Key: uint64(k), ViewHash: hash})
-	if err != nil || !n.accept(resp) {
+	switch {
+	case err != nil:
+		if tr != nil {
+			tr.Leg("probe", addr, "failed", legStart)
+		}
+		return 0, false
+	case !n.accept(ctx, resp):
+		if tr != nil {
+			tr.Leg("probe", addr, "refused", legStart)
+		}
 		return 0, false
 	}
+	if tr != nil {
+		tr.Leg("probe", addr, hitMiss(resp.Found), legStart)
+	}
 	return resp.Value, resp.Found
+}
+
+// hitMiss is the probe-leg outcome label.
+func hitMiss(found bool) string {
+	if found {
+		return "hit"
+	}
+	return "miss"
 }
 
 // accept inspects an application-level reply: a StaleView refusal feeds
 // the peer's attached membership state to gossip (the "caller refetches
 // the view" half of the protocol) and reports the reply unusable, as does
-// any other application error.
-func (n *Node) accept(resp transport.Response) bool {
+// any other application error. A traced query records the re-sync as an
+// instantaneous "stale-view" leg.
+func (n *Node) accept(ctx context.Context, resp transport.Response) bool {
 	if resp.Err == "" {
 		return true
 	}
 	if resp.Err == transport.StaleView {
-		n.staleViews.Add(1)
+		n.m.staleViews.Add(1)
+		if tr := obs.TraceFrom(ctx); tr != nil {
+			tr.Mark("stale-view", "", "resync")
+		}
 		if resp.Gossip != nil {
 			n.gossip.MergeState(*resp.Gossip)
 		}
@@ -761,6 +897,7 @@ func (n *Node) syncHit(ctx context.Context, rs replicaSet, hitAddr string, k key
 		// fall back to the plain reset-on-hit rule at the answering peer.
 		targets = []string{hitAddr}
 	}
+	tr := obs.TraceFrom(ctx)
 	var mu sync.Mutex
 	replica.Fanout(ctx, targets, func(ctx context.Context, addr string) bool {
 		if addr == n.cfg.Addr {
@@ -774,29 +911,51 @@ func (n *Node) syncHit(ctx context.Context, rs replicaSet, hitAddr string, k key
 			}
 			n.mu.Unlock()
 			if ok {
-				n.refreshes.Add(1)
+				n.m.refreshes.Add(1)
 			}
 			return ok
 		}
 		mu.Lock()
 		refreshMsgs++
 		mu.Unlock()
+		var legStart time.Time
+		if tr != nil {
+			legStart = time.Now()
+		}
 		n.counters.Inc(stats.MsgUpdate)
 		resp, err := n.callWithin(ctx, addr, transport.Request{Op: transport.OpRefresh, Key: uint64(k), TTL: ttl, ViewHash: hash})
-		if err != nil || !n.accept(resp) {
+		if err != nil || !n.accept(ctx, resp) {
+			if tr != nil {
+				tr.Leg("refresh", addr, "failed", legStart)
+			}
 			return false
 		}
 		if resp.OK {
+			if tr != nil {
+				tr.Leg("refresh", addr, "ok", legStart)
+			}
 			return true
 		}
 		// The member answered but does not hold the entry: read repair.
+		if tr != nil {
+			tr.Leg("refresh", addr, "missing", legStart)
+			legStart = time.Now()
+		}
 		mu.Lock()
 		repairMsgs++
 		mu.Unlock()
-		n.readRepairs.Add(1)
+		n.m.readRepairs.Add(1)
 		n.counters.Inc(stats.MsgUpdate)
 		rresp, err := n.callWithin(ctx, addr, transport.Request{Op: transport.OpInsert, Key: uint64(k), Value: value, TTL: ttl, ViewHash: hash})
-		return err == nil && rresp.Err == "" && rresp.OK
+		ok := err == nil && rresp.Err == "" && rresp.OK
+		if tr != nil {
+			if ok {
+				tr.Leg("read-repair", addr, "ok", legStart)
+			} else {
+				tr.Leg("read-repair", addr, "failed", legStart)
+			}
+		}
+		return ok
 	})
 	return refreshMsgs, repairMsgs
 }
@@ -866,7 +1025,7 @@ func (n *Node) insert(ctx context.Context, k keyspace.Key, value uint64, replica
 		mu.Unlock()
 		n.counters.Inc(stats.MsgUpdate)
 		resp, err := n.callWithin(ctx, addr, transport.Request{Op: transport.OpInsert, Key: uint64(k), Value: value, TTL: ttl, ViewHash: hash})
-		return err == nil && n.accept(resp) && resp.OK
+		return err == nil && n.accept(ctx, resp) && resp.OK
 	})
 	return msgs
 }
@@ -894,7 +1053,7 @@ func (n *Node) sweeper() {
 				probes = n.view.maintain().Probes
 			}
 			n.mu.Unlock()
-			n.indexSize.Store(int64(live))
+			n.m.indexSize.Set(int64(live))
 			if probes > 0 {
 				n.counters.Add(stats.MsgMaintenance, int64(probes))
 			}
@@ -940,7 +1099,7 @@ func (n *Node) retuner() {
 				RefreshFanout: n.cfg.FloodOnMiss,
 			}
 			if _, err := n.tuner.Retune(in); err == nil {
-				n.retunes.Add(1)
+				n.m.retunes.Add(1)
 			}
 		}
 	}

@@ -119,19 +119,19 @@ func (n *Node) Report() Report {
 		Addr:              n.cfg.Addr,
 		Members:           members,
 		Rounds:            n.now(),
-		Queries:           n.queries.Load(),
-		Hits:              n.hits.Load(),
-		Misses:            n.misses.Load(),
-		Broadcasts:        n.broadcasts.Load(),
-		BroadcastAnswered: n.broadcastAnswered.Load(),
-		Inserts:           n.inserts.Load(),
-		Refreshes:         n.refreshes.Load(),
-		Unanswered:        n.unanswered.Load(),
-		RPCFailures:       n.rpcFailures.Load(),
-		StaleViews:        n.staleViews.Load(),
-		HandoffMsgs:       n.handoffMsgs.Load(),
-		HandoffKeys:       n.handoffKeys.Load(),
-		ReadRepairs:       n.readRepairs.Load(),
+		Queries:           n.m.queries.Value(),
+		Hits:              n.m.hits.Value(),
+		Misses:            n.m.misses.Value(),
+		Broadcasts:        n.m.broadcasts.Value(),
+		BroadcastAnswered: n.m.broadcastAnswered.Value(),
+		Inserts:           n.m.inserts.Value(),
+		Refreshes:         n.m.refreshes.Value(),
+		Unanswered:        n.m.unanswered.Value(),
+		RPCFailures:       n.m.rpcFailures.Value(),
+		StaleViews:        n.m.staleViews.Value(),
+		HandoffMsgs:       n.m.handoffMsgs.Value(),
+		HandoffKeys:       n.m.handoffKeys.Value(),
+		ReadRepairs:       n.m.readRepairs.Value(),
 		ViewVersion:       viewVersion,
 		Membership:        n.gossip.Snapshot(),
 		IndexedKeys:       live,
@@ -144,8 +144,8 @@ func (n *Node) Report() Report {
 	if n.tuner != nil {
 		r.Adaptive = &AdaptiveState{
 			KeyTtl:       n.keyTtl(),
-			Retunes:      n.retunes.Load(),
-			GatedInserts: n.gatedInserts.Load(),
+			Retunes:      n.m.retunes.Value(),
+			GatedInserts: n.m.gatedInserts.Value(),
 			Tuner:        n.tuner.Snapshot(),
 		}
 	}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The acceptance bar for the registry hot path: zero allocations per op.
+// AllocsPerRun makes the bar a test, not just a benchmark to eyeball.
+
+func TestCounterIncAllocs(t *testing.T) {
+	c := NewRegistry().Counter("pdht_t_total", "t")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestGaugeSetAllocs(t *testing.T) {
+	g := NewRegistry().Gauge("pdht_t", "t")
+	if n := testing.AllocsPerRun(1000, func() { g.Set(7) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestHistogramObserveAllocs(t *testing.T) {
+	h := NewRegistry().Histogram("pdht_t_seconds", "t", DefBuckets)
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(3 * time.Millisecond) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestTraceFromUntracedAllocs(t *testing.T) {
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() { _ = TraceFrom(ctx) }); n != 0 {
+		t.Errorf("TraceFrom on untraced ctx allocates %.1f per op, want 0", n)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("pdht_b_total", "b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("pdht_b_total", "b")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("pdht_b_seconds", "b", DefBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(250 * time.Microsecond)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("pdht_b_seconds", "b", DefBuckets)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(250 * time.Microsecond)
+		}
+	})
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := goldenRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(discard{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

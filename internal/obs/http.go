@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler builds the debug HTTP plane every node serves under -http:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/report       report() as JSON (the node's self-measurement)
+//	/traces       traces() as JSON (the slow-query ring, newest first)
+//	/healthz      200 "ok" — the liveness probe
+//	/debug/pprof  the standard runtime profiles
+//
+// report and traces are called per request; nil disables the endpoint
+// (404). The handler holds no state of its own, so one node can serve it on
+// any mux or test server.
+func Handler(reg *Registry, report func() any, traces func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	if report != nil {
+		mux.HandleFunc("/report", jsonEndpoint(func() any { return report() }))
+	}
+	if traces != nil {
+		mux.HandleFunc("/traces", jsonEndpoint(func() any { return traces() }))
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func jsonEndpoint(value func() any) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(value()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pdht_node_queries_total", "Queries.").Add(3)
+	h := Handler(reg,
+		func() any { return map[string]int{"queries": 3} },
+		func() any { return []QueryTrace{{Key: 1, Outcome: "hit"}} },
+	)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	if !strings.Contains(body, "pdht_node_queries_total 3") {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+
+	code, body, ctype = get("/report")
+	if code != 200 || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/report status %d type %q", code, ctype)
+	}
+	var report map[string]int
+	if err := json.Unmarshal([]byte(body), &report); err != nil || report["queries"] != 3 {
+		t.Errorf("/report body %q err %v", body, err)
+	}
+
+	code, body, _ = get("/traces")
+	if code != 200 || !strings.Contains(body, `"outcome": "hit"`) {
+		t.Errorf("/traces status %d body %q", code, body)
+	}
+
+	code, body, _ = get("/healthz")
+	if code != 200 || body != "ok\n" {
+		t.Errorf("/healthz status %d body %q", code, body)
+	}
+
+	if code, _, _ = get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestHandlerNilEndpointsDisabled(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/report", "/traces"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Errorf("%s status %d, want 404 when disabled", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRecordsLegsInOrder(t *testing.T) {
+	tr := NewTrace(42)
+	start := time.Now()
+	tr.Leg("probe", "mem-1:7070", "miss", start)
+	tr.Mark("insert-gate", "", "allowed")
+	tr.Leg("broadcast", "", "answered", start)
+	qt := tr.Finish("broadcast")
+	if qt.Key != 42 || qt.Outcome != "broadcast" {
+		t.Fatalf("sealed trace = key %d outcome %q", qt.Key, qt.Outcome)
+	}
+	if len(qt.Legs) != 3 {
+		t.Fatalf("got %d legs, want 3", len(qt.Legs))
+	}
+	if qt.Legs[0].Name != "probe" || qt.Legs[1].Name != "insert-gate" || qt.Legs[2].Name != "broadcast" {
+		t.Errorf("leg order = %q %q %q", qt.Legs[0].Name, qt.Legs[1].Name, qt.Legs[2].Name)
+	}
+	if qt.Legs[1].Duration != 0 {
+		t.Errorf("Mark leg has duration %v, want 0", qt.Legs[1].Duration)
+	}
+	if qt.Duration <= 0 {
+		t.Errorf("trace duration = %v, want > 0", qt.Duration)
+	}
+}
+
+func TestTraceConcurrentLegs(t *testing.T) {
+	tr := NewTrace(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Leg("refresh", "peer", "ok", time.Now())
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Finish("hit").Legs); got != 16 {
+		t.Errorf("got %d legs, want 16", got)
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("untraced context returned a trace")
+	}
+	tr := NewTrace(7)
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace did not round-trip through context")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	qt := QueryTrace{
+		Key: 9, Outcome: "hit", Duration: 3 * time.Millisecond,
+		Legs: []Leg{
+			{Name: "probe", Target: "mem-2:7070", Outcome: "failed", Duration: time.Millisecond},
+			{Name: "probe", Target: "mem-0:7070", Outcome: "hit", Start: time.Millisecond, Duration: time.Millisecond},
+			{Name: "insert-gate", Outcome: "gated"},
+		},
+	}
+	out := qt.Timeline()
+	for _, want := range []string{
+		"query key=9 outcome=hit",
+		"probe mem-2:7070 → failed",
+		"probe mem-0:7070 → hit",
+		"insert-gate → gated",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQueryTraceJSON(t *testing.T) {
+	qt := QueryTrace{Key: 5, Outcome: "hit", Legs: []Leg{{Name: "probe", Outcome: "hit"}}}
+	b, err := json.Marshal(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back QueryTrace
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Key != 5 || len(back.Legs) != 1 || back.Legs[0].Name != "probe" {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	// Empty Target stays out of the wire form.
+	if strings.Contains(string(b), "target") {
+		t.Errorf("empty target serialized: %s", b)
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(3, 10*time.Millisecond)
+	if l.Record(QueryTrace{Key: 1, Duration: time.Millisecond}) {
+		t.Error("fast query admitted")
+	}
+	for k := uint64(2); k <= 6; k++ {
+		if !l.Record(QueryTrace{Key: k, Duration: 20 * time.Millisecond}) {
+			t.Errorf("slow query %d rejected", k)
+		}
+	}
+	if l.Total() != 5 {
+		t.Errorf("Total = %d, want 5", l.Total())
+	}
+	dump := l.Dump()
+	if len(dump) != 3 {
+		t.Fatalf("ring kept %d entries, want 3", len(dump))
+	}
+	// Newest first: 6, 5, 4.
+	for i, want := range []uint64{6, 5, 4} {
+		if dump[i].Key != want {
+			t.Errorf("dump[%d].Key = %d, want %d", i, dump[i].Key, want)
+		}
+	}
+	if NewSlowLog(0, 0) == nil || len(NewSlowLog(-5, 0).ring) != 1 {
+		t.Error("capacity clamp broken")
+	}
+}

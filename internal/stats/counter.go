@@ -64,6 +64,26 @@ func (c MsgClass) String() string {
 	}
 }
 
+// MarshalText renders the class as its short label, so JSON maps keyed by
+// MsgClass (Report.Messages) read "broadcast", not "0".
+func (c MsgClass) MarshalText() ([]byte, error) {
+	if c < 0 || c >= numMsgClasses {
+		return nil, fmt.Errorf("stats: unknown message class %d", int(c))
+	}
+	return []byte(c.String()), nil
+}
+
+// UnmarshalText parses the short label back, completing the round trip.
+func (c *MsgClass) UnmarshalText(text []byte) error {
+	for i := MsgClass(0); i < numMsgClasses; i++ {
+		if i.String() == string(text) {
+			*c = i
+			return nil
+		}
+	}
+	return fmt.Errorf("stats: unknown message class %q", text)
+}
+
 // Classes lists all message classes in display order.
 func Classes() []MsgClass {
 	out := make([]MsgClass, numMsgClasses)

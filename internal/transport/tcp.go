@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,6 +17,21 @@ type TCP struct {
 	// Dialer customizes outbound connections (timeouts, local address).
 	// The zero value is ready to use.
 	Dialer net.Dialer
+
+	// metrics, when set by Instrument, hooks the byte counters into every
+	// connection this transport opens or accepts. Atomic because one TCP
+	// value may be instrumented while another goroutine dials through it.
+	metrics atomic.Pointer[Metrics]
+}
+
+// countConn wraps conn with the byte counters when the transport is
+// instrumented; otherwise it returns conn untouched.
+func (t *TCP) countConn(conn net.Conn) net.Conn {
+	m := t.metrics.Load()
+	if m == nil {
+		return conn
+	}
+	return countingConn{Conn: conn, in: m.bytesIn, out: m.bytesOut}
 }
 
 // NewTCP returns the socket transport.
@@ -36,7 +52,7 @@ func (t *TCP) Serve(addr string, h Handler) (Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &tcpServer{ln: ln, handler: h, conns: make(map[net.Conn]bool)}
+	s := &tcpServer{ln: ln, handler: h, conns: make(map[net.Conn]bool), wrap: t.countConn}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -59,7 +75,7 @@ func (t *TCP) Dial(addr string) (Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 	}
-	c := &tcpClient{conn: conn, pending: make(map[uint64]chan Response)}
+	c := &tcpClient{conn: t.countConn(conn), pending: make(map[uint64]chan Response)}
 	go c.readLoop()
 	return c, nil
 }
@@ -68,6 +84,7 @@ func (t *TCP) Dial(addr string) (Client, error) {
 type tcpServer struct {
 	ln      net.Listener
 	handler Handler
+	wrap    func(net.Conn) net.Conn // byte-counting hook; identity when uninstrumented
 	wg      sync.WaitGroup
 
 	mu     sync.Mutex
@@ -100,14 +117,15 @@ func (s *tcpServer) acceptLoop() {
 // serveConn reads frames off one connection and dispatches each request to
 // its own goroutine. Responses are written under a per-connection mutex so
 // concurrent handlers cannot interleave frames.
-func (s *tcpServer) serveConn(conn net.Conn) {
+func (s *tcpServer) serveConn(raw net.Conn) {
 	defer s.wg.Done()
 	defer func() {
-		conn.Close()
+		raw.Close()
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.conns, raw)
 		s.mu.Unlock()
 	}()
+	conn := s.wrap(raw) // byte counting; raw stays the map key
 	var writeMu sync.Mutex
 	for {
 		f, err := readFrame(conn)

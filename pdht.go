@@ -93,6 +93,13 @@ type ClientKV = client.KV
 // ClientOption configures Open.
 type ClientOption = client.Option
 
+// QueryTrace is one finished query's per-leg causality record (index
+// probes, broadcast, insert gate, refreshes, read repairs, stale-view
+// re-syncs), delivered to WithTraceHook hooks and kept by the slow-query
+// log; TraceLeg is one step of it.
+type QueryTrace = client.QueryTrace
+type TraceLeg = client.TraceLeg
+
 // The typed failures of the live request path — errors.Is-able, shared
 // with package pdht/client.
 var (
@@ -133,6 +140,10 @@ func WithGossipInterval(d time.Duration) ClientOption {
 func WithMaintainEnv(p float64) ClientOption { return client.WithMaintainEnv(p) }
 func WithAdaptive(retuneInterval time.Duration) ClientOption {
 	return client.WithAdaptive(retuneInterval)
+}
+func WithTraceHook(hook func(QueryTrace)) ClientOption { return client.WithTraceHook(hook) }
+func WithSlowQueryLog(threshold time.Duration, capacity int) ClientOption {
+	return client.WithSlowQueryLog(threshold, capacity)
 }
 
 // Scenario holds the parameters of the analytical model, one field per
