@@ -6,7 +6,7 @@
 # simulator population to churn — the stable subset the perf trajectory
 # records on every run. The sim-backed experiments (validate, sweep,
 # adapt, ...) stay interactive-only; they are minutes, not seconds.
-BENCH_EXPERIMENTS := table1 fig1 fig2 fig3 fig4 ttlsens alpha kary
+BENCH_EXPERIMENTS := table1 fig1 fig2 fig3 fig4 ttlsens alpha kary store
 
 .PHONY: all build test race bench fmt vet
 
@@ -22,7 +22,7 @@ test:
 race:
 	go test -race ./client/ ./internal/adapt/ ./internal/gossip/... \
 		./internal/node/ ./internal/obs/ ./internal/replica/ \
-		./internal/transport/ ./cmd/pdht-node/
+		./internal/store/ ./internal/transport/ ./cmd/pdht-node/
 
 # The perf trajectory artifact: one JSON object per experiment table, in
 # the {title, header, rows} schema pdht-bench -format json emits, written

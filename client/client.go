@@ -41,6 +41,7 @@ import (
 	"pdht/internal/metadata"
 	"pdht/internal/node"
 	"pdht/internal/obs"
+	"pdht/internal/store"
 )
 
 // The typed failures of the request path, re-exported from the node
@@ -133,8 +134,23 @@ func Open(ctx context.Context, opts ...Option) (*Client, error) {
 		}
 		return &Client{rc: rc}, nil
 	}
-	// Member mode: try the seeds in order — the first that joins wins; a
-	// node with no seeds starts its own cluster.
+	// Member mode. Durability first: WithDataDir opens the file-backed
+	// store here — recovery (replay, torn-tail truncation, remaining-TTL
+	// accounting) runs once, and the node built below re-admits the
+	// recovered entries before it joins the cluster.
+	st := cfg.store
+	if cfg.dataDir != "" {
+		fs, err := store.OpenFile(store.FileOptions{Dir: cfg.dataDir})
+		if err != nil {
+			return nil, fmt.Errorf("client: open data dir: %w", err)
+		}
+		st = fs
+	}
+	nodeCfg.Store = st
+	// Try the seeds in order — the first that joins wins; a node with no
+	// seeds starts its own cluster. A failed New leaves store ownership
+	// here (the store survives attempts unchanged), so it is released only
+	// when every seed fails.
 	seeds := cfg.seeds
 	if len(seeds) == 0 {
 		seeds = []string{""}
@@ -148,8 +164,12 @@ func Open(ctx context.Context, opts ...Option) (*Client, error) {
 		}
 		lastErr = err
 		if err := ctx.Err(); err != nil {
-			return nil, ctxErr(err)
+			lastErr = ctxErr(err)
+			break
 		}
+	}
+	if st != nil {
+		st.Close()
 	}
 	return nil, fmt.Errorf("client: open: %w", lastErr)
 }

@@ -5,8 +5,13 @@ import (
 	"time"
 
 	"pdht/internal/node"
+	"pdht/internal/store"
 	"pdht/internal/transport"
 )
+
+// Store is the persistence plane a member node journals through,
+// re-exported so WithStore users can supply their own implementation.
+type Store = store.Store
 
 // config collects what the options build. The zero value plus defaults is
 // a ring-backend member node on TCP, listening on a loopback port.
@@ -31,6 +36,9 @@ type config struct {
 	traceHook     func(QueryTrace)
 	slowThreshold time.Duration
 	slowCapacity  int
+
+	dataDir string
+	store   Store
 }
 
 // Option configures Open. Options are applied in order; later options win.
@@ -153,6 +161,31 @@ func WithSlowQueryLog(threshold time.Duration, capacity int) Option {
 	}
 }
 
+// WithDataDir makes the member node durable: every index and content
+// mutation is journaled to a write-ahead log under dir (created if
+// missing), periodically compacted into a snapshot, and a handle reopened
+// on the same directory rejoins warm — index entries re-admitted at their
+// remaining TTL, published content served again without republishing.
+// Incompatible with client-only mode (a non-serving client holds nothing
+// to persist). Later WithDataDir/WithStore options win.
+func WithDataDir(dir string) Option {
+	return func(c *config) {
+		c.dataDir = dir
+		c.store = nil
+	}
+}
+
+// WithStore injects a persistence implementation directly — the seam for
+// custom stores and for sharing one preopened store with its recovery
+// stats. The member node owns s once Open succeeds and closes it on
+// Close. Incompatible with client-only mode.
+func WithStore(s Store) Option {
+	return func(c *config) {
+		c.store = s
+		c.dataDir = ""
+	}
+}
+
 // build validates the option set and splits it into the two engines'
 // configurations.
 func (c *config) build() (node.Config, node.RemoteConfig, error) {
@@ -161,6 +194,9 @@ func (c *config) build() (node.Config, node.RemoteConfig, error) {
 	}
 	if c.clientOnly && len(c.seeds) == 0 {
 		return node.Config{}, node.RemoteConfig{}, fmt.Errorf("client: client-only mode needs WithSeeds")
+	}
+	if c.clientOnly && (c.dataDir != "" || c.store != nil) {
+		return node.Config{}, node.RemoteConfig{}, fmt.Errorf("client: client-only mode cannot persist (no index or content of its own)")
 	}
 	nodeCfg := node.DefaultConfig()
 	nodeCfg.Addr = c.listen

@@ -9,7 +9,7 @@
 //	pdht-bench -scale 2000        # simulator population for V1/S2/A1/A3
 //
 // Experiments: table1 fig1 fig2 fig3 fig4 ttlsens alpha validate sweep
-// adapt backends selftune all
+// adapt backends selftune store all
 package main
 
 import (
@@ -172,6 +172,13 @@ func main() {
 		}
 		return render(t)
 	})
+	run("store", func() error {
+		t, err := experiments.StoreBench(0)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
 
 	if *experiment != "all" && !knownExperiment(*experiment) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n",
@@ -183,7 +190,7 @@ func main() {
 var knownExperiments = []string{
 	"table1", "fig1", "fig2", "fig3", "fig4", "ttlsens", "alpha", "kary",
 	"maintenance", "validate", "sweep", "adapt", "backends", "selftune",
-	"calibrate", "all",
+	"calibrate", "store", "all",
 }
 
 func knownExperiment(name string) bool {

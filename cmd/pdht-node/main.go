@@ -37,6 +37,7 @@ import (
 
 	"pdht/internal/metadata"
 	"pdht/internal/node"
+	"pdht/internal/store"
 	"pdht/internal/transport"
 )
 
@@ -73,6 +74,9 @@ func run(args []string, out io.Writer) error {
 		env         = fs.Float64("env", 0, "per-routing-entry per-round probe probability (the paper's env; feeds the adaptive fMin)")
 		httpAddr    = fs.String("http", "", "serve the debug HTTP plane on this address (/metrics, /report, /traces, /healthz, /debug/pprof); empty disables it")
 		slowQuery   = fs.Duration("slow-query", 0, "retain traces of queries at or above this duration, served under /traces (0 disables the slow-query log)")
+		dataDir     = fs.String("data-dir", "", "persist index and content mutations to a WAL+snapshot under this directory; a restart on the same directory rejoins warm at remaining TTL (empty: in-memory only)")
+		fsyncMode   = fs.String("fsync", "interval", "WAL durability policy with -data-dir: always (fsync per append), interval (background flush), none (page cache only)")
+		snapEvery   = fs.Duration("snapshot-interval", time.Minute, "WAL compaction period with -data-dir: how often outstanding records are absorbed into a snapshot")
 		demo        = fs.Bool("demo", false, "run the 3-node TCP-loopback demonstration and exit")
 	)
 	// -repl predates -replicas; both set the same knob.
@@ -103,8 +107,27 @@ func run(args []string, out io.Writer) error {
 	cfg.MaintainEnv = *env
 	cfg.SlowQueryThreshold = *slowQuery
 
+	if *dataDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		st, err := store.OpenFile(store.FileOptions{Dir: *dataDir, Fsync: policy, SnapshotEvery: *snapEvery})
+		if err != nil {
+			return err
+		}
+		cfg.Store = st
+		if rs := st.Stats(); rs.Recovered+rs.Content > 0 || rs.Expired > 0 || rs.DroppedRecords > 0 {
+			fmt.Fprintf(out, "recovered %d index entries at remaining TTL and %d content entries from %s in %v (%d expired while down, %d records dropped)\n",
+				rs.Recovered, rs.Content, *dataDir, rs.Replay.Round(time.Millisecond), rs.Expired, rs.DroppedRecords)
+		}
+	}
+
 	nd, err := node.New(transport.NewTCP(), cfg)
 	if err != nil {
+		if cfg.Store != nil {
+			cfg.Store.Close()
+		}
 		return err
 	}
 	defer nd.Close()

@@ -85,7 +85,7 @@ func TestDocsNameShippedFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, flag := range []string{"replicas", "adaptive", "gossip-interval", "suspicion", "backend", "demo", "publish", "query", "members", "report", "http", "slow-query"} {
+	for _, flag := range []string{"replicas", "adaptive", "gossip-interval", "suspicion", "backend", "demo", "publish", "query", "members", "report", "http", "slow-query", "data-dir", "fsync", "snapshot-interval"} {
 		if !strings.Contains(string(main), fmt.Sprintf("%q", flag)) {
 			t.Errorf("README documents -%s but cmd/pdht-node does not define it", flag)
 		}

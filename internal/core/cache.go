@@ -37,6 +37,46 @@ type cacheEntry struct {
 	expires int
 }
 
+// MutationKind labels one cache state change for the mutation hook.
+type MutationKind uint8
+
+const (
+	// MutInsert: a key was stored (or overwritten) until Expires.
+	MutInsert MutationKind = iota + 1
+	// MutRefresh: a live entry's expiry was extended to Expires.
+	MutRefresh
+	// MutExpire: an expired entry was collected (lazily on sight, or by a
+	// Live/Keys/Entries sweep).
+	MutExpire
+	// MutEvict: a live entry was evicted to make room for an insert.
+	MutEvict
+)
+
+// Mutation describes one cache state change: what happened to which key,
+// and — for inserts and refreshes — the expiry round the entry now carries.
+type Mutation struct {
+	Kind    MutationKind
+	Key     keyspace.Key
+	Value   Value
+	Expires int
+}
+
+// SetHook installs fn to observe every cache mutation: inserts, refreshes
+// that actually extended an expiry, expirations and capacity evictions.
+// This is the write-through seam of the persistence plane (internal/store):
+// a node that journals every Mutation can rebuild this cache after a crash.
+// The hook is called synchronously under whatever serialization the caller
+// already imposes on the cache (the Cache itself is not goroutine-safe);
+// nil (the default) removes the hook and costs the mutation paths nothing.
+func (c *Cache) SetHook(fn func(Mutation)) { c.hook = fn }
+
+// notify funnels one mutation to the hook, if any.
+func (c *Cache) notify(kind MutationKind, key keyspace.Key, value Value, expires int) {
+	if c.hook != nil {
+		c.hook(Mutation{Kind: kind, Key: key, Value: value, Expires: expires})
+	}
+}
+
 // Cache is one peer's local index storage: at most capacity key–value
 // pairs, each carrying an expiration round. Expired entries are treated as
 // absent and collected lazily. This is the "cache of 100 key-value pairs
@@ -45,6 +85,7 @@ type cacheEntry struct {
 type Cache struct {
 	capacity int
 	entries  map[keyspace.Key]cacheEntry
+	hook     func(Mutation)
 }
 
 // NewCache returns an empty cache with the given capacity.
@@ -67,6 +108,7 @@ func (c *Cache) Get(key keyspace.Key, now int) (Value, bool) {
 	}
 	if e.expires <= now {
 		delete(c.entries, key)
+		c.notify(MutExpire, key, e.value, e.expires)
 		return 0, false
 	}
 	return e.value, true
@@ -87,6 +129,7 @@ func (c *Cache) Put(key keyspace.Key, value Value, expires, now int) bool {
 		}
 	}
 	c.entries[key] = cacheEntry{value: value, expires: expires}
+	c.notify(MutInsert, key, value, expires)
 	return true
 }
 
@@ -102,6 +145,7 @@ func (c *Cache) evictOne(incomingExpires, now int) bool {
 	for k, e := range c.entries {
 		if e.expires <= now {
 			delete(c.entries, k)
+			c.notify(MutExpire, k, e.value, e.expires)
 			collected = true
 			continue
 		}
@@ -116,7 +160,9 @@ func (c *Cache) evictOne(incomingExpires, now int) bool {
 	if best > incomingExpires {
 		return false
 	}
+	v := c.entries[victim]
 	delete(c.entries, victim)
+	c.notify(MutEvict, victim, v.value, v.expires)
 	return true
 }
 
@@ -126,12 +172,19 @@ func (c *Cache) evictOne(incomingExpires, now int) bool {
 func (c *Cache) Refresh(key keyspace.Key, expires, now int) bool {
 	e, ok := c.entries[key]
 	if !ok || e.expires <= now {
-		delete(c.entries, key)
+		if ok {
+			delete(c.entries, key)
+			c.notify(MutExpire, key, e.value, e.expires)
+		}
 		return false
 	}
 	if expires > e.expires {
 		e.expires = expires
 		c.entries[key] = e
+		// Only an actual extension is worth a journal record: under
+		// TTL-reset semantics a hot key is refreshed many times per round
+		// and most of those resets change nothing.
+		c.notify(MutRefresh, key, e.value, expires)
 	}
 	return true
 }
@@ -142,6 +195,7 @@ func (c *Cache) Live(now int) int {
 	for k, e := range c.entries {
 		if e.expires <= now {
 			delete(c.entries, k)
+			c.notify(MutExpire, k, e.value, e.expires)
 		}
 	}
 	return len(c.entries)
@@ -155,6 +209,7 @@ func (c *Cache) Keys(now int) []keyspace.Key {
 	for k, e := range c.entries {
 		if e.expires <= now {
 			delete(c.entries, k)
+			c.notify(MutExpire, k, e.value, e.expires)
 			continue
 		}
 		out = append(out, k)
@@ -177,11 +232,18 @@ type Entry struct {
 // Keys with per-key Expires lookups that the expiry sweeper could race.
 // Re-inserting a snapshot entry elsewhere with TTL = Expires−now preserves
 // the paper's expiry semantics across the transfer.
+//
+// now must be computed under the same serialization that guards the cache:
+// a round value captured before lock acquisition can go stale while the
+// lock is contended, and the snapshot would then include entries already
+// expired at snapshot time — exactly what the persistence and handoff
+// layers must never receive.
 func (c *Cache) Entries(now int) []Entry {
 	out := make([]Entry, 0, len(c.entries))
 	for k, e := range c.entries {
 		if e.expires <= now {
 			delete(c.entries, k)
+			c.notify(MutExpire, k, e.value, e.expires)
 			continue
 		}
 		out = append(out, Entry{Key: k, Value: e.value, Expires: e.expires})

@@ -23,9 +23,9 @@ type KV struct {
 // view-hash check already ran in handle (once, for the whole batch).
 func (n *Node) handleBatch(req transport.Request) transport.Response {
 	results := make([]transport.BatchResult, len(req.Batch))
-	now := n.now()
 	var refreshed uint64
 	n.mu.Lock()
+	now := n.now() // read under mu; see LiveKeys
 	for i, it := range req.Batch {
 		k := keyspace.Key(it.Key)
 		switch it.Op {
@@ -127,8 +127,8 @@ func (n *Node) QueryMany(ctx context.Context, keys []uint64) ([]QueryResult, err
 
 	// Local group: this node is the responsible peer, no wire at all.
 	if len(local) > 0 {
-		now := n.now()
 		n.mu.Lock()
+		now := n.now() // read under mu; see LiveKeys
 		for _, i := range local {
 			k := keyspace.Key(keys[i])
 			if v, ok := n.cache.Get(k, now); ok {
@@ -265,8 +265,8 @@ func (n *Node) syncBatchHits(ctx context.Context, keys []uint64, results []Query
 	}
 
 	if len(local) > 0 {
-		now := n.now()
 		n.mu.Lock()
+		now := n.now() // read under mu; see LiveKeys
 		for _, s := range local {
 			k := keyspace.Key(s.key)
 			if n.cache.Refresh(k, now+ttl, now) || n.cache.Put(k, core.Value(s.value), now+ttl, now) {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"pdht/internal/store"
 	"pdht/internal/transport"
 )
 
@@ -15,20 +16,36 @@ import (
 // because the CLI's demo mode and future load generators want the same
 // choreography.
 type Cluster struct {
-	tr    transport.Transport
-	cfg   Config
-	nodes []*Node
-	addrs []string
+	tr       transport.Transport
+	cfg      Config
+	nodes    []*Node
+	addrs    []string
+	storeFor StoreFactory
 }
+
+// StoreFactory supplies slot i's persistence store each time the slot
+// boots — at cluster construction and again on every Restart. Returning
+// (nil, nil) leaves the slot in-memory. A factory backed by per-slot data
+// directories is what makes Restart a WARM restart: the revived node
+// replays the store the killed incarnation journaled.
+type StoreFactory func(slot int) (store.Store, error)
 
 // NewCluster boots n nodes: the first seeds the cluster, the rest join it.
 // cfg.Addr and cfg.Seed are overwritten per node; all other fields apply to
 // every node.
 func NewCluster(tr transport.Transport, n int, cfg Config) (*Cluster, error) {
+	return NewClusterStores(tr, n, cfg, nil)
+}
+
+// NewClusterStores is NewCluster with a per-slot persistence seam: each
+// slot's store comes from storeFor (nil means every slot is in-memory,
+// exactly NewCluster). The cluster keeps the factory and reuses it in
+// Restart, so kill/restart churn exercises the real recovery path.
+func NewClusterStores(tr transport.Transport, n int, cfg Config, storeFor StoreFactory) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("node: cluster size %d must be positive", n)
 	}
-	c := &Cluster{tr: tr, cfg: cfg, nodes: make([]*Node, n), addrs: make([]string, n)}
+	c := &Cluster{tr: tr, cfg: cfg, nodes: make([]*Node, n), addrs: make([]string, n), storeFor: storeFor}
 	for i := 0; i < n; i++ {
 		nodeCfg := cfg
 		nodeCfg.Addr = ""
@@ -37,8 +54,19 @@ func NewCluster(tr transport.Transport, n int, cfg Config) (*Cluster, error) {
 		} else {
 			nodeCfg.Seed = c.addrs[0]
 		}
+		if storeFor != nil {
+			st, err := storeFor(i)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("node: cluster boot %d/%d: %w", i, n, err)
+			}
+			nodeCfg.Store = st
+		}
 		nd, err := New(tr, nodeCfg)
 		if err != nil {
+			if nodeCfg.Store != nil {
+				nodeCfg.Store.Close() // ownership stays here on a failed New
+			}
 			c.Close()
 			return nil, fmt.Errorf("node: cluster boot %d/%d: %w", i, n, err)
 		}
@@ -69,8 +97,11 @@ func (c *Cluster) Kill(i int) error {
 	return err
 }
 
-// Restart revives slot i at its original address with an empty cache —
-// crash recovery loses volatile state — joining through any live member.
+// Restart revives slot i at its original address, joining through any
+// live member. Without a store factory the cache comes back empty — crash
+// recovery loses volatile state. With one (NewClusterStores), the revived
+// node reopens its slot's store and rejoins WARM: recovered index entries
+// re-admitted at their remaining TTL, recovered content served again.
 func (c *Cluster) Restart(i int) error {
 	if c.nodes[i] != nil {
 		return fmt.Errorf("node: slot %d is alive", i)
@@ -85,8 +116,18 @@ func (c *Cluster) Restart(i int) error {
 	cfg := c.cfg
 	cfg.Addr = c.addrs[i]
 	cfg.Seed = seed
+	if c.storeFor != nil {
+		st, err := c.storeFor(i)
+		if err != nil {
+			return fmt.Errorf("node: restart %d: %w", i, err)
+		}
+		cfg.Store = st
+	}
 	nd, err := New(c.tr, cfg)
 	if err != nil {
+		if cfg.Store != nil {
+			cfg.Store.Close() // ownership stays here on a failed New
+		}
 		return err
 	}
 	c.nodes[i] = nd

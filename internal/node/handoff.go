@@ -4,6 +4,7 @@ import (
 	"pdht/internal/core"
 	"pdht/internal/replica"
 	"pdht/internal/stats"
+	"pdht/internal/store"
 	"pdht/internal/transport"
 )
 
@@ -70,6 +71,11 @@ func (n *Node) runHandoff(old, next *view, entries []core.Entry) {
 			}
 			if resp.OK {
 				n.m.handoffKeys.Add(1)
+				if n.persist != nil {
+					// Audit trail only: the holder keeps its copy (the
+					// planner's no-deletion rule), so replay ignores these.
+					_ = n.persist.Append(store.Record{Op: store.OpHandoff, Key: uint64(p.Key), Value: p.Value})
+				}
 			}
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"pdht/internal/obs"
 	"pdht/internal/replica"
 	"pdht/internal/stats"
+	"pdht/internal/store"
 	"pdht/internal/transport"
 )
 
@@ -89,6 +90,17 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryCapacity is the ring size of the slow-query log. Default 64.
 	SlowQueryCapacity int
+	// Store is the persistence plane (internal/store): every index and
+	// content mutation is journaled through it, and New replays its
+	// recovered state — index entries re-admitted at their remaining TTL,
+	// content entries verbatim — before the node joins gossip, so a
+	// restarted peer rejoins warm and the existing handoff machinery
+	// announces the recovered keys to their replica sets. Nil (the
+	// default) means no persistence and costs the mutation paths nothing.
+	// Ownership transfers on success: a Node New returns closes the store
+	// in its Close; on a failed New the caller keeps ownership (and a
+	// FileStore stays reopenable — recovery mutates nothing).
+	Store store.Store
 }
 
 // DefaultConfig returns the configuration a live deployment starts from.
@@ -183,6 +195,13 @@ type Node struct {
 	store       map[keyspace.Key]uint64
 	queryCounts map[keyspace.Key]uint64
 
+	// persist is the durability plane (Config.Store), nil when the node
+	// runs in-memory. Mutations reach it through the cache hook (index)
+	// and the Publish paths (content), always under mu; closeErr carries
+	// its Close result out of closeOnce.
+	persist  store.Store
+	closeErr error
+
 	// pool is the outbound connection pool (pool.go), shared logic with
 	// the non-serving RemoteClient.
 	pool *pool
@@ -252,6 +271,18 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 		}
 		n.tuner = t
 		t.RegisterMetrics(reg)
+	}
+	if cfg.Store != nil {
+		n.persist = cfg.Store
+		n.persist.RegisterMetrics(reg)
+		// Replay before the endpoint serves and before gossip joins: the
+		// node's very first membership view already covers the recovered
+		// entries, so the existing handoff machinery announces them to
+		// their replica sets on the first view change. The hook is
+		// installed only after replay — recovery must not re-journal what
+		// it just read.
+		n.recoverPersisted()
+		cache.SetHook(n.persistHook)
 	}
 	srv, err := tr.Serve(cfg.Addr, n.handle)
 	if err != nil {
@@ -332,10 +363,77 @@ func (n *Node) keyTtl() int {
 // Tuner exposes the adaptive control plane, nil unless Config.Adaptive.
 func (n *Node) Tuner() *adapt.Tuner { return n.tuner }
 
+// ---- persistence ----
+
+// roundOf converts an absolute wall-clock deadline onto the node's round
+// clock, rounding up so a deadline mid-round carries the entry through
+// that round rather than lapsing it early.
+func (n *Node) roundOf(deadline time.Time) int {
+	d := deadline.Sub(n.epoch)
+	rounds := int(d / n.cfg.RoundDuration)
+	if d%n.cfg.RoundDuration > 0 {
+		rounds++
+	}
+	return rounds
+}
+
+// roundDeadline is the inverse seam: the absolute wall-clock instant a
+// cache expiry round maps to — what the journal records instead of a
+// duration, so the remaining-TTL invariant survives a restart.
+func (n *Node) roundDeadline(expires int) time.Time {
+	return n.epoch.Add(time.Duration(expires) * n.cfg.RoundDuration)
+}
+
+// recoverPersisted replays the store's recovered state into the peer:
+// content entries verbatim, index entries re-admitted at their REMAINING
+// TTL — the journaled absolute deadline converted onto this process's
+// fresh round clock, so an entry granted 120 rounds that crashed with 50
+// left comes back with 50, not 120. Entries whose deadline passed while
+// the process was down were already dropped (and counted) by the store's
+// own replay. Runs in New before the endpoint serves and before the cache
+// hook is installed, so recovery is single-threaded and journals nothing.
+func (n *Node) recoverPersisted() {
+	now := n.now()
+	for _, e := range n.persist.Recovered() {
+		if e.Deadline.IsZero() {
+			n.store[keyspace.Key(e.Key)] = e.Value
+			continue
+		}
+		expires := n.roundOf(e.Deadline)
+		if expires <= now {
+			continue // lapsed in the gap between store open and replay
+		}
+		n.cache.Put(keyspace.Key(e.Key), core.Value(e.Value), expires, now)
+	}
+}
+
+// persistHook is the cache mutation hook: every index state change is
+// journaled synchronously under mu (the cache's serialization), carrying
+// its absolute expiry deadline. An append error degrades durability, not
+// serving — the store counts it (pdht_store_append_errors_total) and the
+// node keeps answering.
+func (n *Node) persistHook(m core.Mutation) {
+	rec := store.Record{Key: uint64(m.Key), Value: uint64(m.Value)}
+	switch m.Kind {
+	case core.MutInsert:
+		rec.Op = store.OpInsert
+		rec.Deadline = n.roundDeadline(m.Expires)
+	case core.MutRefresh:
+		rec.Op = store.OpRefresh
+		rec.Deadline = n.roundDeadline(m.Expires)
+	case core.MutExpire, core.MutEvict:
+		rec.Op = store.OpExpire
+	default:
+		return
+	}
+	_ = n.persist.Append(rec)
+}
+
 // Close shuts the node down: the membership loop stops, the endpoint
 // stops accepting, in-flight handoff pushers finish (their remaining calls
-// fail fast once the pool closes), outbound connections close, and the
-// sweeper exits. Idempotent.
+// fail fast once the pool closes), outbound connections close, the
+// sweeper exits, and the persistence store — last, so every mutation the
+// shutdown itself caused is journaled — flushes and closes. Idempotent.
 func (n *Node) Close() error {
 	n.closeOnce.Do(func() {
 		n.mu.Lock()
@@ -346,9 +444,13 @@ func (n *Node) Close() error {
 		n.srv.Close()
 		n.pool.close()
 		n.handoffs.Wait()
+		n.done.Wait()
+		if n.persist != nil {
+			n.closeErr = n.persist.Close()
+		}
 	})
 	n.done.Wait()
-	return nil
+	return n.closeErr
 }
 
 // ---- membership ----
@@ -465,8 +567,8 @@ func (n *Node) handle(req transport.Request) transport.Response {
 		if req.TTL < 1 {
 			return transport.Response{Err: "insert without ttl"}
 		}
-		now := n.now()
 		n.mu.Lock()
+		now := n.now() // read under mu; see LiveKeys
 		stored := n.cache.Put(keyspace.Key(req.Key), core.Value(req.Value), now+req.TTL, now)
 		n.mu.Unlock()
 		return transport.Response{OK: stored}
@@ -474,8 +576,8 @@ func (n *Node) handle(req transport.Request) transport.Response {
 		if req.TTL < 1 {
 			return transport.Response{Err: "refresh without ttl"}
 		}
-		now := n.now()
 		n.mu.Lock()
+		now := n.now()
 		ok := n.cache.Refresh(keyspace.Key(req.Key), now+req.TTL, now)
 		n.mu.Unlock()
 		if ok {
@@ -548,6 +650,9 @@ func (n *Node) Publish(ctx context.Context, key, value uint64) error {
 		return ErrClosed
 	}
 	n.store[keyspace.Key(key)] = value
+	if n.persist != nil {
+		_ = n.persist.Append(store.Record{Op: store.OpPublish, Key: key, Value: value})
+	}
 	return nil
 }
 
@@ -564,6 +669,9 @@ func (n *Node) PublishMany(ctx context.Context, pairs []KV) error {
 	}
 	for _, p := range pairs {
 		n.store[keyspace.Key(p.Key)] = p.Value
+		if n.persist != nil {
+			_ = n.persist.Append(store.Record{Op: store.OpPublish, Key: p.Key, Value: p.Value})
+		}
 	}
 	return nil
 }
@@ -577,16 +685,28 @@ func (n *Node) StoredKeys() int {
 
 // LiveKeys returns the keys currently live in this node's index cache —
 // test and measurement plumbing for cluster-wide index-size ground truth.
+// The round is read under mu: a value captured before lock acquisition can
+// go stale while the lock is contended, and the snapshot would then
+// include entries the sweeper is about to collect (see cache.Entries).
 func (n *Node) LiveKeys() []uint64 {
-	now := n.now()
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	keys := n.cache.Keys(now)
+	keys := n.cache.Keys(n.now())
 	out := make([]uint64, len(keys))
 	for i, k := range keys {
 		out[i] = uint64(k)
 	}
 	return out
+}
+
+// liveEntries snapshots the live cache rows — keys with values and expiry
+// rounds — with the round clock read under the same lock that serializes
+// the cache, so the snapshot can never contain an entry already expired
+// at snapshot time.
+func (n *Node) liveEntries() []core.Entry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cache.Entries(n.now())
 }
 
 // ---- the selection algorithm ----
@@ -901,8 +1021,8 @@ func (n *Node) syncHit(ctx context.Context, rs replicaSet, hitAddr string, k key
 	var mu sync.Mutex
 	replica.Fanout(ctx, targets, func(ctx context.Context, addr string) bool {
 		if addr == n.cfg.Addr {
-			now := n.now()
 			n.mu.Lock()
+			now := n.now()
 			ok := n.cache.Refresh(k, now+ttl, now)
 			if !ok {
 				// Local read repair: no message, and self's share of the
@@ -1014,8 +1134,8 @@ func (n *Node) insert(ctx context.Context, k keyspace.Key, value uint64, replica
 	var mu sync.Mutex
 	replica.Fanout(ctx, replicas, func(ctx context.Context, addr string) bool {
 		if addr == n.cfg.Addr {
-			now := n.now()
 			n.mu.Lock()
+			now := n.now()
 			ok := n.cache.Put(k, core.Value(value), now+ttl, now)
 			n.mu.Unlock()
 			return ok
@@ -1045,9 +1165,8 @@ func (n *Node) sweeper() {
 		case <-n.stop:
 			return
 		case <-tick.C:
-			now := n.now()
 			n.mu.Lock()
-			live := n.cache.Live(now) // prunes expired entries
+			live := n.cache.Live(n.now()) // prunes expired entries
 			var probes int
 			if n.cfg.MaintainEnv > 0 {
 				probes = n.view.maintain().Probes

@@ -232,6 +232,17 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	})
 }
 
+// CounterFunc registers a counter whose value is read at scrape time — the
+// bridge for monotone counts that accumulate before (or independently of)
+// registration, like a persistence layer's WAL append count that starts at
+// recovery, before the owning node's registry exists. fn must be safe for
+// concurrent use and must never decrease.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindCounter, labels, func() *series {
+		return &series{gaugeFn: fn}
+	})
+}
+
 // Histogram registers (or finds) the histogram name{labels} with the given
 // bucket upper bounds in seconds (nil means DefBuckets).
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {

@@ -1,0 +1,135 @@
+// Package store is the durability plane of the live node subsystem: a
+// pluggable persistence layer for one peer's index cache and content store,
+// so a restarted peer rejoins warm instead of paying the worst-case
+// cold-cache cost the churn experiments measure.
+//
+// The paper's whole economy is amortizing a key's indexing cost over its
+// TTL lifetime; throwing the index away on every restart forfeits that
+// investment at exactly the moment (a rolling upgrade, a crash-loop) when
+// a fleet restarts most. The contract that preserves the economy across a
+// reboot is the REMAINING-TTL invariant: entries are journaled with their
+// absolute wall-clock expiry deadline, not a duration, and recovery
+// re-admits each one at whatever lifetime it has left — an entry granted
+// 120 rounds that crashed at round 70 comes back with 50, and one that
+// lapsed while the process was down is dropped (and counted), never
+// resurrected. The tuner's granted-TTL semantics (PR 3) are thereby
+// restart-invariant: a retune changes only what future inserts receive,
+// on disk exactly as in memory.
+//
+// Two implementations ship: Noop (the default — nothing persists, every
+// operation is free, so an in-memory node pays nothing for the seam) and
+// FileStore (file.go — an append-only WAL of CRC32-framed records with a
+// configurable fsync policy, periodically compacted into a snapshot file,
+// with torn-tail-tolerant crash recovery). The node writes through the
+// core.Cache mutation hook; nothing else in the system knows durability
+// exists.
+package store
+
+import (
+	"time"
+
+	"pdht/internal/obs"
+)
+
+// Op labels one journaled mutation.
+type Op uint8
+
+const (
+	// OpInsert: key was indexed with Value until Deadline.
+	OpInsert Op = iota + 1
+	// OpRefresh: key's expiry was reset to Deadline (TTL reset on a hit).
+	OpRefresh
+	// OpExpire: key lapsed out of the index (TTL expiry or capacity
+	// eviction) and must not be resurrected by replay.
+	OpExpire
+	// OpPublish: key→Value entered the local content store. Content has
+	// no expiry; Deadline is zero.
+	OpPublish
+	// OpHandoff: key was pushed to a replica set's new member on a view
+	// change. Audit only — the holder keeps its copy (the repair planner's
+	// no-deletion rule), so replay ignores these records.
+	OpHandoff
+)
+
+// Record is one journaled mutation: the operation, the key it touched,
+// and — where the operation carries them — the stored value and the
+// absolute wall-clock expiry deadline. Deadlines are absolute by design:
+// a duration would restart the clock on every reboot and break the
+// remaining-TTL invariant.
+type Record struct {
+	Op       Op
+	Key      uint64
+	Value    uint64
+	Deadline time.Time
+}
+
+// Entry is one row recovered from durable state: an index entry with its
+// absolute expiry deadline, or — when Deadline is zero — a content-store
+// entry, which never expires.
+type Entry struct {
+	Key      uint64
+	Value    uint64
+	Deadline time.Time
+}
+
+// RecoveryStats reports what one recovery replay found, kept and dropped.
+type RecoveryStats struct {
+	// Recovered is the number of live index entries re-admitted; Content
+	// the number of content-store entries.
+	Recovered int
+	Content   int
+	// Expired counts index entries whose deadline had already passed at
+	// replay time: the process was down longer than their remaining TTL,
+	// so §5.1 expiry semantics demand they stay gone.
+	Expired int
+	// DroppedRecords counts WAL records discarded at the torn tail (bad
+	// CRC, impossible length, short read) and TruncatedBytes the WAL bytes
+	// cut off with them. SnapshotDropped reports a snapshot file that was
+	// present but unreadable and therefore ignored.
+	DroppedRecords  int
+	TruncatedBytes  int64
+	SnapshotDropped bool
+	// Replay is the wall-clock cost of the whole recovery pass.
+	Replay time.Duration
+}
+
+// Store is the persistence plane one node writes through. Implementations
+// must be safe for concurrent use: the node appends under its own lock,
+// but background compaction and scrape-time metric reads run concurrently.
+type Store interface {
+	// Recovered returns the entries replayed from durable state when the
+	// store was opened, index entries carrying their absolute deadlines
+	// and content entries a zero one. The slice is owned by the store;
+	// callers must not modify it.
+	Recovered() []Entry
+	// Stats reports what the opening replay kept and dropped.
+	Stats() RecoveryStats
+	// Append journals one mutation. Durability is governed by the
+	// implementation's sync policy; an error means the record may not
+	// survive a crash, not that the in-memory system is wrong — callers
+	// keep serving and watch the store's error counter.
+	Append(rec Record) error
+	// Sync forces buffered records to stable storage.
+	Sync() error
+	// RegisterMetrics installs the store's instruments (pdht_store_*) on
+	// reg. Idempotent; the owning node calls it once at construction.
+	RegisterMetrics(reg *obs.Registry)
+	// Close flushes, compacts if possible, and releases the store.
+	Close() error
+}
+
+// Noop is the default store: nothing persists and every operation is free.
+// It exists so call sites can treat "no persistence" uniformly; the node
+// additionally skips the write-through hook entirely when its store is nil,
+// so the hot path pays nothing either way.
+type Noop struct{}
+
+// NewNoop returns the no-op store.
+func NewNoop() Noop { return Noop{} }
+
+func (Noop) Recovered() []Entry            { return nil }
+func (Noop) Stats() RecoveryStats          { return RecoveryStats{} }
+func (Noop) Append(Record) error           { return nil }
+func (Noop) Sync() error                   { return nil }
+func (Noop) RegisterMetrics(*obs.Registry) {}
+func (Noop) Close() error                  { return nil }

@@ -145,6 +145,12 @@ func WithTraceHook(hook func(QueryTrace)) ClientOption { return client.WithTrace
 func WithSlowQueryLog(threshold time.Duration, capacity int) ClientOption {
 	return client.WithSlowQueryLog(threshold, capacity)
 }
+func WithDataDir(dir string) ClientOption  { return client.WithDataDir(dir) }
+func WithStore(s ClientStore) ClientOption { return client.WithStore(s) }
+
+// ClientStore is the persistence plane a durable member node journals
+// through (see WithDataDir for the bundled file-backed implementation).
+type ClientStore = client.Store
 
 // Scenario holds the parameters of the analytical model, one field per
 // symbol of the paper's Table 1.
