@@ -76,6 +76,15 @@ type QueryTrace = obs.QueryTrace
 // TraceLeg is one step of a QueryTrace.
 type TraceLeg = obs.Leg
 
+// FleetReport is the cluster-wide aggregation ClusterReport assembles from
+// per-peer metrics snapshots: one row per reachable peer, cluster hit rate,
+// pooled latency quantiles, the measured cluster msgs/query next to the
+// cost model's prediction, and the spread of the per-peer adaptive tuners.
+type FleetReport = obs.FleetReport
+
+// FleetPeer is one peer's row of a FleetReport.
+type FleetPeer = obs.FleetPeer
+
 // Result reports one resolved query.
 type Result struct {
 	// Key echoes the queried key — batched results stay self-describing
@@ -233,6 +242,20 @@ func (c *Client) DebugHandler() (http.Handler, bool) {
 		return nil, false
 	}
 	return c.nd.DebugHandler(), true
+}
+
+// ClusterReport polls every cluster member for a metrics snapshot (the
+// OpStats RPC) and aggregates them into a fleet-wide report: per-peer rows
+// sorted by address, cluster hit rate and pooled p50/p90/p99, the measured
+// cluster msgs/query — and, in member mode with enough observed traffic,
+// the paper's cost model prediction for that number alongside. Members that
+// fail to answer within ctx (or the call timeout) are skipped; the report
+// covers the reachable fleet and fails only when nobody answered.
+func (c *Client) ClusterReport(ctx context.Context) (FleetReport, error) {
+	if c.nd != nil {
+		return c.nd.ClusterReport(ctx)
+	}
+	return c.rc.ClusterReport(ctx)
 }
 
 // SlowQueries returns the member node's retained slow-query traces, newest

@@ -36,6 +36,7 @@ type config struct {
 	traceHook     func(QueryTrace)
 	slowThreshold time.Duration
 	slowCapacity  int
+	traceSampling *float64 // nil: default 1.0; pointer so explicit 0 disables
 
 	dataDir string
 	store   Store
@@ -150,6 +151,19 @@ func WithTraceHook(hook func(QueryTrace)) Option {
 	return func(c *config) { c.traceHook = hook }
 }
 
+// WithTraceSampling sets the fraction of traced queries whose trace also
+// propagates over the wire (default 1.0): sampled queries carry a trace ID
+// on every RPC leg, and the servers they touch return server-side spans —
+// index lookups, inserts, refreshes, content lookups, store appends — that
+// are stitched into the QueryTrace as legs with Peer set, turning a trace
+// into a cluster-wide causality tree. Zero disables wire propagation while
+// keeping client-side traces. Sampling only applies to queries that are
+// traced at all (WithTraceHook, WithSlowQueryLog, or a caller-supplied
+// trace); without those the query hot path allocates nothing regardless.
+func WithTraceSampling(rate float64) Option {
+	return func(c *config) { c.traceSampling = &rate }
+}
+
 // WithSlowQueryLog keeps the traces of the most recent queries that took
 // threshold or longer in a ring of the given capacity (0: 64), served on
 // the member node's debug endpoint under /traces and readable through
@@ -226,6 +240,11 @@ func (c *config) build() (node.Config, node.RemoteConfig, error) {
 	nodeCfg.TraceHook = c.traceHook
 	nodeCfg.SlowQueryThreshold = c.slowThreshold
 	nodeCfg.SlowQueryCapacity = c.slowCapacity
+	sampling := 1.0
+	if c.traceSampling != nil {
+		sampling = *c.traceSampling
+	}
+	nodeCfg.TraceSampling = sampling
 
 	remoteCfg := node.RemoteConfig{
 		Seeds:       c.seeds,
@@ -235,5 +254,6 @@ func (c *config) build() (node.Config, node.RemoteConfig, error) {
 		CallTimeout: c.callTimeout,
 	}
 	remoteCfg.TraceHook = c.traceHook
+	remoteCfg.TraceSampling = sampling
 	return nodeCfg, remoteCfg, nil
 }

@@ -1,0 +1,208 @@
+// Command pdht-top is the live fleet inspector of the partial DHT: it
+// bootstraps a membership view from any cluster member, polls every peer's
+// metrics registry over the OpStats RPC, and renders one row per live peer
+// — query rate, hit rate, latency tail, the adaptive tuner's keyTtl, WAL
+// size and each peer's own view of the fleet — under a summary line with
+// the cluster-wide aggregates the paper's cost model predicts
+// (msgs/query, pooled latency quantiles, tuner spread).
+//
+// Watch a running cluster:
+//
+//	pdht-top -seed 127.0.0.1:7070
+//
+// One machine-readable sample (for scripts and CI):
+//
+//	pdht-top -seed 127.0.0.1:7070 -once -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pdht/internal/node"
+	"pdht/internal/obs"
+	"pdht/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pdht-top:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with its environment abstracted, so the integration test can
+// drive the binary's real code path.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pdht-top", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		seed     = fs.String("seed", "", "comma-separated cluster members to bootstrap the membership view from (required)")
+		interval = fs.Duration("interval", 2*time.Second, "poll and redraw period")
+		once     = fs.Bool("once", false, "sample the fleet once, print, exit")
+		jsonOut  = fs.Bool("json", false, "machine-readable output: the fleet aggregates plus one JSON object per peer row")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *seed == "" {
+		return fmt.Errorf("-seed is required (any live cluster member)")
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("-interval %v must be positive", *interval)
+	}
+	seeds := strings.Split(*seed, ",")
+	for i := range seeds {
+		seeds[i] = strings.TrimSpace(seeds[i])
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rc, err := node.DialRemote(ctx, transport.NewTCP(), node.RemoteConfig{Seeds: seeds})
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+
+	sample := func() (obs.FleetReport, error) {
+		// Re-bootstrap the view each tick so peers that joined or died
+		// since the last sample appear/disappear from the table. A failed
+		// resync keeps the previous view; ClusterReport then covers
+		// whoever still answers.
+		_ = rc.Resync(ctx)
+		return rc.ClusterReport(ctx)
+	}
+
+	if *once {
+		fr, err := sample()
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return writeJSON(out, fr)
+		}
+		writeTable(out, fr, time.Now())
+		return nil
+	}
+
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		fr, err := sample()
+		if err != nil {
+			fmt.Fprintf(out, "pdht-top: %v (retrying in %v)\n", err, *interval)
+		} else if *jsonOut {
+			if err := writeJSON(out, fr); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprint(out, "\x1b[2J\x1b[H") // clear, home
+			writeTable(out, fr, time.Now())
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+// writeJSON emits one fleet sample as a single JSON document: the
+// aggregates under "fleet", then the peer rows one compact object per line
+// — greppable row-by-row, parseable as a whole.
+func writeJSON(out io.Writer, fr obs.FleetReport) error {
+	sum := fr
+	sum.Peers = nil
+	sb, err := json.Marshal(sum)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(out, "{\"fleet\":%s,\n\"peers\":[\n", sb); err != nil {
+		return err
+	}
+	for i, p := range fr.Peers {
+		pb, err := json.Marshal(p)
+		if err != nil {
+			return err
+		}
+		comma := ","
+		if i == len(fr.Peers)-1 {
+			comma = ""
+		}
+		if _, err := fmt.Fprintf(out, "%s%s\n", pb, comma); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintln(out, "]}")
+	return err
+}
+
+// writeTable renders the human view: a cluster summary line, the model
+// comparison when a fit is available, and one aligned row per peer.
+func writeTable(out io.Writer, fr obs.FleetReport, now time.Time) {
+	fmt.Fprintf(out, "pdht-top  %s  —  %d peers  %d queries  hit %.1f%%  %.2f msgs/query",
+		now.Format("15:04:05"), len(fr.Peers), fr.Queries, 100*fr.HitRate, fr.MsgsPerQuery)
+	if fr.PredictedMsgsPerQuery > 0 {
+		fmt.Fprintf(out, " (model %.2f)", fr.PredictedMsgsPerQuery)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "latency p50 %s  p90 %s  p99 %s   keyTtl %s",
+		fmtDur(fr.P50), fmtDur(fr.P90), fmtDur(fr.P99), fmtRange(fr.KeyTtlMin, fr.KeyTtlMax))
+	if fr.FMinMax > 0 {
+		fmt.Fprintf(out, "   fMin %.3g–%.3g", fr.FMinMin, fr.FMinMax)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "%-24s %8s %6s %9s %7s %9s %6s %7s\n",
+		"PEER", "QPS", "HIT%", "P99", "KEYTTL", "WAL", "ALIVE", "MSG/Q")
+	for _, p := range fr.Peers {
+		fmt.Fprintf(out, "%-24s %8.1f %6.1f %9s %7.0f %9s %6d %7.2f\n",
+			p.Addr, p.QPS, 100*p.HitRate, fmtDur(p.P99), p.KeyTtl,
+			fmtBytes(p.WALBytes), p.MembersAlive, p.MsgsPerQuery)
+	}
+}
+
+// fmtDur renders a latency with the precision its magnitude deserves.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}
+
+// fmtRange renders the min–max spread of a per-peer knob, collapsing an
+// agreed-upon value to one number.
+func fmtRange(lo, hi float64) string {
+	if lo == hi {
+		return fmt.Sprintf("%.0f", lo)
+	}
+	return fmt.Sprintf("%.0f–%.0f", lo, hi)
+}
+
+// fmtBytes humanizes a byte count; zero (memory-only peers) renders as "-".
+func fmtBytes(n int64) string {
+	switch {
+	case n == 0:
+		return "-"
+	case n < 1<<10:
+		return fmt.Sprintf("%dB", n)
+	case n < 1<<20:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	}
+}

@@ -90,4 +90,13 @@ func TestDocsNameShippedFlags(t *testing.T) {
 			t.Errorf("README documents -%s but cmd/pdht-node does not define it", flag)
 		}
 	}
+	top, err := os.ReadFile(filepath.Join("cmd", "pdht-top", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, flag := range []string{"seed", "interval", "once", "json"} {
+		if !strings.Contains(string(top), fmt.Sprintf("%q", flag)) {
+			t.Errorf("README documents -%s but cmd/pdht-top does not define it", flag)
+		}
+	}
 }

@@ -1,0 +1,110 @@
+// Fleet: cluster-wide observability through the public API — wire-propagated
+// trace spans stitched into one cross-peer timeline, and ClusterReport, the
+// fleet aggregation pdht-top renders live. A 3-member TCP cluster takes some
+// traffic; one traced query shows the server-side legs of every peer it
+// touched; then every member's metrics registry is polled over the OpStats
+// RPC and merged into one FleetReport — per-peer rows plus pooled cluster
+// quantiles and the measured msgs/query the paper's cost model prices.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"pdht"
+)
+
+// waitMembers blocks until every handle sees n members — the gossip
+// layer's convergence barrier, polled through the public API.
+func waitMembers(handles []*pdht.Client, n int) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		converged := true
+		for _, h := range handles {
+			if len(h.Members()) != n {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	log.Fatal("cluster did not converge")
+}
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// 1. A 3-member TCP cluster. The seed keeps a trace hook; sampling is
+	// on by default, so every traced query also carries its trace ID on the
+	// wire and collects server-side spans from the peers it touches.
+	var traces []pdht.QueryTrace
+	opts := []pdht.ClientOption{pdht.WithRoundDuration(100 * time.Millisecond)}
+	seed, err := pdht.Open(ctx, append(opts,
+		pdht.WithTraceHook(func(qt pdht.QueryTrace) { traces = append(traces, qt) }),
+		pdht.WithTraceSampling(1.0), // explicit, for the record: sample every traced query
+	)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer seed.Close()
+	handles := []*pdht.Client{seed}
+	for i := 0; i < 2; i++ {
+		m, err := pdht.Open(ctx, append(opts, pdht.WithSeeds(seed.Addr()))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer m.Close()
+		handles = append(handles, m)
+	}
+	waitMembers(handles, 3)
+
+	// 2. Publish a small corpus and drive queries from every member: cold
+	// queries walk probe → broadcast → insert, repeats hit the index.
+	keys := make([]uint64, 8)
+	for i := range keys {
+		keys[i] = pdht.QueryKey(pdht.Predicate{Element: "article", Value: fmt.Sprintf("a-%d", i)})
+		if err := handles[i%3].Publish(ctx, keys[i], uint64(2000+i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for i, k := range keys {
+			if _, err := handles[(round+i)%3].Query(ctx, k); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// 3. One stitched timeline: the seed's cold query crossed the wire, so
+	// its record carries legs from the answering peers themselves (the
+	// "@peer" lines) next to the client-side probes.
+	for _, qt := range traces {
+		if qt.Outcome == "broadcast" {
+			fmt.Println("=== one cross-peer timeline (server-side legs are @peer) ===")
+			fmt.Print(qt.Timeline())
+			break
+		}
+	}
+
+	// 4. The fleet view: every member polled over OpStats, merged into one
+	// report. pdht-top renders exactly this, live.
+	fr, err := seed.ClusterReport(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== ClusterReport: %d peers ===\n", len(fr.Peers))
+	fmt.Printf("fleet: %d queries, hit %.1f%%, %.2f msgs/query, p50 %v p99 %v, keyTtl %.0f–%.0f\n",
+		fr.Queries, 100*fr.HitRate, fr.MsgsPerQuery, fr.P50, fr.P99, fr.KeyTtlMin, fr.KeyTtlMax)
+	for _, p := range fr.Peers {
+		fmt.Printf("  %-22s qps %5.1f  hit %5.1f%%  p99 %8v  alive %d\n",
+			p.Addr, p.QPS, 100*p.HitRate, p.P99, p.MembersAlive)
+	}
+}

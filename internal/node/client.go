@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pdht/internal/gossip"
@@ -34,6 +35,12 @@ type RemoteConfig struct {
 	// stale-view re-sync. Called synchronously at the end of Query; keep
 	// it cheap.
 	TraceHook func(obs.QueryTrace)
+	// TraceSampling is the fraction of traced queries whose trace also
+	// propagates over the wire, stitching server-side spans from the
+	// probed members into the QueryTrace. Zero — the zero-value default,
+	// unlike the serving node's DefaultConfig — keeps traces client-side;
+	// the public client layer sets 1.0 unless WithTraceSampling overrides.
+	TraceSampling float64
 }
 
 func (c *RemoteConfig) setDefaults() {
@@ -77,6 +84,9 @@ func (c RemoteConfig) validate() error {
 type RemoteClient struct {
 	cfg  RemoteConfig
 	pool *pool
+
+	// traceSeq drives wire-trace sampling, as on the serving node.
+	traceSeq atomic.Uint64
 
 	mu     sync.Mutex
 	view   *view
@@ -131,11 +141,25 @@ func (c *RemoteClient) currentView() (*view, error) {
 	return c.view, nil
 }
 
-// callWithin bounds one RPC by the caller's context and CallTimeout.
+// callWithin bounds one RPC by the caller's context and CallTimeout. When
+// the caller's trace has a wire ID, the request carries it and server-side
+// spans in the reply are stitched into the trace — same contract as the
+// serving node's callWithin.
 func (c *RemoteClient) callWithin(ctx context.Context, addr string, req transport.Request) (transport.Response, error) {
-	ctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 	defer cancel()
-	return c.pool.call(ctx, addr, req)
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		if id := tr.WireID(); id != 0 {
+			req.TraceID = id
+			start := time.Now()
+			resp, err := c.pool.call(cctx, addr, req)
+			if err == nil {
+				tr.AddSpans(addr, start, resp.Spans)
+			}
+			return resp, err
+		}
+	}
+	return c.pool.call(cctx, addr, req)
 }
 
 // Resync refetches the membership table from any reachable peer — current
@@ -261,6 +285,9 @@ func (c *RemoteClient) Query(ctx context.Context, key uint64) (QueryResult, erro
 	if owned {
 		tr = obs.NewTrace(key)
 		ctx = obs.WithTrace(ctx, tr)
+	}
+	if tr != nil && tr.WireID() == 0 {
+		tr.SetWireID(sampleWireID(&c.traceSeq, c.cfg.TraceSampling))
 	}
 	res, err := c.query(ctx, key)
 	if owned {
@@ -700,4 +727,31 @@ func (c *RemoteClient) PublishMany(ctx context.Context, pairs []KV) error {
 		return fmt.Errorf("%w: no replica of key %d answered", ErrNoMembers, pairs[i].Key)
 	}
 	return nil
+}
+
+// ClusterReport polls every member of the client's view for a metrics
+// snapshot over OpStats and aggregates them into a fleet-wide report —
+// what pdht-top renders. Members that fail to answer within the context
+// (or CallTimeout) are skipped; the report covers the reachable fleet.
+// Unlike a member node's ClusterReport, no model prediction is attached:
+// the client observes no query stream of its own to fit one to.
+func (c *RemoteClient) ClusterReport(ctx context.Context) (obs.FleetReport, error) {
+	if err := ctx.Err(); err != nil {
+		return obs.FleetReport{}, ctxErr(err)
+	}
+	v, err := c.currentView()
+	if err != nil {
+		return obs.FleetReport{}, err
+	}
+	snaps := fetchFleet(ctx, v.members, func(ctx context.Context, addr string) (obs.Snapshot, error) {
+		resp, err := c.callWithin(ctx, addr, transport.Request{Op: transport.OpStats})
+		return statsFromResponse(addr, resp, err)
+	})
+	if len(snaps) == 0 {
+		if err := ctx.Err(); err != nil {
+			return obs.FleetReport{}, ctxErr(err)
+		}
+		return obs.FleetReport{}, ErrNoMembers
+	}
+	return obs.BuildFleetReport(snaps), nil
 }

@@ -1,0 +1,129 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pdht/internal/obs"
+	"pdht/internal/transport"
+)
+
+// Fleet aggregation: the node-side half of Client.ClusterReport. Every
+// member is asked for a registry snapshot over the OpStats RPC (self is
+// snapshotted directly), the per-peer snapshots merge through obs.Merge,
+// and the paper's headline comparison — measured cluster msgs/query against
+// SolveTTL's prediction — rides along from the local model fit.
+
+// sampleWireID decides whether one traced query propagates its trace over
+// the wire, and mints its cluster-wide ID when it does. One atomic add plus
+// a splitmix64 finalizer — no allocations, no rand locks — so per-query
+// sampling is cheap enough to sit next to trace creation. Returns 0
+// (meaning "client-side only") for unsampled queries.
+func sampleWireID(seq *atomic.Uint64, rate float64) uint64 {
+	if rate <= 0 {
+		return 0
+	}
+	id := mix64(seq.Add(1))
+	if id == 0 {
+		id = 1 // zero means untraced on the wire
+	}
+	if rate >= 1 {
+		return id
+	}
+	// The mixed sequence is uniform over uint64; its top 53 bits make the
+	// sampling coin.
+	if float64(id>>11)/float64(1<<53) < rate {
+		return id
+	}
+	return 0
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ClusterReport polls every member of the current view for a metrics
+// snapshot and aggregates them into a fleet-wide report: per-peer rows,
+// cluster hit rate and pooled latency quantiles, the measured cluster
+// msgs/query, and — when this node's traffic supports a model fit — the
+// cost model's prediction for the same number. Peers that fail to answer
+// within the context (or CallTimeout) are skipped; the report covers the
+// reachable fleet. Fails only when no peer answered at all.
+func (n *Node) ClusterReport(ctx context.Context) (obs.FleetReport, error) {
+	if err := ctx.Err(); err != nil {
+		return obs.FleetReport{}, ctxErr(err)
+	}
+	snaps := fetchFleet(ctx, n.Members(), func(ctx context.Context, addr string) (obs.Snapshot, error) {
+		if addr == n.cfg.Addr {
+			s := n.reg.Snapshot()
+			s.Addr = addr
+			return s, nil
+		}
+		return n.fetchStats(ctx, addr)
+	})
+	if len(snaps) == 0 {
+		return obs.FleetReport{}, fmt.Errorf("node: cluster report: no member answered")
+	}
+	fr := obs.BuildFleetReport(snaps)
+	if m := n.Report().Model; m != nil {
+		fr.PredictedMsgsPerQuery = m.PredictedMsgsPerQuery
+	}
+	return fr, nil
+}
+
+// fetchStats asks one peer for its registry snapshot.
+func (n *Node) fetchStats(ctx context.Context, addr string) (obs.Snapshot, error) {
+	resp, err := n.callWithin(ctx, addr, transport.Request{Op: transport.OpStats, From: n.cfg.Addr})
+	return statsFromResponse(addr, resp, err)
+}
+
+// statsFromResponse validates one OpStats reply.
+func statsFromResponse(addr string, resp transport.Response, err error) (obs.Snapshot, error) {
+	switch {
+	case err != nil:
+		return obs.Snapshot{}, err
+	case resp.Err != "":
+		return obs.Snapshot{}, fmt.Errorf("node: stats from %s: %s", addr, resp.Err)
+	case resp.Stats == nil:
+		return obs.Snapshot{}, fmt.Errorf("node: stats from %s: empty reply", addr)
+	}
+	s := *resp.Stats
+	if s.Addr == "" {
+		s.Addr = addr
+	}
+	return s, nil
+}
+
+// fetchFleet polls addrs concurrently through fetch and returns the
+// snapshots that arrived. Shared by the serving node and the client-only
+// RemoteClient.
+func fetchFleet(ctx context.Context, addrs []string, fetch func(context.Context, string) (obs.Snapshot, error)) []obs.Snapshot {
+	var (
+		mu    sync.Mutex
+		snaps []obs.Snapshot
+		wg    sync.WaitGroup
+	)
+	for _, addr := range addrs {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			s, err := fetch(ctx, addr)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			snaps = append(snaps, s)
+			mu.Unlock()
+		}(addr)
+	}
+	wg.Wait()
+	return snaps
+}

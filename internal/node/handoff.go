@@ -1,6 +1,8 @@
 package node
 
 import (
+	"context"
+
 	"pdht/internal/core"
 	"pdht/internal/replica"
 	"pdht/internal/stats"
@@ -39,12 +41,26 @@ func planHandoff(old, next *view, self string, entries []core.Entry, now int) []
 // goroutine (registered in n.handoffs before spawn): pushes are plain
 // inserts with the remaining TTL, so a lost push degrades to the pre-
 // handoff behavior — the key's next query misses and re-inserts (or a later
-// hit read-repairs it). Pushes are grouped by destination, and a
+// hit read-repairs it). Every push is bounded by CallTimeout and aborted by
+// node shutdown — a destination that blackholes traffic cannot pin the
+// pusher goroutine past Close. Pushes are grouped by destination, and a
 // destination is abandoned on its first transport failure: a newcomer that
 // crashed mid-transition costs one failed call, not one CallTimeout per
 // entry it was owed.
 func (n *Node) runHandoff(old, next *view, entries []core.Entry) {
 	defer n.handoffs.Done()
+	// The pushes outlive any request, so the deadline comes from the
+	// node's own lifecycle: a context cancelled when n.stop closes, with
+	// callWithin capping each push at CallTimeout on top.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-n.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
 	plan := planHandoff(old, next, n.cfg.Addr, entries, n.now())
 	dests := make([]string, 0, 4)
 	byDest := make(map[string][]replica.Push)
@@ -56,26 +72,30 @@ func (n *Node) runHandoff(old, next *view, entries []core.Entry) {
 	}
 	for _, dest := range dests {
 		for _, p := range byDest[dest] {
-			select {
-			case <-n.stop:
+			if ctx.Err() != nil {
 				return
-			default:
 			}
 			n.m.handoffMsgs.Add(1)
 			n.counters.Inc(stats.MsgControl)
-			resp, err := n.call(p.To, transport.Request{
+			resp, err := n.callWithin(ctx, p.To, transport.Request{
 				Op: transport.OpInsert, Key: uint64(p.Key), Value: p.Value, TTL: p.TTL,
 			})
 			if err != nil {
+				n.m.handoffPushFailed.Add(1)
 				break // unreachable; its keys degrade to broadcast-on-miss
 			}
 			if resp.OK {
+				n.m.handoffPushOK.Add(1)
 				n.m.handoffKeys.Add(1)
 				if n.persist != nil {
 					// Audit trail only: the holder keeps its copy (the
 					// planner's no-deletion rule), so replay ignores these.
 					_ = n.persist.Append(store.Record{Op: store.OpHandoff, Key: uint64(p.Key), Value: p.Value})
 				}
+			} else {
+				// The peer answered but refused (full cache, malformed
+				// TTL): the push did not land.
+				n.m.handoffPushFailed.Add(1)
 			}
 		}
 	}

@@ -19,6 +19,7 @@ type nodeMetrics struct {
 	unanswered, rpcFailures                   *obs.Counter
 	staleViews                                *obs.Counter
 	handoffMsgs, handoffKeys                  *obs.Counter
+	handoffPushOK, handoffPushFailed          *obs.Counter
 	readRepairs                               *obs.Counter
 	gatedInserts, retunes                     *obs.Counter
 	indexSize                                 *obs.Gauge
@@ -51,6 +52,10 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 			"Entry pushes sent on view changes (the replica repair pass)."),
 		handoffKeys: reg.Counter("pdht_node_handoff_keys_total",
 			"Handed-off entries the new owner accepted."),
+		handoffPushOK: reg.Counter("pdht_node_handoff_push_ok_total",
+			"Handoff pushes the destination accepted."),
+		handoffPushFailed: reg.Counter("pdht_node_handoff_push_failed_total",
+			"Handoff pushes that failed (transport error, timeout, or peer refusal) — a rising rate means repair traffic is getting stuck."),
 		readRepairs: reg.Counter("pdht_node_read_repairs_total",
 			"Replica-set members re-inserted on a hit after answering a refresh without the entry."),
 		gatedInserts: reg.Counter("pdht_node_gated_inserts_total",
@@ -86,6 +91,12 @@ func (n *Node) registerGauges(reg *obs.Registry) {
 	reg.GaugeFunc("pdht_node_stored_keys",
 		"Keys in the local content store (what broadcasts can resolve here).",
 		func() float64 { return float64(n.StoredKeys()) })
+	reg.GaugeFunc("pdht_node_uptime_seconds",
+		"Seconds since this node's epoch — the denominator of fleet-report QPS.",
+		func() float64 { return time.Since(n.epoch).Seconds() })
+	reg.GaugeFunc("pdht_node_keyttl_rounds",
+		"Expiration time attached to inserts and refreshes from here on: the tuner's recommendation when adaptive, the static knob otherwise.",
+		func() float64 { return float64(n.keyTtl()) })
 	for _, c := range stats.Classes() {
 		c := c
 		reg.GaugeFunc("pdht_node_messages_total",

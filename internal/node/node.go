@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pdht/internal/adapt"
@@ -90,6 +91,15 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryCapacity is the ring size of the slow-query log. Default 64.
 	SlowQueryCapacity int
+	// TraceSampling is the fraction of traced queries whose trace also
+	// propagates over the wire: sampled queries carry a TraceID on every
+	// RPC leg, and instrumented servers return server-side spans that are
+	// stitched into the QueryTrace (legs with Peer set). It only applies
+	// to queries that are traced at all (TraceHook, slow-query log, or a
+	// caller-supplied trace) — with none of those, the hot path allocates
+	// nothing regardless of this knob. DefaultConfig sets 1.0; zero
+	// disables wire propagation while keeping client-side traces.
+	TraceSampling float64
 	// Store is the persistence plane (internal/store): every index and
 	// content mutation is journaled through it, and New replays its
 	// recovered state — index entries re-admitted at their remaining TTL,
@@ -113,6 +123,7 @@ func DefaultConfig() Config {
 		RoundDuration: time.Second,
 		CallTimeout:   2 * time.Second,
 		FloodOnMiss:   true,
+		TraceSampling: 1,
 	}
 }
 
@@ -173,6 +184,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("node: negative SlowQueryThreshold")
 	case c.SlowQueryCapacity < 0:
 		return fmt.Errorf("node: negative SlowQueryCapacity")
+	case c.TraceSampling < 0 || c.TraceSampling > 1:
+		return fmt.Errorf("node: TraceSampling %v must be a probability", c.TraceSampling)
 	}
 	return nil
 }
@@ -220,6 +233,11 @@ type Node struct {
 	slowLog   *obs.SlowLog
 	traceHook func(obs.QueryTrace)
 	counters  stats.Counters
+
+	// traceSeq drives wire-trace ID generation and sub-rate sampling
+	// decisions — one atomic add per *traced* query, nothing on the
+	// untraced hot path.
+	traceSeq atomic.Uint64
 
 	stop      chan struct{}
 	done      sync.WaitGroup
@@ -530,9 +548,73 @@ func (n *Node) Membership() []gossip.Member {
 
 // ---- RPC server side ----
 
-// handle dispatches one inbound request. It runs on a transport goroutine;
-// everything it touches is behind mu.
+// handle dispatches one inbound request, recording server-side spans when
+// the request belongs to a sampled cluster-wide trace. The common case —
+// TraceID zero — is a direct tail call into serve; a time.Now pair and a
+// small span slice are paid only by traced requests.
 func (n *Node) handle(req transport.Request) transport.Response {
+	if req.TraceID == 0 {
+		return n.serve(req)
+	}
+	start := time.Now()
+	resp := n.serve(req)
+	resp.Spans = n.serverSpans(req, resp, time.Since(start))
+	return resp
+}
+
+// serverSpans describes what serve just did for the querying peer's
+// causality tree: the operation's server-side leg plus, when the mutation
+// was journaled, the store-append sub-step. Offsets are relative to request
+// receipt (see obs.Span).
+func (n *Node) serverSpans(req transport.Request, resp transport.Response, d time.Duration) []obs.Span {
+	var name, outcome string
+	switch req.Op {
+	case transport.OpQuery:
+		name, outcome = "index-lookup", hitMiss(resp.Found)
+	case transport.OpInsert:
+		name, outcome = "insert", storedRefused(resp.OK)
+	case transport.OpRefresh:
+		name = "refresh"
+		if resp.OK {
+			outcome = "ok"
+		} else {
+			outcome = "missing"
+		}
+	case transport.OpBroadcast:
+		name, outcome = "content-lookup", hitMiss(resp.Found)
+	case transport.OpBatch:
+		name, outcome = "batch", fmt.Sprintf("%d items", len(req.Batch))
+	default:
+		return nil // gossip and stats traffic is not part of query traces
+	}
+	switch resp.Err {
+	case "":
+	case transport.StaleView:
+		outcome = "stale-view"
+	default:
+		outcome = "error"
+	}
+	spans := []obs.Span{{Name: name, Outcome: outcome, Duration: d}}
+	if n.persist != nil && resp.Err == "" && resp.OK &&
+		(req.Op == transport.OpInsert || req.Op == transport.OpRefresh) {
+		// The journal append happened inside the op, under mu; it is shown
+		// as an instantaneous sub-step at the op's end.
+		spans = append(spans, obs.Span{Name: "store-append", Outcome: "ok", Start: d})
+	}
+	return spans
+}
+
+// storedRefused is the insert-leg outcome label.
+func storedRefused(ok bool) string {
+	if ok {
+		return "stored"
+	}
+	return "refused"
+}
+
+// serve executes one inbound request. It runs on a transport goroutine;
+// everything it touches is behind mu.
+func (n *Node) serve(req transport.Request) transport.Response {
 	n.mu.Lock()
 	ready := n.view != nil && n.gossip != nil
 	var hash uint64
@@ -597,6 +679,10 @@ func (n *Node) handle(req transport.Request) transport.Response {
 		return transport.Response{OK: ok, Gossip: &reply}
 	case transport.OpBatch:
 		return n.handleBatch(req)
+	case transport.OpStats:
+		snap := n.reg.Snapshot()
+		snap.Addr = n.cfg.Addr
+		return transport.Response{OK: true, Stats: &snap}
 	default:
 		return transport.Response{Err: fmt.Sprintf("unknown op %v", req.Op)}
 	}
@@ -604,24 +690,27 @@ func (n *Node) handle(req transport.Request) transport.Response {
 
 // ---- RPC client side ----
 
-// call performs one outbound RPC with the configured timeout and no caller
-// context — background work (handoff pushes) that outlives any request.
-// The request path never uses it: every request-originated RPC routes
-// through callWithin so the caller's deadline and cancellation propagate.
-func (n *Node) call(addr string, req transport.Request) (transport.Response, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
-	defer cancel()
-	return n.callCtx(ctx, addr, req)
-}
-
 // callWithin performs one outbound RPC bounded by both the caller's
 // context and the configured per-call timeout: a cancelled request aborts
 // its in-flight legs, and a patient caller still cannot hang on one dead
-// peer longer than CallTimeout.
+// peer longer than CallTimeout. When the caller's trace has a wire ID, the
+// request carries it and any server-side spans in the reply are stitched
+// into the trace under the callee's address.
 func (n *Node) callWithin(ctx context.Context, addr string, req transport.Request) (transport.Response, error) {
-	ctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
+	cctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
 	defer cancel()
-	return n.callCtx(ctx, addr, req)
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		if id := tr.WireID(); id != 0 {
+			req.TraceID = id
+			start := time.Now()
+			resp, err := n.callCtx(cctx, addr, req)
+			if err == nil {
+				tr.AddSpans(addr, start, resp.Spans)
+			}
+			return resp, err
+		}
+	}
+	return n.callCtx(cctx, addr, req)
 }
 
 // callCtx is call with the deadline under caller control — the membership
@@ -766,6 +855,11 @@ func (n *Node) Query(ctx context.Context, key uint64) (QueryResult, error) {
 	if owned {
 		tr = obs.NewTrace(key)
 		ctx = obs.WithTrace(ctx, tr)
+	}
+	if tr != nil && tr.WireID() == 0 {
+		// Cluster-wide propagation is sampled per traced query; an
+		// unsampled (or caller-disabled) trace stays client-side only.
+		tr.SetWireID(sampleWireID(&n.traceSeq, n.cfg.TraceSampling))
 	}
 	start := time.Now()
 	res, err := n.query(ctx, key)

@@ -98,6 +98,10 @@ type ModelComparison struct {
 	// (live entries × members ÷ repl).
 	MeasuredHitRate   float64
 	MeasuredIndexSize float64
+	// PredictedMsgsPerQuery is eq. 17's total cluster cost divided by the
+	// cluster query rate (NumPeers × fQry): the model's prediction for the
+	// measured msgs/query a FleetReport aggregates.
+	PredictedMsgsPerQuery float64
 }
 
 // Report assembles the node's current self-measurement.
@@ -186,7 +190,7 @@ func (n *Node) modelComparison(r Report, members, repl, distinct int, counts []i
 	if err != nil {
 		return nil
 	}
-	return &ModelComparison{
+	mc := &ModelComparison{
 		Peers:              members,
 		DistinctKeys:       distinct,
 		Alpha:              alpha,
@@ -197,6 +201,10 @@ func (n *Node) modelComparison(r Report, members, repl, distinct int, counts []i
 		MeasuredHitRate:    r.HitRate,
 		MeasuredIndexSize:  float64(r.IndexedKeys) * float64(members) / float64(repl),
 	}
+	if clusterQPS := float64(members) * p.FQry; clusterQPS > 0 {
+		mc.PredictedMsgsPerQuery = sol.Cost / clusterQPS
+	}
+	return mc
 }
 
 // String renders the report as the multi-line status block the CLI prints.

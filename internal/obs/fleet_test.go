@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fleetSnap builds one peer's snapshot from a real registry carrying the
+// series BuildFleetReport reads, with constant gauge sources so the result
+// is deterministic. hitLat/missLat land in the per-outcome latency
+// histograms on an explicit ladder shared by every test peer.
+func fleetSnap(addr string, queries, hits uint64, msgs, uptime, keyTtl, fMin, wal, alive float64, hitLat, missLat []time.Duration) Snapshot {
+	r := NewRegistry()
+	r.Counter(fleetQueries, "q").Add(queries)
+	r.Counter(fleetHits, "h").Add(hits)
+	r.GaugeFunc(fleetMessages, "m", func() float64 { return msgs })
+	r.GaugeFunc(fleetUptime, "u", func() float64 { return uptime })
+	r.GaugeFunc(fleetKeyTtl, "t", func() float64 { return keyTtl })
+	r.GaugeFunc(fleetFMin, "f", func() float64 { return fMin })
+	r.GaugeFunc(fleetWALBytes, "w", func() float64 { return wal })
+	r.GaugeFunc(fleetAlive, "a", func() float64 { return alive })
+	ladder := []float64{0.001, 0.01, 0.1}
+	hh := r.Histogram(fleetQuerySeconds, "l", ladder, L("outcome", "hit"))
+	for _, d := range hitLat {
+		hh.Observe(d)
+	}
+	mh := r.Histogram(fleetQuerySeconds, "l", ladder, L("outcome", "miss"))
+	for _, d := range missLat {
+		mh.Observe(d)
+	}
+	s := r.Snapshot()
+	s.Addr = addr
+	return s
+}
+
+// fleetTestSnaps is the three-peer fixture the merge and golden tests
+// share: one adaptive durable peer, one static memory-only peer, and one
+// peer whose tuner has not fitted yet (fMin = NaN, exercising the Special
+// encoding end to end).
+func fleetTestSnaps() []Snapshot {
+	ms := func(n time.Duration) time.Duration { return n * time.Millisecond }
+	return []Snapshot{
+		fleetSnap("127.0.0.1:7090", 600, 480, 1500, 300, 118, 0.25, 4096, 3,
+			[]time.Duration{ms(2), ms(2), ms(5)}, []time.Duration{ms(50)}),
+		fleetSnap("127.0.0.1:7091", 300, 120, 1200, 300, 120, 0, 0, 3,
+			[]time.Duration{ms(2)}, []time.Duration{ms(50), ms(50)}),
+		fleetSnap("127.0.0.1:7092", 100, 25, 800, 200, 120, math.NaN(), 0, 2,
+			nil, []time.Duration{ms(50)}),
+	}
+}
+
+// TestMergeOrderIndependent pins the algebra ClusterReport depends on:
+// merging per-peer snapshots is commutative and associative, so every
+// member of a fleet computes the identical fleet view no matter which
+// peers answered first.
+func TestMergeOrderIndependent(t *testing.T) {
+	a, b, c := fleetTestSnaps()[0], fleetTestSnaps()[1], fleetTestSnaps()[2]
+	flat := Merge(a, b, c)
+	perms := map[string]Snapshot{
+		"cba":      Merge(c, b, a),
+		"bac":      Merge(b, a, c),
+		"(ab)c":    Merge(Merge(a, b), c),
+		"a(bc)":    Merge(a, Merge(b, c)),
+		"(cb)a":    Merge(Merge(c, b), a),
+		"((ab)c)∅": Merge(Merge(Merge(a, b), c)),
+	}
+	for name, got := range perms {
+		if !reflect.DeepEqual(flat.Points, got.Points) {
+			t.Errorf("Merge %s diverged from Merge(a,b,c):\ngot  %+v\nwant %+v", name, got.Points, flat.Points)
+		}
+	}
+	// Spot-check the sums behind the equality.
+	if q, _ := flat.Value(fleetQueries); q != 1000 {
+		t.Errorf("merged queries = %v, want 1000", q)
+	}
+	if h, _ := flat.Value(fleetHits); h != 625 {
+		t.Errorf("merged hits = %v, want 625", h)
+	}
+	if f, _ := flat.Value(fleetFMin); !math.IsNaN(f) {
+		t.Errorf("merged fMin = %v, want NaN (one peer has not fitted)", f)
+	}
+}
+
+// TestMergeMismatchedLadderDegradesStickily: histograms with different
+// bucket ladders cannot pool bucket-wise; the merge must keep exact
+// Sum/Count totals, drop the buckets, and reach the same degraded point
+// from every merge order.
+func TestMergeMismatchedLadderDegradesStickily(t *testing.T) {
+	mk := func(bounds []float64, obs ...time.Duration) Snapshot {
+		r := NewRegistry()
+		h := r.Histogram("pdht_x_seconds", "x", bounds)
+		for _, d := range obs {
+			h.Observe(d)
+		}
+		return r.Snapshot()
+	}
+	a := mk([]float64{0.001, 0.01}, 2*time.Millisecond)
+	b := mk([]float64{0.001}, 500*time.Microsecond)
+	c := mk([]float64{0.001, 0.01}, 20*time.Millisecond)
+
+	want := Merge(a, b, c)
+	if p := want.Points[0]; p.Bounds != nil || p.Counts != nil {
+		t.Fatalf("mismatched ladders kept a bucket vector: %+v", p)
+	}
+	if p := want.Points[0]; p.Count != 3 {
+		t.Errorf("degraded Count = %d, want 3", p.Count)
+	}
+	for name, got := range map[string]Snapshot{
+		"c,a,b":   Merge(c, a, b),
+		"(a,c),b": Merge(Merge(a, c), b), // a,c pool bucket-wise first, then degrade
+		"(b,c),a": Merge(Merge(b, c), a),
+	} {
+		if !reflect.DeepEqual(want.Points, got.Points) {
+			t.Errorf("Merge %s diverged:\ngot  %+v\nwant %+v", name, got.Points, want.Points)
+		}
+	}
+}
+
+// TestBuildFleetReportOrderIndependent: the report — rows, aggregates and
+// pooled quantiles — is identical for every ordering of the per-peer
+// snapshots.
+func TestBuildFleetReportOrderIndependent(t *testing.T) {
+	snaps := fleetTestSnaps()
+	want := BuildFleetReport(snaps)
+	for _, perm := range [][]int{{2, 1, 0}, {1, 2, 0}, {2, 0, 1}} {
+		shuffled := make([]Snapshot, len(snaps))
+		for i, j := range perm {
+			shuffled[i] = snaps[j]
+		}
+		got := BuildFleetReport(shuffled)
+		if !reflect.DeepEqual(want.Peers, got.Peers) {
+			t.Errorf("perm %v: rows diverged:\ngot  %+v\nwant %+v", perm, got.Peers, want.Peers)
+		}
+		if got.P50 != want.P50 || got.P90 != want.P90 || got.P99 != want.P99 {
+			t.Errorf("perm %v: quantiles diverged: got %v/%v/%v want %v/%v/%v",
+				perm, got.P50, got.P90, got.P99, want.P50, want.P90, want.P99)
+		}
+		if got.MsgsPerQuery != want.MsgsPerQuery || got.HitRate != want.HitRate {
+			t.Errorf("perm %v: aggregates diverged", perm)
+		}
+	}
+	// The aggregates themselves.
+	if want.Queries != 1000 || want.Hits != 625 {
+		t.Errorf("fleet totals = %d/%d, want 1000/625", want.Queries, want.Hits)
+	}
+	if want.HitRate != 0.625 {
+		t.Errorf("fleet hit rate = %v, want 0.625", want.HitRate)
+	}
+	if want.MsgsPerQuery != 3.5 {
+		t.Errorf("fleet msgs/query = %v, want 3.5 (3500 msgs / 1000 queries)", want.MsgsPerQuery)
+	}
+	if want.KeyTtlMin != 118 || want.KeyTtlMax != 120 {
+		t.Errorf("keyTtl spread = %v–%v, want 118–120", want.KeyTtlMin, want.KeyTtlMax)
+	}
+	// The NaN fMin peer must not poison the spread; only the fitted peer
+	// counts.
+	if want.FMinMin != 0.25 || want.FMinMax != 0.25 {
+		t.Errorf("fMin spread = %v–%v, want 0.25–0.25", want.FMinMin, want.FMinMax)
+	}
+}
+
+// TestFleetReportJSONGolden pins the report's wire shape — the contract
+// pdht-top -once -json consumers script against — byte for byte.
+func TestFleetReportJSONGolden(t *testing.T) {
+	fr := BuildFleetReport(fleetTestSnaps())
+	fr.PredictedMsgsPerQuery = 3.25 // the node layer's model fit rides along
+	got, err := json.MarshalIndent(fr, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "fleet_report.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("FleetReport JSON diverged from golden file;\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSnapshotJSONRoundTripsSpecials: NaN and ±Inf gauge samples — a
+// tuner's fMin before its first fit — must survive the OpStats JSON hop.
+func TestSnapshotJSONRoundTripsSpecials(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("pdht_adapt_fmin", "f", func() float64 { return math.NaN() })
+	r.GaugeFunc("pdht_x_up", "u", func() float64 { return math.Inf(1) })
+	r.GaugeFunc("pdht_x_down", "d", func() float64 { return math.Inf(-1) })
+	r.GaugeFunc("pdht_x_plain", "p", func() float64 { return 42 })
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot with non-finite gauges did not marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := back.Value("pdht_adapt_fmin"); !ok || !math.IsNaN(v) {
+		t.Errorf("fMin round-tripped to %v, want NaN", v)
+	}
+	if v, _ := back.Value("pdht_x_up"); !math.IsInf(v, 1) {
+		t.Errorf("+Inf round-tripped to %v", v)
+	}
+	if v, _ := back.Value("pdht_x_down"); !math.IsInf(v, -1) {
+		t.Errorf("-Inf round-tripped to %v", v)
+	}
+	if v, _ := back.Value("pdht_x_plain"); v != 42 {
+		t.Errorf("plain gauge round-tripped to %v, want 42", v)
+	}
+}

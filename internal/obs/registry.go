@@ -32,8 +32,8 @@ import (
 // exposition. Labels are fixed for the metric's lifetime; there is no
 // dynamic label lookup on the hot path.
 type Label struct {
-	Name  string
-	Value string
+	Name  string `json:"name"`
+	Value string `json:"value"`
 }
 
 // L is shorthand for building a Label.
@@ -71,11 +71,13 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// DefBuckets are the default latency histogram bounds, in seconds: 50µs to
-// 10s in a coarse exponential ladder. The RPC hot path sits in the
-// microsecond decades, churn recovery and timeouts in the second decades;
-// both ends must resolve.
+// DefBuckets are the default latency histogram bounds, in seconds: 1µs to
+// 10s in a coarse exponential ladder. The memory-transport hot path lands
+// in the single-digit microseconds, TCP RPCs in the tens-to-hundreds, churn
+// recovery and timeouts in the second decades; all three ends must resolve
+// or test/bench quantiles collapse into one bucket.
 var DefBuckets = []float64{
+	.000001, .0000025, .000005, .00001, .000025,
 	.00005, .0001, .00025, .0005, .001, .0025, .005, .01,
 	.025, .05, .1, .25, .5, 1, 2.5, 5, 10,
 }

@@ -36,6 +36,12 @@ func goldenRegistry() *Registry {
 	h.Observe(2 * time.Millisecond)
 	h.Observe(2 * time.Millisecond)
 	h.Observe(time.Second) // overflows the ladder into +Inf
+	// A DefBuckets histogram pins the default ladder itself — including the
+	// sub-millisecond bounds loopback RPCs actually land in.
+	d := r.Histogram("pdht_transport_request_seconds", "RPC round-trip latency.", nil)
+	d.Observe(3 * time.Microsecond)
+	d.Observe(40 * time.Microsecond)
+	d.Observe(300 * time.Microsecond)
 	return r
 }
 

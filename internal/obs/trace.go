@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,6 +26,31 @@ type Leg struct {
 	// elapsed time (zero for instantaneous decisions).
 	Start    time.Duration `json:"start"`
 	Duration time.Duration `json:"duration"`
+	// Peer is set when the leg was recorded *server-side* by a remote
+	// node and shipped back in the RPC response: the recording peer's
+	// address. Empty for legs the querying client recorded itself. A
+	// failover trace distinguishes "the client probed the backup" (Target
+	// set, Peer empty) from "the backup looked the key up in its own
+	// index" (Peer set) through this field.
+	Peer string `json:"peer,omitempty"`
+}
+
+// Span is one server-side step of a remote operation, recorded by the
+// serving node and returned in the RPC response when the request carried a
+// TraceID. Start is the offset from the moment the server received the
+// request, so the client can splice the span into its own timeline using
+// only the call's start time — no cross-host clock comparison.
+type Span struct {
+	// Name identifies the step: "index-lookup", "insert", "refresh",
+	// "content-lookup", "batch", "store-append".
+	Name string `json:"name"`
+	// Outcome is the step's result: "hit", "miss", "stored", "refused",
+	// "ok", "missing", "stale-view", ...
+	Outcome string `json:"outcome"`
+	// Start is the offset from request receipt; Duration the step's own
+	// elapsed time (zero for instantaneous sub-steps).
+	Start    time.Duration `json:"start,omitempty"`
+	Duration time.Duration `json:"dur,omitempty"`
 }
 
 // QueryTrace is one finished query's causality record: the key, the
@@ -48,6 +74,11 @@ func (t QueryTrace) Timeline() string {
 	fmt.Fprintf(&b, "query key=%d outcome=%s total=%s\n", t.Key, t.Outcome, t.Duration)
 	for _, l := range t.Legs {
 		b.WriteString("  ")
+		if l.Peer != "" {
+			// Server-side leg: indent one step under the client leg that
+			// carried it and name the peer that recorded it.
+			fmt.Fprintf(&b, "  @%s ", l.Peer)
+		}
 		b.WriteString(l.Name)
 		if l.Target != "" {
 			fmt.Fprintf(&b, " %s", l.Target)
@@ -70,6 +101,12 @@ func (t QueryTrace) Timeline() string {
 type Trace struct {
 	key   uint64
 	begin time.Time
+
+	// wireID, when nonzero, is the sampled cluster-wide identifier the
+	// query's RPCs carry in Request.TraceID: instrumented servers see it,
+	// record server-side spans, and ship them back for stitching. Written
+	// once before the first RPC leg, read concurrently afterwards.
+	wireID atomic.Uint64
 
 	mu   sync.Mutex
 	legs []Leg
@@ -100,6 +137,42 @@ func (t *Trace) Mark(name, target, outcome string) {
 	l := Leg{Name: name, Target: target, Outcome: outcome, Start: time.Since(t.begin)}
 	t.mu.Lock()
 	t.legs = append(t.legs, l)
+	t.mu.Unlock()
+}
+
+// SetWireID marks the trace for cluster-wide propagation: every RPC the
+// query issues from now on carries id in Request.TraceID, and server-side
+// spans returned in responses are stitched in via AddSpans. A zero id is
+// ignored — zero on the wire means "not traced".
+func (t *Trace) SetWireID(id uint64) {
+	if id != 0 {
+		t.wireID.Store(id)
+	}
+}
+
+// WireID returns the propagation identifier, zero when the trace is local
+// only (unsampled).
+func (t *Trace) WireID() uint64 { return t.wireID.Load() }
+
+// AddSpans splices server-side spans recorded by peer into the trace.
+// callStart is the client-side time the RPC carrying them was issued; each
+// span's receipt-relative offset is rebased onto it, so the stitched legs
+// sort correctly against client-side legs without cross-host clocks (the
+// network half of the RTT is attributed to the call, not the span). Safe
+// for concurrent use.
+func (t *Trace) AddSpans(peer string, callStart time.Time, spans []Span) {
+	if len(spans) == 0 {
+		return
+	}
+	base := callStart.Sub(t.begin)
+	t.mu.Lock()
+	for _, s := range spans {
+		t.legs = append(t.legs, Leg{
+			Name: s.Name, Outcome: s.Outcome, Peer: peer,
+			Start:    base + s.Start,
+			Duration: s.Duration,
+		})
+	}
 	t.mu.Unlock()
 }
 

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"pdht/internal/obs"
 )
 
 // Op identifies what a request asks the receiving node to do. The
@@ -45,6 +47,11 @@ const (
 	// instead of failing the round trip. The ViewHash check applies once
 	// to the whole batch.
 	OpBatch
+	// OpStats asks a peer for a frozen snapshot of its metrics registry —
+	// the fleet-aggregation RPC behind Client.ClusterReport and pdht-top.
+	// The reply travels in Response.Stats. Not subject to the ViewHash
+	// check: statistics are valid across view transitions.
+	OpStats
 )
 
 // String returns the short label used in logs and errors.
@@ -62,6 +69,8 @@ func (o Op) String() string {
 		return "gossip"
 	case OpBatch:
 		return "batch"
+	case OpStats:
+		return "stats"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -162,6 +171,12 @@ type Request struct {
 	Batch []BatchItem `json:"batch,omitempty"`
 	// Gossip is the membership payload of OpGossip.
 	Gossip *Gossip `json:"gossip,omitempty"`
+	// TraceID, when nonzero, marks the request as part of a sampled
+	// cluster-wide trace: an instrumented server records server-side
+	// spans for the operation and returns them in Response.Spans so the
+	// caller can stitch a cross-peer causality tree. Zero — the common
+	// case — costs nothing on either side.
+	TraceID uint64 `json:"trace,omitempty"`
 }
 
 // Response is the wire envelope of one reply.
@@ -182,6 +197,11 @@ type Response struct {
 	// StaleView error, the responder's full membership state so the
 	// caller can converge without an extra round trip.
 	Gossip *Gossip `json:"gossip,omitempty"`
+	// Spans are the server-side steps recorded for a request that carried
+	// a TraceID, offsets relative to request receipt.
+	Spans []obs.Span `json:"spans,omitempty"`
+	// Stats is the registry snapshot answering an OpStats request.
+	Stats *obs.Snapshot `json:"stats,omitempty"`
 }
 
 // frame is the unit the TCP codec moves: a correlation ID plus either a

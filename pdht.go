@@ -100,6 +100,13 @@ type ClientOption = client.Option
 type QueryTrace = client.QueryTrace
 type TraceLeg = client.TraceLeg
 
+// FleetReport is the cluster-wide aggregation of every member's metrics
+// registry — per-peer rows, pooled latency quantiles, the measured cluster
+// msgs/query next to the cost model's prediction — built by
+// Client.ClusterReport; FleetPeer is one member's row of it.
+type FleetReport = client.FleetReport
+type FleetPeer = client.FleetPeer
+
 // The typed failures of the live request path — errors.Is-able, shared
 // with package pdht/client.
 var (
@@ -142,6 +149,7 @@ func WithAdaptive(retuneInterval time.Duration) ClientOption {
 	return client.WithAdaptive(retuneInterval)
 }
 func WithTraceHook(hook func(QueryTrace)) ClientOption { return client.WithTraceHook(hook) }
+func WithTraceSampling(rate float64) ClientOption      { return client.WithTraceSampling(rate) }
 func WithSlowQueryLog(threshold time.Duration, capacity int) ClientOption {
 	return client.WithSlowQueryLog(threshold, capacity)
 }
