@@ -5,8 +5,10 @@
 # The model-backed experiments: deterministic, sub-second each, no
 # simulator population to churn — the stable subset the perf trajectory
 # records on every run. The sim-backed experiments (validate, sweep,
-# adapt, ...) stay interactive-only; they are minutes, not seconds.
-BENCH_EXPERIMENTS := table1 fig1 fig2 fig3 fig4 ttlsens alpha kary store
+# adapt, ...) stay interactive-only; they are minutes, not seconds. topk
+# is the exception: its A/B is pinned to a small fixed population, so it
+# stays sub-second too.
+BENCH_EXPERIMENTS := table1 fig1 fig2 fig3 fig4 ttlsens alpha kary topk store
 
 .PHONY: all build test race bench fmt vet
 
@@ -22,7 +24,8 @@ test:
 race:
 	go test -race ./client/ ./internal/adapt/ ./internal/gossip/... \
 		./internal/node/ ./internal/obs/ ./internal/replica/ \
-		./internal/store/ ./internal/transport/ ./cmd/pdht-node/
+		./internal/store/ ./internal/topk/ ./internal/transport/ \
+		./cmd/pdht-node/
 
 # The perf trajectory artifact: one JSON object per experiment table, in
 # the {title, header, rows} schema pdht-bench -format json emits, written

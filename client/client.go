@@ -37,11 +37,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"pdht/internal/metadata"
 	"pdht/internal/node"
 	"pdht/internal/obs"
 	"pdht/internal/store"
+	"pdht/internal/topk"
 )
 
 // The typed failures of the request path, re-exported from the node
@@ -58,6 +61,12 @@ var (
 	// context.DeadlineExceeded.
 	ErrTimeout = node.ErrTimeout
 )
+
+// ErrBadQuery reports query text ParseAndQuery could not parse — a
+// malformed topk: prefix, an unparsable k, or a broken predicate. It is
+// typed so callers can distinguish "your input is wrong" from cluster
+// failures.
+var ErrBadQuery = errors.New("client: bad query")
 
 // KV is one key→value pair of a batched publish.
 type KV struct {
@@ -84,6 +93,14 @@ type FleetReport = obs.FleetReport
 
 // FleetPeer is one peer's row of a FleetReport.
 type FleetPeer = obs.FleetPeer
+
+// TopKResult is one resolved distributed top-k query: the k best
+// documents cluster-wide plus the protocol's cost accounting (rounds,
+// wire legs, peers probed/skipped/failed, early termination).
+type TopKResult = topk.Result
+
+// TopKEntry is one scored document of a TopKResult.
+type TopKEntry = topk.Entry
 
 // Result reports one resolved query.
 type Result struct {
@@ -334,15 +351,90 @@ func (c *Client) PublishMany(ctx context.Context, pairs []KV) error {
 	return c.rc.PublishMany(ctx, kvs)
 }
 
+// QueryTopK runs one distributed top-k query: the k best documents
+// cluster-wide for the term set, under the threshold-algorithm round
+// protocol (internal/topk). Terms are index keys — typically single
+// metadata predicates hashed via the paper's canonical form, as
+// ParseAndQuery's topk: syntax produces. A member node coordinates with
+// sketch-fed term weights and a probe schedule learned from past yield; a
+// client-only handle coordinates the same protocol with uniform weights.
+func (c *Client) QueryTopK(ctx context.Context, terms []uint64, k int) (TopKResult, error) {
+	if c.nd != nil {
+		return c.nd.QueryTopK(ctx, terms, k)
+	}
+	return c.rc.QueryTopK(ctx, terms, k)
+}
+
 // ParseAndQuery parses the paper's query syntax — element=value predicates
 // joined by AND, e.g. "title=Weather Iráklion AND date=2004/03/14" — maps
 // the conjunction to its index key, and resolves it like Query.
+//
+// A "topk:<k> " prefix switches to the distributed top-k form: the rest of
+// the string is predicates joined by AND, each hashed to its own term key,
+// and the whole resolved via QueryTopK. The returned Result carries the
+// best document (Value) under the first term's key; callers that want the
+// full ranked list parse with ParseTopK and call QueryTopK directly. A
+// malformed topk: query fails with ErrBadQuery — it never falls back to
+// the conjunctive parser.
 func (c *Client) ParseAndQuery(ctx context.Context, query string) (Result, error) {
+	if hasTopKPrefix(query) {
+		k, terms, err := ParseTopK(query)
+		if err != nil {
+			return Result{}, err
+		}
+		res, err := c.QueryTopK(ctx, terms, k)
+		if err != nil {
+			return Result{}, err
+		}
+		out := Result{Key: terms[0], Messages: res.Legs}
+		if len(res.Entries) > 0 {
+			out.Answered = true
+			out.Value = res.Entries[0].Doc
+		}
+		return out, nil
+	}
 	q, err := metadata.ParseQuery(query)
 	if err != nil {
 		return Result{}, err
 	}
 	return c.Query(ctx, uint64(q.Key()))
+}
+
+// hasTopKPrefix reports whether the query text opts into the top-k form.
+func hasTopKPrefix(s string) bool {
+	return strings.HasPrefix(strings.TrimSpace(s), "topk:")
+}
+
+// ParseTopK parses the mini-language's top-k form:
+//
+//	topk:<k> <pred> AND <pred> AND ...
+//
+// where each predicate is element=value and maps to its own term key (the
+// hash of its canonical single-predicate form). Failures — unparsable or
+// non-positive k, no predicates, a broken predicate — are ErrBadQuery.
+func ParseTopK(query string) (k int, terms []uint64, err error) {
+	s := strings.TrimSpace(query)
+	if !strings.HasPrefix(s, "topk:") {
+		return 0, nil, fmt.Errorf("%w: %q has no topk: prefix", ErrBadQuery, query)
+	}
+	s = s[len("topk:"):]
+	num, rest, found := strings.Cut(s, " ")
+	if !found {
+		return 0, nil, fmt.Errorf("%w: topk:<k> needs predicates after the count", ErrBadQuery)
+	}
+	k, convErr := strconv.Atoi(num)
+	if convErr != nil || k < 1 {
+		return 0, nil, fmt.Errorf("%w: top-k count %q must be a positive integer", ErrBadQuery, num)
+	}
+	q, parseErr := metadata.ParseQuery(rest)
+	if parseErr != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrBadQuery, parseErr)
+	}
+	terms = make([]uint64, len(q.Predicates))
+	for i, p := range q.Predicates {
+		terms[i] = uint64(metadata.Query{Predicates: []metadata.Predicate{p}}.Key())
+	}
+	return k, terms, nil
 }
 
 // toResult maps the engine's result onto the public one.

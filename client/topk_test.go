@@ -1,0 +1,149 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pdht/internal/metadata"
+	"pdht/internal/transport"
+)
+
+// predKey is the term key of one element=value predicate — what the
+// topk: mini-language hashes each predicate to.
+func predKey(elem, val string) uint64 {
+	return uint64(metadata.Query{Predicates: []metadata.Predicate{{Element: elem, Value: val}}}.Key())
+}
+
+func TestParseTopKTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		query string
+		k     int
+		terms []uint64
+		bad   bool
+	}{
+		{
+			name:  "single predicate",
+			query: "topk:5 term=weather",
+			k:     5,
+			terms: []uint64{predKey("term", "weather")},
+		},
+		{
+			name:  "multi predicate",
+			query: "topk:10 term=weather AND date=2004/03/14",
+			k:     10,
+			terms: []uint64{predKey("term", "weather"), predKey("date", "2004/03/14")},
+		},
+		{
+			name:  "surrounding whitespace",
+			query: "  topk:2 title=Weather Iráklion  ",
+			k:     2,
+			terms: []uint64{predKey("title", "Weather Iráklion")},
+		},
+		{name: "non-integer k", query: "topk:x term=weather", bad: true},
+		{name: "zero k", query: "topk:0 term=weather", bad: true},
+		{name: "negative k", query: "topk:-3 term=weather", bad: true},
+		{name: "missing predicates", query: "topk:5", bad: true},
+		{name: "blank predicates", query: "topk:5   ", bad: true},
+		{name: "broken predicate", query: "topk:5 weather", bad: true},
+		{name: "empty value", query: "topk:5 term=", bad: true},
+		{name: "no prefix", query: "term=weather", bad: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k, terms, err := ParseTopK(tc.query)
+			if tc.bad {
+				if err == nil {
+					t.Fatalf("ParseTopK(%q) accepted, want ErrBadQuery", tc.query)
+				}
+				if !errors.Is(err, ErrBadQuery) {
+					t.Fatalf("ParseTopK(%q) error %v is not ErrBadQuery", tc.query, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseTopK(%q): %v", tc.query, err)
+			}
+			if k != tc.k {
+				t.Fatalf("k = %d, want %d", k, tc.k)
+			}
+			if len(terms) != len(tc.terms) {
+				t.Fatalf("terms = %v, want %v", terms, tc.terms)
+			}
+			for i := range terms {
+				if terms[i] != tc.terms[i] {
+					t.Fatalf("terms[%d] = %d, want %d", i, terms[i], tc.terms[i])
+				}
+			}
+		})
+	}
+}
+
+// A malformed topk: query must fail typed at the API surface — never fall
+// back to the conjunctive parser (which would misread "topk:x ..." as a
+// predicate and silently query a junk key).
+func TestParseAndQueryTopKMalformedFailsTyped(t *testing.T) {
+	members := openCluster(t, transport.NewMemory(), 1)
+	if _, err := members[0].ParseAndQuery(context.Background(), "topk:x term=weather"); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("malformed topk query error = %v, want ErrBadQuery", err)
+	}
+}
+
+// The mini-language end to end: publish documents under predicate term
+// keys, resolve "topk:<k> ..." through ParseAndQuery, and read the full
+// ranked list via QueryTopK — on a member handle and a client-only one.
+func TestQueryTopKThroughClient(t *testing.T) {
+	ctx := context.Background()
+	tr := transport.NewMemory()
+	members := openCluster(t, tr, 3)
+
+	tWeather := predKey("term", "weather")
+	tCrete := predKey("term", "crete")
+	// Doc 100 matches both terms at member 1; doc 200 matches one term at
+	// member 2. Top-1 for {weather, crete} is doc 100.
+	if err := members[1].Publish(ctx, tWeather, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := members[1].Publish(ctx, tCrete, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := members[2].Publish(ctx, tWeather, 200); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := members[0].QueryTopK(ctx, []uint64{tWeather, tCrete}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 2 || res.Entries[0].Doc != 100 || res.Entries[1].Doc != 200 {
+		t.Fatalf("member top-k entries = %+v, want docs [100 200]", res.Entries)
+	}
+	if res.Entries[0].Score != 2 || res.Entries[1].Score != 1 {
+		t.Fatalf("member top-k scores = %+v, want [2 1]", res.Entries)
+	}
+
+	parsed, err := members[0].ParseAndQuery(ctx, "topk:1 term=weather AND term=crete")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Answered || parsed.Value != 100 {
+		t.Fatalf("ParseAndQuery topk result = %+v, want doc 100", parsed)
+	}
+	if parsed.Key != tWeather {
+		t.Fatalf("ParseAndQuery topk key = %d, want first term %d", parsed.Key, tWeather)
+	}
+
+	cl, err := Open(ctx, withTransport(tr), WithClientOnly(), WithSeeds(members[0].Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	clRes, err := cl.QueryTopK(ctx, []uint64{tWeather, tCrete}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clRes.Entries) != 1 || clRes.Entries[0].Doc != 100 || clRes.Entries[0].Score != 2 {
+		t.Fatalf("client-only top-k entries = %+v, want doc 100 at score 2", clRes.Entries)
+	}
+}

@@ -9,7 +9,7 @@
 //	pdht-bench -scale 2000        # simulator population for V1/S2/A1/A3
 //
 // Experiments: table1 fig1 fig2 fig3 fig4 ttlsens alpha validate sweep
-// adapt backends selftune store all
+// adapt backends selftune topk store all
 package main
 
 import (
@@ -172,6 +172,13 @@ func main() {
 		}
 		return render(t)
 	})
+	run("topk", func() error {
+		t, _, err := experiments.TopKAB(simBase)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
 	run("store", func() error {
 		t, err := experiments.StoreBench(0)
 		if err != nil {
@@ -190,7 +197,7 @@ func main() {
 var knownExperiments = []string{
 	"table1", "fig1", "fig2", "fig3", "fig4", "ttlsens", "alpha", "kary",
 	"maintenance", "validate", "sweep", "adapt", "backends", "selftune",
-	"calibrate", "store", "all",
+	"calibrate", "topk", "store", "all",
 }
 
 func knownExperiment(name string) bool {

@@ -78,6 +78,7 @@ func run(args []string, out io.Writer) error {
 		fsyncMode   = fs.String("fsync", "interval", "WAL durability policy with -data-dir: always (fsync per append), interval (background flush), none (page cache only)")
 		snapEvery   = fs.Duration("snapshot-interval", time.Minute, "WAL compaction period with -data-dir: how often outstanding records are absorbed into a snapshot")
 		demo        = fs.Bool("demo", false, "run the 3-node TCP-loopback demonstration and exit")
+		demoTopK    = fs.Bool("demo-topk", false, "run the 3-node distributed top-k demonstration and exit")
 	)
 	// -repl predates -replicas; both set the same knob.
 	fs.IntVar(repl, "repl", *repl, "alias of -replicas")
@@ -89,6 +90,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *demo {
 		return runDemo(out)
+	}
+	if *demoTopK {
+		return runDemoTopK(out)
 	}
 
 	cfg := node.DefaultConfig()

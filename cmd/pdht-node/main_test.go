@@ -57,6 +57,28 @@ func TestDemoTellsTheWholeStory(t *testing.T) {
 	}
 }
 
+// TestDemoTopKTellsTheStory is the acceptance test of the -demo-topk
+// surface: the cold coordinated query ranks the full-match article first,
+// and the warm repeat terminates the threshold protocol early.
+func TestDemoTopKTellsTheStory(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-demo-topk"}, &buf); err != nil {
+		t.Fatalf("demo-topk failed: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"3-node cluster on TCP loopback",
+		"#1 article 301 (score 3.0)",
+		"#2 article 302 (score 2.0)",
+		"warm repeat",
+		"threshold met after",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("demo-topk output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestQueryFlagAgainstRunningSeed exercises the single-shot CLI path: a
 // seed node with published content is already up; `pdht-node -seed …
 // -query …` joins over TCP, resolves the query by broadcast, and prints

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	base := sim.DefaultConfig()
-	strategy := flag.String("strategy", "partialTTL", "noIndex | indexAll | partial | partialTTL | partialAdaptive")
+	strategy := flag.String("strategy", "partialTTL", "noIndex | indexAll | partial | partialTTL | partialAdaptive | partialTopK")
 	backend := flag.String("backend", "trie", "trie | ring")
 	peers := flag.Int("peers", base.Peers, "total peers")
 	keys := flag.Int("keys", base.Keys, "unique keys")
@@ -39,6 +39,12 @@ func main() {
 	meanOff := flag.Float64("churn-offline", 0, "mean offline time in rounds")
 	shift := flag.Int("shift", 0, "round at which to shuffle the query distribution (0 = never)")
 	trace := flag.Int("trace", 0, "emit a time-series sample every N rounds (0 = off)")
+	topkK := flag.Int("topk-k", base.TopKK, "partialTopK: results per query")
+	topkTerms := flag.Int("topk-terms", base.TopKTerms, "partialTopK: terms per query")
+	topkGroups := flag.Int("topk-groups", base.TopKGroups, "partialTopK: term-group universe size")
+	topkGroupSize := flag.Int("topk-group-size", base.TopKGroupSize, "partialTopK: terms per group")
+	topkCopies := flag.Int("topk-copies", base.TopKCopies, "partialTopK: copy documents per group")
+	topkUniform := flag.Bool("topk-uniform", false, "partialTopK: full-fan-out baseline instead of the adaptive planner")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -48,6 +54,8 @@ func main() {
 	cfg.Rounds, cfg.WarmupRounds = *rounds, *warmup
 	cfg.KeyTtl, cfg.SelfTuneTTL = *keyTtl, *selfTune
 	cfg.TraceEvery = *trace
+	cfg.TopKK, cfg.TopKTerms, cfg.TopKGroups = *topkK, *topkTerms, *topkGroups
+	cfg.TopKGroupSize, cfg.TopKCopies, cfg.TopKUniform = *topkGroupSize, *topkCopies, *topkUniform
 	cfg.Seed = *seed
 	if *meanOn > 0 {
 		cfg.Churn = churn.Model{MeanOnline: *meanOn, MeanOffline: *meanOff}
@@ -78,10 +86,18 @@ func main() {
 	if res.ActivePeers > 0 {
 		fmt.Printf("DHT         %d active peers, keyTtl %d rounds\n", res.ActivePeers, res.KeyTtlUsed)
 	}
-	fmt.Printf("measured    %.1f msg/round (model predicts %.1f, ratio %.2f)\n",
-		res.MsgPerRound, res.ModelMsgPerRound, res.MsgPerRound/res.ModelMsgPerRound)
+	if res.ModelMsgPerRound > 0 {
+		fmt.Printf("measured    %.1f msg/round (model predicts %.1f, ratio %.2f)\n",
+			res.MsgPerRound, res.ModelMsgPerRound, res.MsgPerRound/res.ModelMsgPerRound)
+	} else {
+		fmt.Printf("measured    %.1f msg/round\n", res.MsgPerRound)
+	}
 	fmt.Printf("queries     %d answered of %d, hit rate %.3f\n",
 		res.Answered, res.Queries, res.HitRate)
+	if cfg.Strategy == sim.StrategyPartialTopK && res.Queries > 0 {
+		fmt.Printf("top-k       %.1f wire legs/query, %.0f%% terminated early\n",
+			res.TopKLegsPerQuery, 100*res.TopKEarlyRate)
+	}
 	if res.MeanIndexedKeys > 0 {
 		fmt.Printf("index       %.0f keys live on average (%.1f%% of key space)\n",
 			res.MeanIndexedKeys, 100*res.IndexFraction())

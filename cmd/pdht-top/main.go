@@ -161,12 +161,12 @@ func writeTable(out io.Writer, fr obs.FleetReport, now time.Time) {
 		fmt.Fprintf(out, "   fMin %.3g–%.3g", fr.FMinMin, fr.FMinMax)
 	}
 	fmt.Fprintln(out)
-	fmt.Fprintf(out, "%-24s %8s %6s %9s %7s %9s %6s %7s\n",
-		"PEER", "QPS", "HIT%", "P99", "KEYTTL", "WAL", "ALIVE", "MSG/Q")
+	fmt.Fprintf(out, "%-24s %8s %6s %9s %7s %9s %6s %7s %7s\n",
+		"PEER", "QPS", "HIT%", "P99", "KEYTTL", "WAL", "ALIVE", "MSG/Q", "TOPK/Q")
 	for _, p := range fr.Peers {
-		fmt.Fprintf(out, "%-24s %8.1f %6.1f %9s %7.0f %9s %6d %7.2f\n",
+		fmt.Fprintf(out, "%-24s %8.1f %6.1f %9s %7.0f %9s %6d %7.2f %7s\n",
 			p.Addr, p.QPS, 100*p.HitRate, fmtDur(p.P99), p.KeyTtl,
-			fmtBytes(p.WALBytes), p.MembersAlive, p.MsgsPerQuery)
+			fmtBytes(p.WALBytes), p.MembersAlive, p.MsgsPerQuery, fmtTopK(p.TopKLegsPerQuery))
 	}
 }
 
@@ -191,6 +191,15 @@ func fmtRange(lo, hi float64) string {
 		return fmt.Sprintf("%.0f", lo)
 	}
 	return fmt.Sprintf("%.0f–%.0f", lo, hi)
+}
+
+// fmtTopK renders a peer's top-k legs/query; peers that coordinated none
+// render as "-".
+func fmtTopK(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
 }
 
 // fmtBytes humanizes a byte count; zero (memory-only peers) renders as "-".

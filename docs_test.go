@@ -85,9 +85,18 @@ func TestDocsNameShippedFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, flag := range []string{"replicas", "adaptive", "gossip-interval", "suspicion", "backend", "demo", "publish", "query", "members", "report", "http", "slow-query", "data-dir", "fsync", "snapshot-interval"} {
+	for _, flag := range []string{"replicas", "adaptive", "gossip-interval", "suspicion", "backend", "demo", "demo-topk", "publish", "query", "members", "report", "http", "slow-query", "data-dir", "fsync", "snapshot-interval"} {
 		if !strings.Contains(string(main), fmt.Sprintf("%q", flag)) {
 			t.Errorf("README documents -%s but cmd/pdht-node does not define it", flag)
+		}
+	}
+	simMain, err := os.ReadFile(filepath.Join("cmd", "pdht-sim", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, flag := range []string{"strategy", "topk-k", "topk-terms", "topk-groups", "topk-group-size", "topk-copies", "topk-uniform"} {
+		if !strings.Contains(string(simMain), fmt.Sprintf("%q", flag)) {
+			t.Errorf("EXPERIMENTS.md documents -%s but cmd/pdht-sim does not define it", flag)
 		}
 	}
 	top, err := os.ReadFile(filepath.Join("cmd", "pdht-top", "main.go"))

@@ -186,3 +186,60 @@ func ExampleClient_QueryMany() {
 	// warm: answered=true,true from index=true,true
 	// after kill: answered=true,true values=1,2
 }
+
+// ExampleClient_QueryTopK runs one distributed top-k query over a 2-node
+// cluster: the seed hosts an article matching all three terms, the peer
+// an article matching two, and the ranking orders them by score — the sum
+// of matched term weights. With every peer probed and drained in the
+// first round, Early stays false; see cmd/pdht-node -demo-topk for the
+// warm-plan run where the threshold skips work.
+func ExampleClient_QueryTopK() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	seed, err := pdht.Open(ctx, pdht.WithListen("127.0.0.1:0"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer seed.Close()
+	peer, err := pdht.Open(ctx, pdht.WithSeeds(seed.Addr()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer peer.Close()
+
+	// One term key per predicate; a document "matches" a term when its
+	// hosting peer published it under that key.
+	terms := []uint64{
+		pdht.QueryKey(pdht.Predicate{Element: "title", Value: "weather"}),
+		pdht.QueryKey(pdht.Predicate{Element: "title", Value: "crete"}),
+		pdht.QueryKey(pdht.Predicate{Element: "date", Value: "2004/03/14"}),
+	}
+	kvs := make([]pdht.ClientKV, len(terms))
+	for i, term := range terms {
+		kvs[i] = pdht.ClientKV{Key: term, Value: 301} // article 301: all 3 terms
+	}
+	if err := seed.PublishMany(ctx, kvs); err != nil {
+		log.Fatal(err)
+	}
+	if err := peer.PublishMany(ctx, []pdht.ClientKV{
+		{Key: terms[0], Value: 302}, // article 302: 2 of 3 terms
+		{Key: terms[1], Value: 302},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := seed.QueryTopK(ctx, terms, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, e := range res.Entries {
+		fmt.Printf("#%d article %d (score %.1f)\n", i+1, e.Doc, e.Score)
+	}
+	fmt.Printf("early=%v\n", res.Early)
+
+	// Output:
+	// #1 article 301 (score 3.0)
+	// #2 article 302 (score 2.0)
+	// early=false
+}

@@ -133,8 +133,13 @@ type Tuner struct {
 	curQueries  uint64 // queries in the open window
 	prevQuer    uint64 // queries in the retired window
 	prevRounds  int    // length of the retired window
-	last        Decision
-	ready       bool
+	// Distributed top-k traffic in the open/retired windows: queries
+	// coordinated and probe legs paid, feeding the model's
+	// TopKRound/TopKProbe charge.
+	curTopKQueries, prevTopKQueries uint64
+	curTopKLegs, prevTopKLegs       uint64
+	last                            Decision
+	ready                           bool
 
 	// Actuator state, read lock-free on the insert path.
 	threshold atomic.Uint64 // sketch-count gate; 0 = no gating yet
@@ -178,6 +183,30 @@ func (t *Tuner) Observe(key uint64) {
 	t.universe.Observe(key)
 	t.curQueries++
 	t.mu.Unlock()
+}
+
+// ObserveTopK records one coordinated distributed top-k query and the
+// wire legs its round protocol paid. Retune turns the window totals into
+// the model's TopKRound (queries per peer per round) and TopKProbe (legs
+// per query), so the fitted fMin charges the top-k traffic honestly.
+func (t *Tuner) ObserveTopK(legs int) {
+	if legs < 0 {
+		legs = 0
+	}
+	t.mu.Lock()
+	t.curTopKQueries++
+	t.curTopKLegs += uint64(legs)
+	t.mu.Unlock()
+}
+
+// Count returns key's current windowed query-count estimate from the
+// count-min sketch — the term-popularity measure the top-k planner turns
+// into probe weights.
+func (t *Tuner) Count(key uint64) uint64 {
+	t.mu.Lock()
+	c := t.sketch.Count(key)
+	t.mu.Unlock()
+	return c
 }
 
 // ShouldIndex is the per-key to-index-or-not decision (§2, applied online):
@@ -252,6 +281,10 @@ func (t *Tuner) Retune(in Inputs) (Decision, error) {
 	}
 	t.prevQuer, t.curQueries = t.curQueries, 0
 	t.prevRounds = in.WindowRounds
+	totalTopKQ := t.curTopKQueries + t.prevTopKQueries
+	totalTopKLegs := t.curTopKLegs + t.prevTopKLegs
+	t.prevTopKQueries, t.curTopKQueries = t.curTopKQueries, 0
+	t.prevTopKLegs, t.curTopKLegs = t.curTopKLegs, 0
 	t.mu.Unlock()
 
 	if totalQ == 0 {
@@ -288,6 +321,12 @@ func (t *Tuner) Retune(in Inputs) (Decision, error) {
 		// peer itself rides the probe's round trip; the other Repl−1
 		// members cost one message each).
 		p.WriteFanout = float64(in.Repl - 1)
+	}
+	if totalTopKQ > 0 {
+		// Charge the measured top-k traffic: per-peer query rate and the
+		// average probe legs one query cost in the window.
+		p.TopKRound = float64(totalTopKQ) / float64(totalRounds) / float64(in.Observers)
+		p.TopKProbe = float64(totalTopKLegs) / float64(totalTopKQ)
 	}
 	dist, err := zipf.New(alpha, distinct)
 	if err != nil {

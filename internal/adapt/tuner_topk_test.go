@@ -1,0 +1,61 @@
+package adapt
+
+import (
+	"testing"
+)
+
+// The top-k traffic window must charge the fitted model: the same query
+// stream with top-k load on the side fits a higher (or equal, never
+// lower) fMin than without it.
+func TestRetuneChargesTopKTraffic(t *testing.T) {
+	feed := func(tn *Tuner, topk bool) Decision {
+		for round := 0; round < 60; round++ {
+			for k := uint64(0); k < 40; k++ {
+				for q := uint64(0); q < 40/(k+1); q++ {
+					tn.Observe(k)
+				}
+			}
+			if topk {
+				tn.ObserveTopK(12) // one 12-leg top-k query per round
+			}
+		}
+		d, err := tn.Retune(Inputs{
+			Members: 50, Observers: 50, Capacity: 256, Repl: 3,
+			Env: 1.0 / 14, WindowRounds: 60,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	base, _ := NewTuner(Config{})
+	loaded, _ := NewTuner(Config{})
+	dBase := feed(base, false)
+	dLoaded := feed(loaded, true)
+	if dLoaded.FMin < dBase.FMin {
+		t.Fatalf("fMin with top-k load = %v, want ≥ baseline %v", dLoaded.FMin, dBase.FMin)
+	}
+	if dLoaded.FMin == dBase.FMin {
+		t.Fatalf("fMin unchanged at %v; the top-k charge never reached the model", dBase.FMin)
+	}
+}
+
+// Count exposes the sketch to the top-k planner: hot terms must read
+// higher than cold ones, and the window rotation must age counts out.
+func TestTunerCountFollowsSketch(t *testing.T) {
+	tn, err := NewTuner(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tn.Observe(7)
+	}
+	tn.Observe(8)
+	if hot, cold := tn.Count(7), tn.Count(8); hot <= cold {
+		t.Fatalf("Count(hot)=%d Count(cold)=%d, want hot above cold", hot, cold)
+	}
+	if tn.Count(9) != 0 {
+		t.Fatalf("Count(unseen) = %d, want 0", tn.Count(9))
+	}
+}

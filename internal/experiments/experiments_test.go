@@ -240,6 +240,28 @@ func TestCalibration(t *testing.T) {
 	}
 }
 
+func TestTopKAB(t *testing.T) {
+	cfg := quickSim()
+	tb, rows, err := TopKAB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("TopKAB returned %d rows, want uniform + adaptive", len(rows))
+	}
+	uni, ada := rows[0], rows[1]
+	if uni.TopKLegsPerQuery <= ada.TopKLegsPerQuery {
+		t.Fatalf("adaptive legs/query %v did not beat uniform %v",
+			ada.TopKLegsPerQuery, uni.TopKLegsPerQuery)
+	}
+	out := tb.RenderString()
+	for _, want := range []string{"uniform", "adaptive", "legs/query"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestSelfTuning(t *testing.T) {
 	cfg := quickSim()
 	cfg.Rounds = 300

@@ -223,6 +223,49 @@ func Calibration(base sim.Config) (*stats.Table, CalibrationResult, error) {
 // SelfTuning is ablation A3: the model-derived keyTtl versus the online
 // estimator that starts from a coarse guess (the paper's future-work
 // mechanism).
+// TopKAB is experiment T1, the distributed top-k A/B: the adaptive
+// planner (yield history plus sketch-fed term weights) against the
+// uniform full-fan-out baseline at identical workloads and identical
+// exact answers. The comparison runs at a fixed small scale — the uniform
+// side pays peers−1 wire legs on every query, so large populations buy no
+// extra signal, only wall-clock.
+func TopKAB(base sim.Config) (*stats.Table, []sim.Result, error) {
+	cfg := base
+	cfg.Strategy = sim.StrategyPartialTopK
+	if cfg.Peers > 128 {
+		cfg.Peers = 128
+		cfg.Keys = 256
+		cfg.Repl = 10
+	}
+	cfg.FQry = 0.05
+	cfg.Rounds = 120
+	cfg.WarmupRounds = 40
+	if cfg.TopKCopies > cfg.Peers {
+		cfg.TopKCopies = cfg.Peers / 4
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("T1 — distributed top-k: adaptive planner vs uniform fan-out (%d peers, k=%d, %d terms/query)",
+			cfg.Peers, cfg.TopKK, cfg.TopKTerms),
+		"plan", "legs/query", "early %", "msg/s", "exact answers")
+	var out []sim.Result
+	for _, uniform := range []bool{true, false} {
+		c := cfg
+		c.TopKUniform = uniform
+		res, err := sim.Run(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, res)
+		name := "adaptive"
+		if uniform {
+			name = "uniform"
+		}
+		t.AddRow(name, res.TopKLegsPerQuery, 100*res.TopKEarlyRate,
+			res.MsgPerRound, fmt.Sprintf("%d/%d", res.Answered, res.Queries))
+	}
+	return t, out, nil
+}
+
 func SelfTuning(base sim.Config) (*stats.Table, []sim.Result, error) {
 	t := stats.NewTable("A3 — model-derived vs self-tuned keyTtl",
 		"mode", "final keyTtl", "msg/s", "hit rate", "E[index]")

@@ -51,6 +51,18 @@ type Params struct {
 	// free. The fan-out charges against the benefit of indexing: both fMin
 	// (eq. 2's break-even frequency) and the eq. 17 total cost see it.
 	WriteFanout float64
+	// TopKRound is the distributed top-k query rate per peer per round,
+	// and TopKProbe the expected number of OpTopK probe legs one such
+	// query costs (internal/topk's round protocol). Together they charge
+	// the top-k traffic into the model: the eq. 17 total cost gains the
+	// cluster-wide numPeers·TopKRound·TopKProbe msgs/round, and each
+	// indexed key's holding cost cIndKey carries its amortized share of
+	// that serving load — the peers holding the index are the peers
+	// answering the probes — so fMin rises honestly under top-k pressure
+	// instead of pretending the bandwidth is free. Zero (the default) is
+	// the paper-exact model.
+	TopKRound float64
+	TopKProbe float64
 }
 
 // DefaultScenario returns the paper's sample scenario (Table 1): a news
@@ -125,6 +137,10 @@ func (p Params) Validate() error {
 		return fmt.Errorf("model: Dup2 = %v must be at least 1", p.Dup2)
 	case p.WriteFanout < 0 || math.IsNaN(p.WriteFanout) || math.IsInf(p.WriteFanout, 0):
 		return fmt.Errorf("model: WriteFanout = %v must be non-negative and finite", p.WriteFanout)
+	case p.TopKRound < 0 || math.IsNaN(p.TopKRound) || math.IsInf(p.TopKRound, 0):
+		return fmt.Errorf("model: TopKRound = %v must be non-negative and finite", p.TopKRound)
+	case p.TopKProbe < 0 || math.IsNaN(p.TopKProbe) || math.IsInf(p.TopKProbe, 0):
+		return fmt.Errorf("model: TopKProbe = %v must be non-negative and finite", p.TopKProbe)
 	}
 	return nil
 }

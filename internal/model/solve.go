@@ -103,6 +103,13 @@ func nextMaxRank(p Params, dist *zipf.Distribution, indexedKeys float64, sol *So
 	cRtn := CRtn(p, nap, indexedKeys)
 	cUpd := CUpd(p, cSIndx)
 	cIndKey := cRtn + cUpd
+	// Top-k serving load: the peers holding the index are the peers
+	// answering OpTopK probes, so each indexed key carries its amortized
+	// share of the cluster's numPeers·TopKRound·TopKProbe msgs/round.
+	// Charging it into cIndKey raises fMin — under heavy top-k traffic
+	// fewer marginal keys are worth indexing. Zero rates leave the
+	// paper-exact model untouched.
+	cIndKey += float64(p.NumPeers) * p.TopKRound * p.TopKProbe / indexedKeys
 
 	sol.NumActivePeers = nap
 	sol.CSIndx = cSIndx

@@ -1,0 +1,89 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// Zero top-k rates must leave the model paper-exact: both the ideal
+// solution and the TTL model evaluate bit-identically to the baseline.
+func TestTopKZeroIsPaperExact(t *testing.T) {
+	base := DefaultScenario()
+	withZero := base
+	withZero.TopKRound, withZero.TopKProbe = 0, 0
+
+	s1, err := Solve(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Solve(withZero, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.FMin != s2.FMin || s1.MaxRank != s2.MaxRank {
+		t.Fatalf("zero top-k rates changed the solution: %+v vs %+v", s1, s2)
+	}
+
+	t1, err := SolveTTL(base, nil, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := SolveTTL(withZero, nil, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Cost != t2.Cost {
+		t.Fatalf("zero top-k rates changed eq. 17: %v vs %v", t1.Cost, t2.Cost)
+	}
+}
+
+// Top-k traffic must charge the model in the honest direction: fMin rises
+// (fewer marginal keys worth indexing) and the eq. 17 total cost grows by
+// exactly the cluster-wide probe traffic.
+func TestTopKChargesFMinAndCost(t *testing.T) {
+	base := DefaultScenario()
+	loaded := base
+	loaded.TopKRound = 0.05 // one top-k query per peer every 20 rounds
+	loaded.TopKProbe = 12
+
+	sBase, err := Solve(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sLoaded, err := Solve(loaded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sLoaded.FMin > sBase.FMin) {
+		t.Fatalf("fMin = %v under top-k load, want above baseline %v", sLoaded.FMin, sBase.FMin)
+	}
+	if sLoaded.MaxRank > sBase.MaxRank {
+		t.Fatalf("maxRank = %d under top-k load, want ≤ baseline %d", sLoaded.MaxRank, sBase.MaxRank)
+	}
+
+	tBase, err := SolveTTL(base, nil, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tLoaded, err := SolveTTL(loaded, nil, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := float64(loaded.NumPeers) * loaded.TopKRound * loaded.TopKProbe
+	if got := tLoaded.Cost - tBase.Cost; math.Abs(got-extra) > 1e-6*extra {
+		t.Fatalf("eq. 17 grew by %v, want the top-k traffic term %v", got, extra)
+	}
+}
+
+func TestTopKParamsValidate(t *testing.T) {
+	p := DefaultScenario()
+	p.TopKRound = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative TopKRound validated")
+	}
+	p = DefaultScenario()
+	p.TopKProbe = math.Inf(1)
+	if err := p.Validate(); err == nil {
+		t.Fatal("infinite TopKProbe validated")
+	}
+}

@@ -92,9 +92,13 @@ func SolveTTL(p Params, dist *zipf.Distribution, keyTtl float64) (TTLSolution, e
 	// extra write legs (zero in the paper-exact model). A miss pays a
 	// failed search, a broadcast, and a re-insert (priced as a second
 	// index search: route plus the replica-set write flood).
+	// Eq. 17 plus the distributed top-k traffic term: every peer issues
+	// TopKRound top-k queries per round and each costs TopKProbe probe
+	// legs (zero in the paper-exact model).
 	cost := indexSize*cRtn +
 		pIndxd*q*(cSIndx2+p.WriteFanout) +
-		(1-pIndxd)*q*(cSIndx2+cSUnstr+cSIndx2)
+		(1-pIndxd)*q*(cSIndx2+cSUnstr+cSIndx2) +
+		float64(p.NumPeers)*p.TopKRound*p.TopKProbe
 
 	return TTLSolution{
 		Params:         p,

@@ -11,6 +11,7 @@ import (
 	"pdht/internal/keyspace"
 	"pdht/internal/obs"
 	"pdht/internal/replica"
+	"pdht/internal/topk"
 	"pdht/internal/transport"
 )
 
@@ -88,6 +89,11 @@ type RemoteClient struct {
 	// traceSeq drives wire-trace sampling, as on the serving node.
 	traceSeq atomic.Uint64
 
+	// planner schedules top-k probes. A client observes no query stream,
+	// so it has no count-min sketch: weights stay uniform and the plan is
+	// driven by yield history alone.
+	planner *topk.Planner
+
 	mu     sync.Mutex
 	view   *view
 	closed bool
@@ -101,7 +107,7 @@ func DialRemote(ctx context.Context, tr transport.Transport, cfg RemoteConfig) (
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	c := &RemoteClient{cfg: cfg, pool: newPool(tr)}
+	c := &RemoteClient{cfg: cfg, pool: newPool(tr), planner: topk.NewPlanner(nil)}
 	if err := c.Resync(ctx); err != nil {
 		c.pool.close()
 		return nil, err
@@ -365,6 +371,94 @@ func (c *RemoteClient) query(ctx context.Context, key uint64) (QueryResult, erro
 		}
 		return res, c.resolveMiss(ctx, key, &res)
 	}
+}
+
+// QueryTopK coordinates one distributed top-k query from outside the
+// cluster: the same threshold-algorithm round protocol a member node runs
+// (see Node.QueryTopK), with the client as coordinator. Term weights stay
+// uniform — a client observes no query stream to sketch — so the adaptive
+// half is the probe order and depth learned from previous answers' yield.
+// The coordinator itself is not a member, so every probe is a wire leg.
+func (c *RemoteClient) QueryTopK(ctx context.Context, terms []uint64, k int) (topk.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return topk.Result{}, ctxErr(err)
+	}
+	if k < 1 {
+		return topk.Result{}, fmt.Errorf("node: top-k k = %d must be positive", k)
+	}
+	if len(terms) == 0 {
+		return topk.Result{}, fmt.Errorf("node: top-k query without terms")
+	}
+	v, err := c.currentView()
+	if err != nil {
+		return topk.Result{}, err
+	}
+	tr := obs.TraceFrom(ctx)
+	owned := tr == nil && c.cfg.TraceHook != nil
+	if owned {
+		tr = obs.NewTrace(terms[0])
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	if tr != nil && tr.WireID() == 0 {
+		tr.SetWireID(sampleWireID(&c.traceSeq, c.cfg.TraceSampling))
+	}
+
+	cfg := topk.RunConfig{
+		K:     k,
+		Terms: terms,
+		Plan:  c.planner.Plan(v.members, "", k, c.cfg.Repl),
+	}
+	type source struct {
+		addr  string
+		score float64
+	}
+	var bmu sync.Mutex
+	best := make(map[uint64]source)
+	probe := func(pctx context.Context, addr string, req topk.Req) (topk.Resp, error) {
+		r, err := c.callWithin(pctx, addr, transport.Request{Op: transport.OpTopK, TopK: &req})
+		if err != nil {
+			return topk.Resp{}, err
+		}
+		if r.Err != "" || r.TopK == nil {
+			return topk.Resp{}, fmt.Errorf("node: topk probe: %s", r.Err)
+		}
+		bmu.Lock()
+		for _, e := range r.TopK.Entries {
+			if cur, ok := best[e.Doc]; !ok || e.Score > cur.score {
+				best[e.Doc] = source{addr: addr, score: e.Score}
+			}
+		}
+		bmu.Unlock()
+		return *r.TopK, nil
+	}
+	legStart := time.Now()
+	onRound := func(info topk.RoundInfo) {
+		if tr != nil {
+			tr.Leg("topk-round", "",
+				fmt.Sprintf("%d legs, %d candidates", info.Legs, info.Candidates), legStart)
+			legStart = time.Now()
+		}
+	}
+	res := topk.Run(ctx, cfg, probe, onRound)
+	for _, e := range res.Entries {
+		if src, ok := best[e.Doc]; ok {
+			c.planner.Credit(src.addr)
+		}
+	}
+	if owned {
+		outcome := "topk"
+		if res.Early {
+			outcome = "topk-early"
+		}
+		if ctx.Err() != nil {
+			outcome = "error"
+		}
+		c.cfg.TraceHook(tr.Finish(outcome))
+	}
+	if err := ctx.Err(); err != nil {
+		return res, ctxErr(err)
+	}
+	return res, nil
 }
 
 // resolveMiss runs the client's miss path: broadcast to every member, and

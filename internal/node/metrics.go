@@ -22,7 +22,9 @@ type nodeMetrics struct {
 	handoffPushOK, handoffPushFailed          *obs.Counter
 	readRepairs                               *obs.Counter
 	gatedInserts, retunes                     *obs.Counter
-	indexSize                                 *obs.Gauge
+	topkQueries, topkRounds, topkLegs         *obs.Counter
+	topkEarly                                 *obs.Counter
+	indexSize, topkCandidates                 *obs.Gauge
 	latencyHit, latencyBroadcast, latencyMiss *obs.Histogram
 }
 
@@ -64,6 +66,16 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 			"Successful control-plane refits applied by this node."),
 		indexSize: reg.Gauge("pdht_node_index_entries",
 			"Live entries in the index cache (updated each round by the sweeper)."),
+		topkQueries: reg.Counter("pdht_topk_queries_total",
+			"Distributed top-k queries this node coordinated."),
+		topkRounds: reg.Counter("pdht_topk_rounds_total",
+			"Probe rounds run by coordinated top-k queries."),
+		topkLegs: reg.Counter("pdht_topk_legs_total",
+			"OpTopK wire legs issued by coordinated top-k queries (local self-scans are free)."),
+		topkEarly: reg.Counter("pdht_topk_early_term_total",
+			"Top-k queries the threshold bound terminated before every peer was drained."),
+		topkCandidates: reg.Gauge("pdht_topk_candidates",
+			"Candidate-set size of the most recent coordinated top-k query."),
 	}
 	m.latencyHit = reg.Histogram("pdht_node_query_seconds",
 		"End-to-end query latency by outcome: hit (index answered), broadcast (resolved by flooding), miss (unanswered or cancelled).",

@@ -15,6 +15,7 @@ import (
 	"pdht/internal/replica"
 	"pdht/internal/stats"
 	"pdht/internal/store"
+	"pdht/internal/topk"
 	"pdht/internal/transport"
 )
 
@@ -100,6 +101,11 @@ type Config struct {
 	// nothing regardless of this knob. DefaultConfig sets 1.0; zero
 	// disables wire propagation while keeping client-side traces.
 	TraceSampling float64
+	// TopKScorer shapes how this node scores its local content against a
+	// top-k probe's terms (see topk.Scorer); nil means topk.MatchScorer —
+	// a matched term contributes its full weight. Scores above a term's
+	// weight are clamped: the threshold bound depends on it.
+	TopKScorer topk.Scorer
 	// Store is the persistence plane (internal/store): every index and
 	// content mutation is journaled through it, and New replays its
 	// recovered state — index entries re-admitted at their remaining TTL,
@@ -224,6 +230,11 @@ type Node struct {
 	// recommendation lock-free via keyTtl().
 	tuner *adapt.Tuner
 
+	// planner schedules top-k probes (always present; it reads the tuner's
+	// count-min sketch when the node is adaptive, plans on yield history
+	// alone otherwise). It has its own lock.
+	planner *topk.Planner
+
 	// The telemetry plane: reg is the registry /metrics renders, m the
 	// node-layer instruments on it (Report reads the same atomics), slowLog
 	// the ring of traces that crossed SlowQueryThreshold. counters keeps
@@ -289,6 +300,11 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 		}
 		n.tuner = t
 		t.RegisterMetrics(reg)
+	}
+	if n.tuner != nil {
+		n.planner = topk.NewPlanner(n.tuner.Count)
+	} else {
+		n.planner = topk.NewPlanner(nil)
 	}
 	if cfg.Store != nil {
 		n.persist = cfg.Store
@@ -584,6 +600,11 @@ func (n *Node) serverSpans(req transport.Request, resp transport.Response, d tim
 		name, outcome = "content-lookup", hitMiss(resp.Found)
 	case transport.OpBatch:
 		name, outcome = "batch", fmt.Sprintf("%d items", len(req.Batch))
+	case transport.OpTopK:
+		name = "topk-scan"
+		if resp.TopK != nil {
+			outcome = fmt.Sprintf("%d entries", len(resp.TopK.Entries))
+		}
 	default:
 		return nil // gossip and stats traffic is not part of query traces
 	}
@@ -679,6 +700,8 @@ func (n *Node) serve(req transport.Request) transport.Response {
 		return transport.Response{OK: ok, Gossip: &reply}
 	case transport.OpBatch:
 		return n.handleBatch(req)
+	case transport.OpTopK:
+		return n.serveTopK(req)
 	case transport.OpStats:
 		snap := n.reg.Snapshot()
 		snap.Addr = n.cfg.Addr
@@ -1314,6 +1337,9 @@ func (n *Node) retuner() {
 			if _, err := n.tuner.Retune(in); err == nil {
 				n.m.retunes.Add(1)
 			}
+			// The top-k planner's yield history ages with the same clock
+			// as the tuner's observation windows.
+			n.planner.Decay()
 		}
 	}
 }

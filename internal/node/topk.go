@@ -1,0 +1,190 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pdht/internal/keyspace"
+	"pdht/internal/obs"
+	"pdht/internal/stats"
+	"pdht/internal/topk"
+	"pdht/internal/transport"
+)
+
+// This file is the node's half of the distributed top-k protocol
+// (internal/topk): serving OpTopK probes against the local content store,
+// and coordinating whole queries over the membership via QueryTopK.
+
+// serveTopK answers one OpTopK probe: score the local content store
+// against the request's terms and return the best entries of the asked
+// window. Content is unrouted — any peer may hold any document — so the
+// op is not subject to the ViewHash check.
+func (n *Node) serveTopK(req transport.Request) transport.Response {
+	if req.TopK == nil {
+		return transport.Response{Err: "topk without payload"}
+	}
+	n.mu.Lock()
+	resp := topk.Serve(*req.TopK, func(term uint64) (uint64, bool) {
+		doc, ok := n.store[keyspace.Key(term)]
+		return doc, ok
+	}, n.cfg.TopKScorer)
+	n.mu.Unlock()
+	return transport.Response{OK: true, TopK: &resp}
+}
+
+// QueryTopK coordinates one distributed top-k query: the k best documents
+// cluster-wide for the term set, under the threshold-algorithm round
+// protocol of internal/topk. The probe schedule is adaptive — the
+// planner's yield history orders peers and the tuner's count-min sketch
+// (when the node is adaptive) weights terms — so hot peers are probed
+// deep and first, and cold peers are skipped entirely once the threshold
+// bound is met (Result.Early).
+//
+// The context bounds the whole query; cancellation aborts the in-flight
+// round and returns the context error. Every remote probe is additionally
+// capped at CallTimeout, and a probe that fails is treated as an empty
+// peer — replication at the other holders keeps the answer correct.
+func (n *Node) QueryTopK(ctx context.Context, terms []uint64, k int) (topk.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return topk.Result{}, ctxErr(err)
+	}
+	if k < 1 {
+		return topk.Result{}, fmt.Errorf("node: top-k k = %d must be positive", k)
+	}
+	if len(terms) == 0 {
+		return topk.Result{}, fmt.Errorf("node: top-k query without terms")
+	}
+	// Same tracing contract as Query: opt-in per node or per call, wire
+	// propagation sampled per traced query.
+	tr := obs.TraceFrom(ctx)
+	owned := tr == nil && (n.traceHook != nil || n.slowLog != nil)
+	if owned {
+		tr = obs.NewTrace(terms[0])
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	if tr != nil && tr.WireID() == 0 {
+		tr.SetWireID(sampleWireID(&n.traceSeq, n.cfg.TraceSampling))
+	}
+	res, err := n.queryTopK(ctx, terms, k)
+	if owned {
+		outcome := "topk"
+		switch {
+		case err != nil:
+			outcome = "error"
+		case res.Early:
+			outcome = "topk-early"
+		}
+		qt := tr.Finish(outcome)
+		if n.slowLog != nil {
+			n.slowLog.Record(qt)
+		}
+		if n.traceHook != nil {
+			n.traceHook(qt)
+		}
+	}
+	return res, err
+}
+
+// queryTopK runs the round protocol proper; QueryTopK wraps it with the
+// trace plumbing.
+func (n *Node) queryTopK(ctx context.Context, terms []uint64, k int) (topk.Result, error) {
+	n.m.topkQueries.Inc()
+	if n.tuner != nil {
+		// Every term feeds the frequency sketch the planner's weights are
+		// derived from — top-k load shapes the control plane like unary
+		// query load does.
+		for _, t := range terms {
+			n.tuner.Observe(t)
+		}
+	}
+
+	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		return topk.Result{}, ErrClosed
+	}
+	members := append([]string(nil), n.view.members...)
+	n.mu.Unlock()
+
+	cfg := topk.RunConfig{
+		K:       k,
+		Terms:   terms,
+		Weights: n.planner.Weights(terms),
+		Plan:    n.planner.Plan(members, n.cfg.Addr, k, n.cfg.Repl),
+	}
+
+	// best tracks, per candidate document, the peer whose probe reported
+	// its winning score — the planner's Credit feedback after the query.
+	type source struct {
+		addr  string
+		score float64
+	}
+	var bmu sync.Mutex
+	best := make(map[uint64]source)
+
+	probe := func(pctx context.Context, addr string, req topk.Req) (topk.Resp, error) {
+		var resp topk.Resp
+		if addr == n.cfg.Addr {
+			// The local self-scan: served in-process, no wire leg.
+			r := n.serveTopK(transport.Request{Op: transport.OpTopK, From: n.cfg.Addr, TopK: &req})
+			if r.Err != "" {
+				return topk.Resp{}, fmt.Errorf("node: %s", r.Err)
+			}
+			resp = *r.TopK
+		} else {
+			r, err := n.callWithin(pctx, addr, transport.Request{
+				Op: transport.OpTopK, From: n.cfg.Addr, TopK: &req,
+			})
+			if err != nil {
+				return topk.Resp{}, err
+			}
+			if r.Err != "" || r.TopK == nil {
+				return topk.Resp{}, fmt.Errorf("node: topk probe: %s", r.Err)
+			}
+			resp = *r.TopK
+		}
+		bmu.Lock()
+		for _, e := range resp.Entries {
+			if cur, ok := best[e.Doc]; !ok || e.Score > cur.score {
+				best[e.Doc] = source{addr: addr, score: e.Score}
+			}
+		}
+		bmu.Unlock()
+		return resp, nil
+	}
+
+	tr := obs.TraceFrom(ctx)
+	legStart := time.Now()
+	onRound := func(info topk.RoundInfo) {
+		n.m.topkRounds.Inc()
+		n.m.topkLegs.Add(uint64(info.Legs))
+		n.m.topkCandidates.Set(int64(info.Candidates))
+		n.counters.Add(stats.MsgTopK, int64(info.Legs))
+		if tr != nil {
+			tr.Leg("topk-round", "",
+				fmt.Sprintf("%d legs, %d candidates", info.Legs, info.Candidates), legStart)
+			legStart = time.Now()
+		}
+	}
+
+	res := topk.Run(ctx, cfg, probe, onRound)
+	if res.Early {
+		n.m.topkEarly.Inc()
+	}
+	if n.tuner != nil {
+		n.tuner.ObserveTopK(res.Legs)
+	}
+	// Credit the peers whose content made the final answer: tomorrow's
+	// first round starts at today's productive peers.
+	for _, e := range res.Entries {
+		if src, ok := best[e.Doc]; ok {
+			n.planner.Credit(src.addr)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return res, ctxErr(err)
+	}
+	return res, nil
+}

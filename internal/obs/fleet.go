@@ -20,6 +20,8 @@ const (
 	fleetFMin         = "pdht_adapt_fmin"
 	fleetWALBytes     = "pdht_store_wal_size_bytes"
 	fleetAlive        = "pdht_gossip_members_alive"
+	fleetTopKQueries  = "pdht_topk_queries_total"
+	fleetTopKLegs     = "pdht_topk_legs_total"
 )
 
 // FleetPeer is one peer's row of a FleetReport — what one line of pdht-top
@@ -49,6 +51,9 @@ type FleetPeer struct {
 	// MsgsPerQuery is the peer's measured message cost per query, the
 	// paper's per-node cost figure.
 	MsgsPerQuery float64 `json:"msgs_per_query"`
+	// TopKLegsPerQuery is the peer's measured OpTopK probe legs per
+	// coordinated top-k query; zero when the peer coordinated none.
+	TopKLegsPerQuery float64 `json:"topk_legs_per_query,omitempty"`
 }
 
 // FleetReport is the cluster-wide view Client.ClusterReport assembles: one
@@ -165,6 +170,10 @@ func peerRow(s Snapshot) FleetPeer {
 	}
 	if v, ok := s.Value(fleetAlive); ok {
 		row.MembersAlive = int64(v)
+	}
+	if q, ok := s.Value(fleetTopKQueries); ok && q > 0 {
+		legs, _ := s.Value(fleetTopKLegs)
+		row.TopKLegsPerQuery = legs / q
 	}
 	return row
 }

@@ -18,6 +18,12 @@ func fleetSnap(addr string, queries, hits uint64, msgs, uptime, keyTtl, fMin, wa
 	r := NewRegistry()
 	r.Counter(fleetQueries, "q").Add(queries)
 	r.Counter(fleetHits, "h").Add(hits)
+	if addr == "127.0.0.1:7090" {
+		// Only the first fixture peer coordinates top-k queries; the others
+		// exercise the omitempty path of the report row.
+		r.Counter(fleetTopKQueries, "tq").Add(4)
+		r.Counter(fleetTopKLegs, "tl").Add(10)
+	}
 	r.GaugeFunc(fleetMessages, "m", func() float64 { return msgs })
 	r.GaugeFunc(fleetUptime, "u", func() float64 { return uptime })
 	r.GaugeFunc(fleetKeyTtl, "t", func() float64 { return keyTtl })

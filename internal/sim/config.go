@@ -47,6 +47,14 @@ const (
 	// below fMin. The A/B counterpart of StrategyPartialTTL under
 	// mid-run popularity shifts.
 	StrategyPartialAdaptive
+	// StrategyPartialTopK runs the distributed top-k query plane
+	// (internal/topk) over the simulated population: multi-term queries
+	// resolved by the threshold-algorithm round protocol, with probe
+	// schedules from either the adaptive Planner (yield history plus
+	// sketch-fed term weights) or the uniform full-fan-out baseline
+	// (Config.TopKUniform) — the A/B the adaptive planner's savings are
+	// measured on.
+	StrategyPartialTopK
 )
 
 // String names the strategy as the paper does.
@@ -62,6 +70,8 @@ func (s Strategy) String() string {
 		return "partialTTL"
 	case StrategyPartialAdaptive:
 		return "partialAdaptive"
+	case StrategyPartialTopK:
+		return "partialTopK"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
@@ -69,12 +79,12 @@ func (s Strategy) String() string {
 
 // ParseStrategy resolves a strategy name as printed by String.
 func ParseStrategy(name string) (Strategy, error) {
-	for _, s := range []Strategy{StrategyNoIndex, StrategyIndexAll, StrategyPartialIdeal, StrategyPartialTTL, StrategyPartialAdaptive} {
+	for _, s := range []Strategy{StrategyNoIndex, StrategyIndexAll, StrategyPartialIdeal, StrategyPartialTTL, StrategyPartialAdaptive, StrategyPartialTopK} {
 		if s.String() == name {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("sim: unknown strategy %q (want noIndex, indexAll, partial, partialTTL or partialAdaptive)", name)
+	return 0, fmt.Errorf("sim: unknown strategy %q (want noIndex, indexAll, partial, partialTTL, partialAdaptive or partialTopK)", name)
 }
 
 // ParseBackend resolves a backend name as printed by Backend.String.
@@ -196,6 +206,20 @@ type Config struct {
 	// Shifts optionally rearranges query popularity mid-run.
 	Shifts workload.Schedule
 
+	// StrategyPartialTopK content and query shape. Terms are partitioned
+	// into TopKGroups groups of TopKGroupSize; each group has TopKCopies
+	// copy documents, each matching all of the group's terms, placed at
+	// distinct random peers. Queries draw a Zipf-ranked group and ask for
+	// the TopKK best documents matching TopKTerms of its terms.
+	TopKK         int
+	TopKTerms     int
+	TopKGroups    int
+	TopKGroupSize int
+	TopKCopies    int
+	// TopKUniform replaces the adaptive Planner with the full-fan-out
+	// UniformPlan — the non-adaptive baseline of the A/B.
+	TopKUniform bool
+
 	// TraceEvery > 0 records a TracePoint every that many rounds
 	// (including warmup), for time-series plots such as the adaptation
 	// experiment.
@@ -241,6 +265,11 @@ func DefaultConfig() Config {
 		Redundancy:    2,
 		Rounds:        300,
 		WarmupRounds:  50,
+		TopKK:         5,
+		TopKTerms:     3,
+		TopKGroups:    200,
+		TopKGroupSize: 4,
+		TopKCopies:    20,
 		Seed:          1,
 	}
 }
@@ -267,7 +296,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: %w", err)
 	}
 	switch {
-	case c.Strategy < StrategyNoIndex || c.Strategy > StrategyPartialAdaptive:
+	case c.Strategy < StrategyNoIndex || c.Strategy > StrategyPartialTopK:
 		return fmt.Errorf("sim: unknown strategy %d", int(c.Strategy))
 	case c.SelfTuneTTL && c.Strategy == StrategyPartialAdaptive:
 		return fmt.Errorf("sim: SelfTuneTTL is a StrategyPartialTTL mechanism; partialAdaptive has its own tuner")
@@ -293,6 +322,20 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: unknown key source %d", int(c.KeySource))
 	case c.TunePeriod < 0:
 		return fmt.Errorf("sim: TunePeriod %d must be non-negative", c.TunePeriod)
+	}
+	if c.Strategy == StrategyPartialTopK {
+		switch {
+		case c.TopKK < 1:
+			return fmt.Errorf("sim: TopKK %d must be positive", c.TopKK)
+		case c.TopKTerms < 1 || c.TopKTerms > c.TopKGroupSize:
+			return fmt.Errorf("sim: TopKTerms %d out of [1,%d]", c.TopKTerms, c.TopKGroupSize)
+		case c.TopKGroups < 1:
+			return fmt.Errorf("sim: TopKGroups %d must be positive", c.TopKGroups)
+		case c.TopKCopies < 1 || c.TopKCopies > c.Peers:
+			return fmt.Errorf("sim: TopKCopies %d out of [1,%d]", c.TopKCopies, c.Peers)
+		case c.SelfTuneTTL:
+			return fmt.Errorf("sim: SelfTuneTTL is a StrategyPartialTTL mechanism; partialTopK has no index TTL")
+		}
 	}
 	if c.Churn.MeanOnline != 0 || c.Churn.MeanOffline != 0 {
 		if err := c.Churn.Validate(); err != nil {
@@ -346,6 +389,12 @@ type Result struct {
 	// values unless Strategy == StrategyPartialAdaptive.
 	GatedInserts int
 	Tuner        adapt.Snapshot
+	// TopKLegsPerQuery is the mean OpTopK wire legs one top-k query paid
+	// and TopKEarlyRate the fraction that terminated before draining every
+	// peer — StrategyPartialTopK's cost and savings figures (zero
+	// otherwise).
+	TopKLegsPerQuery float64
+	TopKEarlyRate    float64
 }
 
 // IndexFraction returns the measured mean index size as a fraction of all

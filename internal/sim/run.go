@@ -55,6 +55,8 @@ type run struct {
 	// same control loop over its share.
 	adaptTuner   *adapt.Tuner
 	gatedInserts int
+	// The distributed top-k plane (StrategyPartialTopK).
+	topk *topkSim
 	// Oracle knowledge for StrategyPartialIdeal: ranks 1..maxRank are
 	// indexed. Under the identity rank→key mapping that is key < maxRank.
 	maxRank int
@@ -239,6 +241,15 @@ func setup(cfg Config) (*run, error) {
 		if t := r.adaptTuner; t != nil {
 			r.pdht.SetInsertGate(func(k keyspace.Key) bool { return t.ShouldIndex(uint64(k)) })
 		}
+	case StrategyPartialTopK:
+		// No index and no analytical counterpart: the top-k plane is the
+		// reproduction's extension beyond the paper's point queries, so
+		// the prediction column stays empty and cost is measured only.
+		r.topk, err = newTopKSim(cfg, r.net,
+			rand.New(rand.NewPCG(cfg.Seed^0xbbbb, cfg.Seed^0xcccc)))
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Churn last, so that construction sees the full population; the
@@ -303,6 +314,7 @@ func (r *run) loop() (Result, error) {
 	}
 	var (
 		qbuf        []workload.Query
+		tqbuf       []workload.TopKQuery
 		ubuf        []workload.Update
 		baseline    map[stats.MsgClass]int64
 		sizeSamples int
@@ -325,7 +337,11 @@ func (r *run) loop() (Result, error) {
 		if r.churn != nil {
 			r.churn.Step()
 		}
-		cfg.Shifts.Apply(r.net.Round(), r.queries.Sampler())
+		if r.topk != nil {
+			cfg.Shifts.Apply(r.net.Round(), r.topk.queries.Sampler())
+		} else {
+			cfg.Shifts.Apply(r.net.Round(), r.queries.Sampler())
+		}
 		measuring := round >= cfg.WarmupRounds
 		if round == cfg.WarmupRounds {
 			baseline = r.net.Counters().Snapshot()
@@ -385,29 +401,61 @@ func (r *run) loop() (Result, error) {
 			}
 		}
 
-		qbuf = r.queries.Round(qbuf)
-		for _, q := range qbuf {
-			if !r.net.Online(q.Origin) {
-				continue // offline peers don't query
-			}
-			answered, fromIndex := r.answer(q)
-			winQueries++
-			if answered {
-				winAns++
-			}
-			if fromIndex {
-				winHits++
-			}
-			if measuring {
-				if res.KeyQueryCounts != nil {
-					res.KeyQueryCounts[q.Key]++
+		if r.topk != nil {
+			// The planner's yield history decays on the same window
+			// rotation the adaptive tuner uses, so shifted workloads'
+			// new hot peers overtake the old.
+			if r.topk.planner != nil {
+				period := cfg.TunePeriod
+				if period == 0 {
+					period = 50
 				}
-				res.Queries++
+				if round > 0 && round%period == 0 {
+					r.topk.planner.Decay()
+				}
+			}
+			tqbuf = r.topk.queries.Round(tqbuf)
+			for _, q := range tqbuf {
+				if !r.net.Online(q.Origin) {
+					continue // offline peers don't query
+				}
+				exact := r.topk.answer(q, measuring)
+				winQueries++
+				if exact {
+					winAns++
+				}
+				if measuring {
+					res.Queries++
+					if exact {
+						res.Answered++
+					}
+				}
+			}
+		} else {
+			qbuf = r.queries.Round(qbuf)
+			for _, q := range qbuf {
+				if !r.net.Online(q.Origin) {
+					continue // offline peers don't query
+				}
+				answered, fromIndex := r.answer(q)
+				winQueries++
 				if answered {
-					res.Answered++
+					winAns++
 				}
 				if fromIndex {
-					res.HitRate++ // running count; normalized below
+					winHits++
+				}
+				if measuring {
+					if res.KeyQueryCounts != nil {
+						res.KeyQueryCounts[q.Key]++
+					}
+					res.Queries++
+					if answered {
+						res.Answered++
+					}
+					if fromIndex {
+						res.HitRate++ // running count; normalized below
+					}
 				}
 			}
 		}
@@ -466,6 +514,10 @@ func (r *run) loop() (Result, error) {
 	res.GatedInserts = r.gatedInserts
 	if r.adaptTuner != nil {
 		res.Tuner = r.adaptTuner.Snapshot()
+	}
+	if r.topk != nil && r.topk.mQueries > 0 {
+		res.TopKLegsPerQuery = float64(r.topk.mLegs) / float64(r.topk.mQueries)
+		res.TopKEarlyRate = float64(r.topk.mEarly) / float64(r.topk.mQueries)
 	}
 	return res, nil
 }

@@ -36,6 +36,9 @@ const (
 	// MsgReplicaFlood counts messages flooded through the replica
 	// subnetwork during a query or insert — the repl·dup2 term.
 	MsgReplicaFlood
+	// MsgTopK counts OpTopK probe legs of distributed top-k queries —
+	// the numPeers·TopKRound·TopKProbe traffic term added to eq. 17.
+	MsgTopK
 	// MsgControl counts everything else (joins, key transfers, eviction
 	// notices). The analytical model has no such term; keeping them
 	// separate makes the comparison honest.
@@ -57,6 +60,8 @@ func (c MsgClass) String() string {
 		return "update"
 	case MsgReplicaFlood:
 		return "replica-flood"
+	case MsgTopK:
+		return "topk"
 	case MsgControl:
 		return "control"
 	default:

@@ -1,0 +1,172 @@
+package topk
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"pdht/internal/adapt"
+)
+
+// plannerPeers is the capacity of the space-saving summary of productive
+// peers. A top-k answer set concentrates on the holders of the hot
+// documents — a handful of peers under a Zipf workload — so a small
+// summary captures the head that matters.
+const plannerPeers = 32
+
+// Probe is one scheduled probe of a Plan: ask Addr for its best K entries.
+type Probe struct {
+	Addr string
+	// K is the per-peer k_i: how deep the first probe of this peer goes.
+	K int
+	// Local marks the coordinator's own address — served in-process, not
+	// a wire leg.
+	Local bool
+}
+
+// Plan is the probe schedule of one top-k query, in descending priority.
+type Plan struct {
+	Probes []Probe
+	// FirstBatch is how many probes the first round issues; each
+	// subsequent round doubles the batch, so a mis-ranked plan still
+	// drains the cluster in O(log peers) rounds.
+	FirstBatch int
+}
+
+// UniformPlan is the non-adaptive baseline: every member probed in one
+// full-fan-out round with k_i = k. It is also the exhaustive oracle's
+// schedule when k is large enough to drain every peer.
+func UniformPlan(members []string, self string, k int) Plan {
+	probes := make([]Probe, 0, len(members))
+	for _, m := range members {
+		probes = append(probes, Probe{Addr: m, K: k, Local: m == self})
+	}
+	return Plan{Probes: probes, FirstBatch: len(probes)}
+}
+
+// Planner derives adaptive probe schedules from the same statistics the
+// keyTtl tuner runs on: a count-min view of term popularity (weights) and
+// a space-saving summary of which peers' documents keep winning top-k
+// slots (probe order and depth). One Planner serves all of a node's
+// queries; it is safe for concurrent use.
+type Planner struct {
+	mu sync.Mutex
+	// hot tracks peer-address hashes by how often their entries made a
+	// final top-k answer.
+	hot *adapt.TopK
+	// termCount reads a term's observed query count from the count-min
+	// sketch; nil means no sketch (uniform weights).
+	termCount func(term uint64) uint64
+}
+
+// NewPlanner returns a Planner. termCount may be nil when no frequency
+// sketch is available (a client-only coordinator, a non-adaptive node);
+// the planner then plans on yield history alone with uniform weights.
+func NewPlanner(termCount func(term uint64) uint64) *Planner {
+	hot, err := adapt.NewTopK(plannerPeers)
+	if err != nil {
+		panic(err) // plannerPeers is a positive constant
+	}
+	return &Planner{hot: hot, termCount: termCount}
+}
+
+// Weights derives the per-term weights from the count-min sketch:
+// 1 + log₂(1+count), so a hot term outweighs a cold one without letting
+// one runaway counter flatten every other term's contribution. Returns
+// nil — uniform weight 1 — when no sketch is wired.
+func (p *Planner) Weights(terms []uint64) []float64 {
+	if p == nil || p.termCount == nil {
+		return nil
+	}
+	w := make([]float64, len(terms))
+	for i, t := range terms {
+		w[i] = 1 + math.Log2(1+float64(p.termCount(t)))
+	}
+	return w
+}
+
+// Plan schedules probes over members: peers with top-k yield history
+// first (deep k_i = k), cold peers after (shallow k_i, deferred to later
+// rounds and skipped entirely once the bound is met). self, when a
+// member, is always scheduled first — a local scan is free. repl sizes
+// the cold-start first round: content is replicated at repl peers, so
+// probing fewer than that cannot even cover one document's holders.
+func (p *Planner) Plan(members []string, self string, k, repl int) Plan {
+	type ranked struct {
+		addr string
+		heat uint64
+	}
+	rs := make([]ranked, 0, len(members))
+	p.mu.Lock()
+	for _, m := range members {
+		heat, _ := p.hot.Count(addrHash(m))
+		rs = append(rs, ranked{addr: m, heat: heat})
+	}
+	p.mu.Unlock()
+	sort.Slice(rs, func(i, j int) bool {
+		if (rs[i].addr == self) != (rs[j].addr == self) {
+			return rs[i].addr == self
+		}
+		if rs[i].heat != rs[j].heat {
+			return rs[i].heat > rs[j].heat
+		}
+		return rs[i].addr < rs[j].addr
+	})
+
+	kCold := (k + 1) / 2
+	if kCold < 1 {
+		kCold = 1
+	}
+	probes := make([]Probe, len(rs))
+	hotN := 0
+	for i, r := range rs {
+		ki := kCold
+		if r.heat > 0 || r.addr == self {
+			ki = k
+			hotN++
+		}
+		probes[i] = Probe{Addr: r.addr, K: ki, Local: r.addr == self}
+	}
+
+	first := hotN
+	if first < repl {
+		first = repl
+	}
+	if first < 2 {
+		first = 2
+	}
+	if first > len(probes) {
+		first = len(probes)
+	}
+	return Plan{Probes: probes, FirstBatch: first}
+}
+
+// Credit records that addr contributed an entry to a final top-k answer —
+// the feedback loop that concentrates future first rounds on productive
+// peers.
+func (p *Planner) Credit(addr string) {
+	p.mu.Lock()
+	p.hot.Observe(addrHash(addr))
+	p.mu.Unlock()
+}
+
+// Decay halves the yield counts — called on the tuner's window rotation
+// so a shifted workload's new hot peers overtake the old within a few
+// windows.
+func (p *Planner) Decay() {
+	p.mu.Lock()
+	p.hot.Decay()
+	p.mu.Unlock()
+}
+
+// addrHash maps a peer address into the space-saving summary's key space
+// (FNV-1a, the hash the membership view already uses for its own hashing).
+func addrHash(addr string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= prime64
+	}
+	return h
+}

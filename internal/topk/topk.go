@@ -1,0 +1,176 @@
+// Package topk executes distributed top-k queries over the partial DHT's
+// content plane: "the best k documents cluster-wide for a multi-term
+// query", the query class ADiT and Akbarinia et al. address for P2P
+// systems (see PAPERS.md).
+//
+// Every peer can score its local content store against a term set: a
+// document matches a term when the peer published it under that key, and
+// its local score is the sum of the matched terms' weights, shaped by a
+// pluggable Scorer (Serve). A coordinator — a member node or a
+// client-only RemoteClient — runs a threshold-algorithm round protocol
+// (Run): fetch each probed peer's top k_i entries via the OpTopK wire op,
+// merge them into a global candidate set under max-aggregation, and
+// maintain the threshold bound
+//
+//	bound = max( per-peer score of the best *unsent* entry,
+//	             maxScore for every peer not yet probed )
+//
+// where maxScore = Σ term weights is the best score any document can
+// reach. The threshold invariant: a Scorer must never exceed the term's
+// weight, so no unseen document — at a probed peer or an unprobed one —
+// can score above the bound. Once the k-th best candidate's score meets
+// the bound the query terminates early instead of exhaustively draining
+// every peer; documents tied with the k-th score may resolve either way.
+//
+// The adaptive half lives in Plan: per-peer k_i and the round-size
+// schedule are derived from internal/adapt's count-min sketch (term
+// weights) and space-saving summary (which peers' content keeps winning
+// top-k slots), so hot peers get deep first-round probes and cold peers
+// are deferred — and, when the bound is met, never probed at all.
+package topk
+
+import (
+	"math"
+	"sort"
+)
+
+// MaxTerms bounds the term set of one query; excess terms are ignored.
+const MaxTerms = 64
+
+// MaxK bounds k on both sides of the wire so a hostile request cannot ask
+// a peer to serialize its entire store.
+const MaxK = 1024
+
+// Req is the payload of one OpTopK probe: score these terms against your
+// local content store and return your best K entries from Offset on.
+type Req struct {
+	// Terms are the metadata keys of the query (see internal/metadata).
+	Terms []uint64 `json:"terms"`
+	// Weights are the coordinator-assigned term weights, aligned with
+	// Terms; a missing or empty slice means uniform weight 1. The
+	// coordinator derives them from its count-min sketch, so every peer
+	// scores against the same scale and the threshold bound stays sound.
+	Weights []float64 `json:"weights,omitempty"`
+	// K is how many entries to return — the per-peer k_i of the round.
+	K int `json:"k"`
+	// Offset skips the peer's first Offset entries: the deepening rounds
+	// re-fetch the same deterministic ranking further down.
+	Offset int `json:"offset,omitempty"`
+}
+
+// Entry is one scored document.
+type Entry struct {
+	// Doc is the document identifier (the value published under the
+	// matched term keys, e.g. an article ID).
+	Doc uint64 `json:"doc"`
+	// Score is the document's score: at a peer, the local score; in a
+	// Result, the best score any probed peer reported for it.
+	Score float64 `json:"score"`
+}
+
+// Resp is a peer's answer to one probe: its best entries in the requested
+// window, highest score first, ties broken by ascending Doc.
+type Resp struct {
+	Entries []Entry `json:"entries,omitempty"`
+	// More is the score of the peer's best entry beyond the returned
+	// window — the peer's contribution to the threshold bound. Zero means
+	// the peer is drained.
+	More float64 `json:"more,omitempty"`
+}
+
+// Scorer shapes the contribution of one matched term to a document's
+// local score. The threshold invariant requires 0 ≤ Score ≤ weight —
+// Serve clamps violations — because the coordinator bounds every unseen
+// document by the sum of the weights it handed out.
+type Scorer interface {
+	Score(term, doc uint64, weight float64) float64
+}
+
+// MatchScorer is the default Scorer: a matched term contributes exactly
+// its weight, so a document's score is the weighted count of terms it
+// matches.
+type MatchScorer struct{}
+
+// Score returns the term's full weight.
+func (MatchScorer) Score(term, doc uint64, weight float64) float64 { return weight }
+
+// Serve computes one peer's answer to a probe. lookup resolves a term key
+// to the document the peer published under it (the content store's view);
+// s may be nil for MatchScorer. Serve is deterministic: the ranking is
+// (score desc, doc asc), so deepening rounds with increasing Offset walk
+// one stable list.
+func Serve(req Req, lookup func(term uint64) (doc uint64, ok bool), s Scorer) Resp {
+	if s == nil {
+		s = MatchScorer{}
+	}
+	k := req.K
+	if k <= 0 {
+		return Resp{}
+	}
+	if k > MaxK {
+		k = MaxK
+	}
+	terms := req.Terms
+	if len(terms) > MaxTerms {
+		terms = terms[:MaxTerms]
+	}
+	offset := req.Offset
+	if offset < 0 {
+		offset = 0
+	}
+
+	scores := make(map[uint64]float64, len(terms))
+	for i, t := range terms {
+		w := 1.0
+		if i < len(req.Weights) {
+			w = req.Weights[i]
+		}
+		if !(w > 0) || math.IsInf(w, 0) { // drops NaN and non-positive
+			continue
+		}
+		doc, ok := lookup(t)
+		if !ok {
+			continue
+		}
+		c := s.Score(t, doc, w)
+		switch {
+		case !(c > 0): // NaN or non-positive contributes nothing
+			continue
+		case c > w: // the threshold invariant, enforced
+			c = w
+		}
+		scores[doc] += c
+	}
+	if len(scores) == 0 {
+		return Resp{}
+	}
+
+	all := make([]Entry, 0, len(scores))
+	for doc, sc := range scores {
+		all = append(all, Entry{Doc: doc, Score: sc})
+	}
+	sortEntries(all)
+	if offset >= len(all) {
+		return Resp{}
+	}
+	end := offset + k
+	if end > len(all) {
+		end = len(all)
+	}
+	resp := Resp{Entries: append([]Entry(nil), all[offset:end]...)}
+	if end < len(all) {
+		resp.More = all[end].Score
+	}
+	return resp
+}
+
+// sortEntries orders entries by (score desc, doc asc) — the one total
+// order every peer and every coordinator agrees on.
+func sortEntries(es []Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Score != es[j].Score {
+			return es[i].Score > es[j].Score
+		}
+		return es[i].Doc < es[j].Doc
+	})
+}

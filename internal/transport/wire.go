@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"pdht/internal/obs"
+	"pdht/internal/topk"
 )
 
 // Op identifies what a request asks the receiving node to do. The
@@ -52,6 +53,13 @@ const (
 	// The reply travels in Response.Stats. Not subject to the ViewHash
 	// check: statistics are valid across view transitions.
 	OpStats
+	// OpTopK asks a peer to score a multi-term query against its local
+	// content store and return its best k_i entries — one probe leg of
+	// the distributed top-k round protocol (internal/topk). The payload
+	// travels in Request.TopK, the scored window in Response.TopK. Not
+	// subject to the ViewHash check: content is unrouted, so any two
+	// views agree on what a peer holds.
+	OpTopK
 )
 
 // String returns the short label used in logs and errors.
@@ -71,6 +79,8 @@ func (o Op) String() string {
 		return "batch"
 	case OpStats:
 		return "stats"
+	case OpTopK:
+		return "topk"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -177,6 +187,8 @@ type Request struct {
 	// caller can stitch a cross-peer causality tree. Zero — the common
 	// case — costs nothing on either side.
 	TraceID uint64 `json:"trace,omitempty"`
+	// TopK carries the scored-list window an OpTopK probe asks for.
+	TopK *topk.Req `json:"topk,omitempty"`
 }
 
 // Response is the wire envelope of one reply.
@@ -202,6 +214,8 @@ type Response struct {
 	Spans []obs.Span `json:"spans,omitempty"`
 	// Stats is the registry snapshot answering an OpStats request.
 	Stats *obs.Snapshot `json:"stats,omitempty"`
+	// TopK is the scored window answering an OpTopK probe.
+	TopK *topk.Resp `json:"topk,omitempty"`
 }
 
 // frame is the unit the TCP codec moves: a correlation ID plus either a

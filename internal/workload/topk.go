@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"pdht/internal/netsim"
+	"pdht/internal/zipf"
+)
+
+// TopKQuery is one multi-term top-k query event: Origin asks for the best
+// documents matching Pick terms of the term-group currently at popularity
+// rank Rank. Slots are the chosen term positions within the group; the
+// simulation maps (group, slot) pairs onto its term-key universe.
+type TopKQuery struct {
+	Origin netsim.PeerID
+	Rank   int
+	Group  int
+	Slots  []int
+}
+
+// TopKGen draws each round's top-k queries. Groups play the role keys play
+// for QueryGen — Zipf-ranked popularity over a universe of term-groups —
+// and each query picks a uniform origin plus a uniform subset of the
+// group's terms, modeling the multi-predicate queries of the paper's news
+// scenario ("term=weather AND date=…") rather than single-key point
+// lookups.
+type TopKGen struct {
+	sampler   *zipf.Sampler
+	numPeers  int
+	fQry      float64
+	pick      int
+	groupSize int
+	rng       *rand.Rand
+}
+
+// NewTopKGen returns a generator over the sampler's group universe,
+// emitting Poisson(numPeers·fQry) queries per round of pick terms each out
+// of groups of groupSize terms.
+func NewTopKGen(sampler *zipf.Sampler, numPeers int, fQry float64, pick, groupSize int, rng *rand.Rand) (*TopKGen, error) {
+	if numPeers < 1 {
+		return nil, fmt.Errorf("workload: numPeers %d must be positive", numPeers)
+	}
+	if fQry < 0 || math.IsNaN(fQry) || math.IsInf(fQry, 0) {
+		return nil, fmt.Errorf("workload: fQry %v must be non-negative and finite", fQry)
+	}
+	if pick < 1 || pick > groupSize {
+		return nil, fmt.Errorf("workload: pick %d out of [1,%d]", pick, groupSize)
+	}
+	return &TopKGen{sampler: sampler, numPeers: numPeers, fQry: fQry, pick: pick, groupSize: groupSize, rng: rng}, nil
+}
+
+// Sampler exposes the underlying Zipf sampler over groups, so scenarios
+// can shift group popularity between rounds.
+func (g *TopKGen) Sampler() *zipf.Sampler { return g.sampler }
+
+// Round returns this round's queries. The slice is reused across calls;
+// callers must not retain it or the Slots it holds.
+func (g *TopKGen) Round(buf []TopKQuery) []TopKQuery {
+	n := Poisson(g.rng, float64(g.numPeers)*g.fQry)
+	buf = buf[:0]
+	for i := 0; i < n; i++ {
+		rank := g.sampler.SampleRank()
+		buf = append(buf, TopKQuery{
+			Origin: netsim.PeerID(g.rng.IntN(g.numPeers)),
+			Rank:   rank,
+			Group:  g.sampler.KeyAtRank(rank),
+			Slots:  g.rng.Perm(g.groupSize)[:g.pick],
+		})
+	}
+	return buf
+}

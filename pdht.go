@@ -107,6 +107,14 @@ type TraceLeg = client.TraceLeg
 type FleetReport = client.FleetReport
 type FleetPeer = client.FleetPeer
 
+// TopKResult is one resolved distributed top-k query (Client.QueryTopK):
+// the k best documents cluster-wide under the threshold-algorithm round
+// protocol, plus its cost accounting — rounds, wire legs, peers
+// probed/skipped/failed, and whether the threshold bound terminated the
+// query before every peer was drained. TopKEntry is one scored document.
+type TopKResult = client.TopKResult
+type TopKEntry = client.TopKEntry
+
 // The typed failures of the live request path — errors.Is-able, shared
 // with package pdht/client.
 var (
@@ -114,6 +122,7 @@ var (
 	ErrNoMembers = client.ErrNoMembers
 	ErrStaleView = client.ErrStaleView
 	ErrTimeout   = client.ErrTimeout
+	ErrBadQuery  = client.ErrBadQuery
 )
 
 // Open builds a live handle on the partial DHT: by default a full member
