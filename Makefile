@@ -8,7 +8,7 @@
 # adapt, ...) stay interactive-only; they are minutes, not seconds. topk
 # is the exception: its A/B is pinned to a small fixed population, so it
 # stays sub-second too.
-BENCH_EXPERIMENTS := table1 fig1 fig2 fig3 fig4 ttlsens alpha kary topk store
+BENCH_EXPERIMENTS := table1 fig1 fig2 fig3 fig4 ttlsens alpha kary topk store viewdelta chaos
 
 .PHONY: all build test race bench fmt vet
 
@@ -22,10 +22,10 @@ test:
 
 # The live subsystem under the race detector — the CI race matrix.
 race:
-	go test -race ./client/ ./internal/adapt/ ./internal/gossip/... \
-		./internal/node/ ./internal/obs/ ./internal/replica/ \
-		./internal/store/ ./internal/topk/ ./internal/transport/ \
-		./cmd/pdht-node/
+	go test -race ./client/ ./internal/adapt/ ./internal/chaos/ \
+		./internal/gossip/... ./internal/node/ ./internal/obs/ \
+		./internal/replica/ ./internal/store/ ./internal/topk/ \
+		./internal/transport/ ./cmd/pdht-node/
 
 # The perf trajectory artifact: one JSON object per experiment table, in
 # the {title, header, rows} schema pdht-bench -format json emits, written

@@ -9,7 +9,7 @@
 //	pdht-bench -scale 2000        # simulator population for V1/S2/A1/A3
 //
 // Experiments: table1 fig1 fig2 fig3 fig4 ttlsens alpha validate sweep
-// adapt backends selftune topk store all
+// adapt backends selftune topk store viewdelta chaos all
 package main
 
 import (
@@ -186,6 +186,20 @@ func main() {
 		}
 		return render(t)
 	})
+	run("viewdelta", func() error {
+		t, err := experiments.ViewDeltaBench()
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
+	run("chaos", func() error {
+		t, err := experiments.ChaosBench(0, *seed)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	})
 
 	if *experiment != "all" && !knownExperiment(*experiment) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n",
@@ -197,7 +211,7 @@ func main() {
 var knownExperiments = []string{
 	"table1", "fig1", "fig2", "fig3", "fig4", "ttlsens", "alpha", "kary",
 	"maintenance", "validate", "sweep", "adapt", "backends", "selftune",
-	"calibrate", "topk", "store", "all",
+	"calibrate", "topk", "store", "viewdelta", "chaos", "all",
 }
 
 func knownExperiment(name string) bool {

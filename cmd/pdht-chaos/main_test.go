@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunSmallFleet drives the real flag-to-JSON path on a small fleet and
+// checks the report parses back with the acceptance shape intact.
+func TestRunSmallFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet CLI test skipped in -short mode")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "12", "-seed", "7", "-entries", "16", "-quiet",
+		"-schedule", "healthy=300ms,drop20+split2=1s,heal=0s",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatalf("run: %v (output %s)", err, out.String())
+	}
+	var rep struct {
+		N           int    `json:"n"`
+		Schedule    string `json:"schedule"`
+		Converged   bool   `json:"converged"`
+		WithinBound bool   `json:"withinBound"`
+		Accounting  struct {
+			Lost        int `json:"lost"`
+			Resurrected int `json:"resurrected"`
+			Held        int `json:"held"`
+		} `json:"accounting"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.N != 12 || !rep.Converged || !rep.WithinBound {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if rep.Accounting.Lost != 0 || rep.Accounting.Resurrected != 0 || rep.Accounting.Held == 0 {
+		t.Fatalf("accounting: %+v", rep.Accounting)
+	}
+	if !strings.Contains(rep.Schedule, "drop20+split2") {
+		t.Fatalf("schedule not echoed: %q", rep.Schedule)
+	}
+}
+
+// TestRunRejectsBadSchedule pins the parse error path.
+func TestRunRejectsBadSchedule(t *testing.T) {
+	err := run([]string{"-schedule", "nonsense=1s"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("bad schedule accepted")
+	}
+}

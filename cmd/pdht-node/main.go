@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"pdht/internal/chaos"
 	"pdht/internal/metadata"
 	"pdht/internal/node"
 	"pdht/internal/store"
@@ -79,6 +80,11 @@ func run(args []string, out io.Writer) error {
 		snapEvery   = fs.Duration("snapshot-interval", time.Minute, "WAL compaction period with -data-dir: how often outstanding records are absorbed into a snapshot")
 		demo        = fs.Bool("demo", false, "run the 3-node TCP-loopback demonstration and exit")
 		demoTopK    = fs.Bool("demo-topk", false, "run the 3-node distributed top-k demonstration and exit")
+		chaosSeed   = fs.Uint64("chaos-seed", 1, "seed of the fault-injection random streams (shared across the cluster so partitions line up)")
+		chaosDrop   = fs.Float64("chaos-drop", 0, "fault injection: per-message per-direction drop probability on every outbound link")
+		chaosLat    = fs.Duration("chaos-latency", 0, "fault injection: fixed one-way latency added to every outbound message")
+		chaosJitter = fs.Duration("chaos-jitter", 0, "fault injection: uniform extra latency in [0, jitter) per outbound message")
+		chaosSched  = fs.String("chaos-schedule", "", "fault schedule in the chaos mini-language (e.g. \"healthy=30s,drop20+split3=60s,heal=10m\"); splits assign groups by hashing advertised addresses, so identically-scheduled containers partition consistently with no coordination")
 	)
 	// -repl predates -replicas; both set the same knob.
 	fs.IntVar(repl, "repl", *repl, "alias of -replicas")
@@ -127,7 +133,33 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	nd, err := node.New(transport.NewTCP(), cfg)
+	// Fault injection: with any -chaos-* knob set, the TCP transport is
+	// wrapped in the same chaos layer the in-process fleet harness uses, so
+	// a container cluster misbehaves exactly like the tested scenarios.
+	var tr transport.Transport = transport.NewTCP()
+	if *chaosDrop > 0 || *chaosLat > 0 || *chaosJitter > 0 || *chaosSched != "" {
+		if _, port, err := net.SplitHostPort(*listen); err != nil || port == "" || port == "0" {
+			return fmt.Errorf("-chaos-* needs an explicit -listen host:port (got %q): the advertised address is the node's chaos-group identity", *listen)
+		}
+		cnet := chaos.New(tr, chaos.Config{
+			Seed:          *chaosSeed,
+			Drop:          *chaosDrop,
+			LatencyBase:   *chaosLat,
+			LatencyJitter: *chaosJitter,
+		})
+		tr = cnet.Node(cfg.Addr)
+		if *chaosSched != "" {
+			scenario, err := chaos.ParseSchedule(*chaosSched)
+			if err != nil {
+				return err
+			}
+			go scenario.Run(cnet, nil, func(p chaos.Phase) {
+				fmt.Fprintf(out, "chaos phase %s for %s\n", p.Name, p.Duration)
+			})
+		}
+	}
+
+	nd, err := node.New(tr, cfg)
 	if err != nil {
 		if cfg.Store != nil {
 			cfg.Store.Close()

@@ -85,9 +85,18 @@ func TestDocsNameShippedFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, flag := range []string{"replicas", "adaptive", "gossip-interval", "suspicion", "backend", "demo", "demo-topk", "publish", "query", "members", "report", "http", "slow-query", "data-dir", "fsync", "snapshot-interval"} {
+	for _, flag := range []string{"replicas", "adaptive", "gossip-interval", "suspicion", "backend", "demo", "demo-topk", "publish", "query", "members", "report", "http", "slow-query", "data-dir", "fsync", "snapshot-interval", "chaos-seed", "chaos-drop", "chaos-latency", "chaos-jitter", "chaos-schedule"} {
 		if !strings.Contains(string(main), fmt.Sprintf("%q", flag)) {
 			t.Errorf("README documents -%s but cmd/pdht-node does not define it", flag)
+		}
+	}
+	chaosMain, err := os.ReadFile(filepath.Join("cmd", "pdht-chaos", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, flag := range []string{"n", "seed", "schedule", "drop", "latency", "jitter", "entries", "workers", "keys", "adaptive", "boot-timeout"} {
+		if !strings.Contains(string(chaosMain), fmt.Sprintf("%q", flag)) {
+			t.Errorf("README/EXPERIMENTS.md document pdht-chaos -%s but cmd/pdht-chaos does not define it", flag)
 		}
 	}
 	simMain, err := os.ReadFile(filepath.Join("cmd", "pdht-sim", "main.go"))

@@ -1,0 +1,12 @@
+//go:build !race
+
+package chaos
+
+// Test-scale constants. The race detector multiplies both CPU and memory
+// cost per node by a large factor, so the build-tagged pair downscales the
+// in-matrix chaos tests under -race while keeping the same code paths.
+const (
+	smokeFleetN     = 128
+	invariantFleetN = 24
+	invariantSeeds  = 10
+)

@@ -1,0 +1,12 @@
+//go:build race
+
+package chaos
+
+// Downscaled counterparts of scale_norace.go: same scenarios and
+// assertions, small enough that the race detector's per-node overhead
+// keeps the suite inside the CI budget.
+const (
+	smokeFleetN     = 32
+	invariantFleetN = 12
+	invariantSeeds  = 3
+)

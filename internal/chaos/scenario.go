@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Phase is one timed fault state: an optional hash partition plus extra
+// message drop, layered over the Network's baseline Config. The zero Phase
+// is "healthy".
+type Phase struct {
+	// Name labels the phase in reports ("split3+drop20").
+	Name string
+	// Duration is how long the phase holds before the next one applies.
+	Duration time.Duration
+	// Drop is extra per-message drop probability during the phase,
+	// composed with the baseline (1-(1-base)(1-phase)).
+	Drop float64
+	// Split ≥ 2 hash-partitions the network into that many groups.
+	Split int
+	// OneWay restricts the cut to traffic INTO group 0 (asymmetric loss);
+	// requires Split ≥ 2.
+	OneWay bool
+}
+
+// Scenario is a script of fault phases, applied in order.
+type Scenario []Phase
+
+// ParseSchedule parses the scenario mini-language shared by the in-process
+// harness, cmd/pdht-chaos, and pdht-node's -chaos-schedule flag:
+//
+//	schedule  = phase ("," phase)*
+//	phase     = token ("+" token)* "=" duration
+//	token     = "healthy" | "heal" | "split" K | "oneway" K | "drop" PCT
+//
+// Example: "healthy=2s,drop20+split3=10s,heal=30s" — two seconds clean,
+// ten seconds of 20% loss across a 3-way partition, then thirty seconds
+// healed. K is the group count (≥2), PCT an integer percentage.
+func ParseSchedule(s string) (Scenario, error) {
+	var out Scenario
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, durStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: phase %q: want name=duration", part)
+		}
+		// Zero is legal: a trailing benign phase of zero duration tells
+		// the runner "wait the computed convergence bound" (see Run).
+		dur, err := time.ParseDuration(strings.TrimSpace(durStr))
+		if err != nil || dur < 0 {
+			return nil, fmt.Errorf("chaos: phase %q: bad duration %q", part, durStr)
+		}
+		p := Phase{Name: strings.TrimSpace(name), Duration: dur}
+		for _, tok := range strings.Split(p.Name, "+") {
+			tok = strings.TrimSpace(tok)
+			switch {
+			case tok == "healthy" || tok == "heal":
+				// explicit no-op: partition cleared, no extra faults
+			case strings.HasPrefix(tok, "split"):
+				k, err := strconv.Atoi(tok[len("split"):])
+				if err != nil || k < 2 {
+					return nil, fmt.Errorf("chaos: phase %q: bad split group count", part)
+				}
+				p.Split = k
+			case strings.HasPrefix(tok, "oneway"):
+				k, err := strconv.Atoi(tok[len("oneway"):])
+				if err != nil || k < 2 {
+					return nil, fmt.Errorf("chaos: phase %q: bad oneway group count", part)
+				}
+				p.Split, p.OneWay = k, true
+			case strings.HasPrefix(tok, "drop"):
+				pct, err := strconv.Atoi(tok[len("drop"):])
+				if err != nil || pct < 0 || pct > 100 {
+					return nil, fmt.Errorf("chaos: phase %q: bad drop percentage", part)
+				}
+				p.Drop = float64(pct) / 100
+			default:
+				return nil, fmt.Errorf("chaos: phase %q: unknown token %q", part, tok)
+			}
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("chaos: empty schedule")
+	}
+	return out, nil
+}
+
+// String renders the scenario back into the schedule mini-language.
+func (s Scenario) String() string {
+	parts := make([]string, len(s))
+	for i, p := range s {
+		name := p.Name
+		if name == "" {
+			name = "healthy"
+		}
+		parts[i] = fmt.Sprintf("%s=%s", name, p.Duration)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Total returns the scenario's summed duration.
+func (s Scenario) Total() time.Duration {
+	var t time.Duration
+	for _, p := range s {
+		t += p.Duration
+	}
+	return t
+}
+
+// Run applies the phases to net in order, sleeping each phase's duration,
+// and leaves the network HEALED (whatever the final phase was). stop
+// aborts between sleeps; onPhase, if non-nil, observes each phase as it is
+// applied.
+func (s Scenario) Run(net *Network, stop <-chan struct{}, onPhase func(Phase)) {
+	for _, p := range s {
+		net.SetPhase(p)
+		if onPhase != nil {
+			onPhase(p)
+		}
+		t := time.NewTimer(p.Duration)
+		select {
+		case <-t.C:
+		case <-stop:
+			t.Stop()
+			net.Heal()
+			return
+		}
+	}
+	net.Heal()
+}
+
+// ConvergenceBound computes the time a fleet of n members is allowed to
+// re-converge on a single membership view after a heal, from the gossip
+// parameters in play. The bound is the sum of the mechanisms a heal
+// actually exercises, with a 2× safety factor:
+//
+//   - detect: in-flight suspicions at the heal instant may still expire
+//     into deaths that then need refuting — one suspicion window plus a
+//     few probe periods.
+//   - resurrect: each side holds the other confirmed dead, so the only
+//     crossing traffic is the dead-member anti-entropy sync
+//     (gossip.Config.DeadSyncFraction). A member learns of its own death
+//     claim — and refutes it with an incarnation bump — after a
+//     geometric number of sync rounds with mean 1/frac; the slowest of n
+//     members needs about ln(n)/frac rounds.
+//   - spread: a refutation reaches everyone by epidemic full-state
+//     exchange in about log₂(n) sync rounds.
+//
+// The chaos headline tests assert measured heal-to-convergence time stays
+// under this bound; if gossip regresses (say the dead-sync path breaks),
+// they fail rather than hang.
+func ConvergenceBound(n int, probeInterval, suspicionTimeout, syncInterval time.Duration, deadSyncFraction float64) time.Duration {
+	if n < 2 {
+		n = 2
+	}
+	if probeInterval <= 0 {
+		probeInterval = time.Second
+	}
+	if suspicionTimeout <= 0 {
+		suspicionTimeout = 4 * probeInterval
+	}
+	if syncInterval <= 0 {
+		syncInterval = 4 * probeInterval
+	}
+	if deadSyncFraction <= 0 {
+		deadSyncFraction = 0.125
+	}
+	ln := math.Log(float64(n) + 1)
+	log2 := math.Log2(float64(n) + 1)
+	detect := suspicionTimeout + 4*probeInterval
+	resurrect := time.Duration(float64(syncInterval) * (ln + 2) / deadSyncFraction)
+	spread := time.Duration(float64(syncInterval) * (log2 + 2))
+	return 2 * (detect + resurrect + spread)
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pdht/internal/chaos"
+	"pdht/internal/keyspace"
+	"pdht/internal/stats"
+)
+
+// ChaosBench boots a live in-process fleet, runs the canonical chaos
+// scenario (baseline loss, a lossy 3-way partition, heal), and reports the
+// measured convergence and accounting outcome as one table — the fleet
+// analogue of the store experiment: wall-clock rows whose shape (heal ≪
+// bound, zero lost/resurrected, zero double-owned) is the contract CI
+// tracks across PRs.
+func ChaosBench(n int, seed uint64) (*stats.Table, error) {
+	if n <= 0 {
+		n = 48
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	rep, err := chaos.Run(chaos.RunConfig{
+		N:     n,
+		Chaos: chaos.Config{Seed: seed, Drop: 0.02, LatencyBase: time.Millisecond, LatencyJitter: 2 * time.Millisecond},
+		Scenario: chaos.Scenario{
+			{Name: "healthy", Duration: 400 * time.Millisecond},
+			{Name: "drop20+split3", Duration: 1500 * time.Millisecond, Drop: 0.20, Split: 3},
+			{Name: "heal", Duration: 0},
+		},
+		Entries: 48,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Chaos: %d-node fleet, %s (seed %d)", rep.N, rep.Schedule, rep.Seed),
+		"metric", "value")
+	t.AddRow("boot converge ms", rep.BootConverge.Milliseconds())
+	t.AddRow("heal converge ms", rep.HealConverge.Milliseconds())
+	t.AddRow("bound ms", rep.Bound.Milliseconds())
+	t.AddRow("within bound", rep.WithinBound)
+	t.AddRow("entries lost", rep.Accounting.Lost)
+	t.AddRow("entries resurrected", rep.Accounting.Resurrected)
+	t.AddRow("entries held live", rep.Accounting.Held)
+	t.AddRow("entries expired clean", rep.Accounting.ExpiredGone)
+	t.AddRow("double-owned keys", rep.PlacementDisagreements)
+	t.AddRow("handoff msgs", rep.HandoffMsgs)
+	t.AddRow("handoff keys accepted", rep.HandoffKeys)
+	t.AddRow("stale-view refusals", rep.StaleViews)
+	return t, nil
+}
+
+// ViewDeltaBench prices the incremental-view refactor at fleet scale:
+// applying a one-join one-leave membership delta to a consistent-hash
+// member ring versus rebuilding the ring from the full member list. The
+// delta path is what every node pays per membership event, so its gap to
+// the rebuild is the headroom that makes thousand-node fleets viable.
+func ViewDeltaBench() (*stats.Table, error) {
+	t := stats.NewTable(
+		"View delta: member-ring delta application vs full rebuild (wall-clock)",
+		"members", "rebuild us/op", "delta us/op", "speedup")
+	for _, n := range []int{128, 512, 1000, 2000} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("peer-%04d", i)
+		}
+		ring := keyspace.NewMemberRing(members, 3)
+		joined := []string{fmt.Sprintf("peer-%04d", n)}
+		left := []string{members[n/2]}
+
+		iters := 200_000 / n
+		if iters < 20 {
+			iters = 20
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if ring.Apply(joined, left) == nil {
+				return nil, fmt.Errorf("viewdelta: Apply returned nil")
+			}
+		}
+		delta := time.Since(start)
+
+		full := append(append([]string(nil), members...), joined...)
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if keyspace.NewMemberRing(full, 3) == nil {
+				return nil, fmt.Errorf("viewdelta: rebuild returned nil")
+			}
+		}
+		rebuild := time.Since(start)
+
+		du := float64(delta.Microseconds()) / float64(iters)
+		ru := float64(rebuild.Microseconds()) / float64(iters)
+		t.AddRow(n, ru, du, ru/du)
+	}
+	return t, nil
+}

@@ -108,6 +108,17 @@ type Config struct {
 	DeadRetention time.Duration
 	// MaxPiggyback caps the updates attached to one message. Default 8.
 	MaxPiggyback int
+	// DeadSyncFraction is the probability that one anti-entropy round
+	// targets a random confirmed-dead (but still retained) member instead
+	// of a live one — memberlist's "gossip to the dead". Without it a
+	// two-sided partition deadlocks on heal: both sides hold each other
+	// dead, dead members are never probed or synced, and no message ever
+	// crosses the healed link again. One successful dead-sync exchange
+	// resurrects the target (it refutes the death claim in our payload by
+	// bumping its incarnation, and its reply already carries the bump),
+	// after which normal dissemination re-merges the halves. Default
+	// 0.125; negative disables.
+	DeadSyncFraction float64
 	// OnChange fires after every confirmed membership change with the
 	// new alive set (sorted, self included) and the view version that
 	// produced it. It is called without internal locks held and may fire
@@ -144,6 +155,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.MaxPiggyback == 0 {
 		c.MaxPiggyback = 8
+	}
+	if c.DeadSyncFraction == 0 {
+		c.DeadSyncFraction = 0.125
 	}
 	if c.Seed == 0 {
 		h := fnv.New64a()
@@ -433,10 +447,18 @@ func (s *Service) probeRound() {
 	}
 }
 
-// syncRound runs one anti-entropy exchange with a random live member.
+// syncRound runs one anti-entropy exchange with a random live member — or,
+// a DeadSyncFraction of the time, with a random retained dead member, the
+// resurrection path that lets a healed partition re-merge (see
+// Config.DeadSyncFraction).
 func (s *Service) syncRound() {
 	s.mu.Lock()
 	peers := s.otherAliveLocked()
+	if s.cfg.DeadSyncFraction > 0 && s.rng.Float64() < s.cfg.DeadSyncFraction {
+		if dead := s.deadLocked(); len(dead) > 0 {
+			peers = dead
+		}
+	}
 	if len(peers) == 0 {
 		s.mu.Unlock()
 		return
@@ -651,6 +673,17 @@ func (s *Service) aliveLocked() []string {
 		}
 	}
 	sort.Strings(out)
+	return out
+}
+
+// deadLocked returns the addresses of retained dead members.
+func (s *Service) deadLocked() []string {
+	var out []string
+	for addr, m := range s.members {
+		if m.status == StatusDead {
+			out = append(out, addr)
+		}
+	}
 	return out
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"pdht/internal/obs"
 	"pdht/internal/transport"
 )
 
@@ -461,4 +462,132 @@ func TestStopIsIdempotent(t *testing.T) {
 	s.Start()
 	s.Stop()
 	s.Stop()
+}
+
+// TestRefutationBeatsAsymmetricLoss pins the liveness bound the chaos
+// harness's convergence math rests on: a member that can call out but
+// cannot be called — one-way loss, the nastiest failure-detector input —
+// must refute every suspicion of it with an incarnation bump BEFORE the
+// suspicion timeout expires, and therefore never be confirmed dead. The
+// refutation channel is the member's own outbound traffic: its pings carry
+// the piggybacked alive-at-higher-incarnation claim, so one outbound
+// protocol period per suspicion window (here 4 periods per window) is the
+// pinned requirement.
+func TestRefutationBeatsAsymmetricLoss(t *testing.T) {
+	net := newFakeNet()
+	a := net.add(t, testConfig("a"))
+	b := net.add(t, testConfig("b"))
+	c := net.add(t, testConfig("c"))
+	reg := obs.NewRegistry()
+	b.RegisterMetrics(reg)
+	for _, s := range []*Service{a, b, c} {
+		s.Start()
+		defer s.Stop()
+	}
+	if err := b.Join(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Join(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	full := []string{"a", "b", "c"}
+	waitFor(t, 5*time.Second, func() bool {
+		return sameMembers(a.Alive(), full) && sameMembers(b.Alive(), full) && sameMembers(c.Alive(), full)
+	}, "3-way convergence")
+
+	// b goes inbound-deaf from EVERYONE: direct probes and indirect
+	// ping-reqs both fail, so suspicion is continuously re-raised and
+	// only b's own outbound refutations can answer it.
+	net.mu.Lock()
+	net.cut["a>b"] = true
+	net.cut["c>b"] = true
+	net.mu.Unlock()
+
+	// Watch for 30 suspicion windows: b may oscillate alive↔suspect, but
+	// must never be confirmed dead nor leave an alive set.
+	cfg := testConfig("a")
+	deadline := time.Now().Add(30 * cfg.SuspicionTimeout)
+	for time.Now().Before(deadline) {
+		for _, s := range []*Service{a, c} {
+			for _, m := range s.Snapshot() {
+				if m.Addr == "b" && m.Status == StatusDead {
+					t.Fatalf("%s confirmed b dead despite live outbound refutations", s.cfg.Addr)
+				}
+			}
+			if !sameMembers(s.Alive(), full) {
+				t.Fatalf("alive set at %s = %v under one-way loss, want %v", s.cfg.Addr, s.Alive(), full)
+			}
+		}
+		time.Sleep(cfg.ProbeInterval)
+	}
+	if got := b.metrics.refutations.Value(); got == 0 {
+		t.Fatal("b was suspected for 30 windows yet never refuted — the bump path never fired")
+	}
+	// The incarnation must have advanced past its initial value and the
+	// refuted claims must have propagated back to the suspecting side.
+	for _, m := range a.Snapshot() {
+		if m.Addr == "b" && m.Incarnation == 0 {
+			t.Fatal("a never saw a refuted (bumped) incarnation for b")
+		}
+	}
+}
+
+// TestDeadSyncHealsPartition drives the full partition lifecycle the chaos
+// harness measures: a two-sided cut lets each half confirm the other dead;
+// after the cut lifts, the only crossing traffic is the dead-member
+// anti-entropy sync (Config.DeadSyncFraction), whose exchange triggers the
+// target's self-refutation and carries the bumped incarnation straight
+// back — both halves must re-merge to the full alive set.
+func TestDeadSyncHealsPartition(t *testing.T) {
+	net := newFakeNet()
+	addrs := []string{"a", "b", "c", "d"}
+	var svcs []*Service
+	for _, addr := range addrs {
+		svcs = append(svcs, net.add(t, testConfig(addr)))
+	}
+	for _, s := range svcs {
+		s.Start()
+		defer s.Stop()
+	}
+	for _, s := range svcs[1:] {
+		if err := s.Join(context.Background(), "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allAlive := func() bool {
+		for _, s := range svcs {
+			if !sameMembers(s.Alive(), addrs) {
+				return false
+			}
+		}
+		return true
+	}
+	waitFor(t, 5*time.Second, allAlive, "4-way convergence")
+
+	// Partition {a,b} | {c,d}: every cross link cut in both directions.
+	setCut := func(on bool) {
+		net.mu.Lock()
+		for _, x := range []string{"a", "b"} {
+			for _, y := range []string{"c", "d"} {
+				if on {
+					net.cut[x+">"+y] = true
+					net.cut[y+">"+x] = true
+				} else {
+					delete(net.cut, x+">"+y)
+					delete(net.cut, y+">"+x)
+				}
+			}
+		}
+		net.mu.Unlock()
+	}
+	setCut(true)
+	waitFor(t, 5*time.Second, func() bool {
+		return sameMembers(svcs[0].Alive(), []string{"a", "b"}) &&
+			sameMembers(svcs[2].Alive(), []string{"c", "d"})
+	}, "both sides confirming the other half dead")
+
+	// Heal while the dead entries are still retained: only dead-sync can
+	// cross the former cut, and it must re-merge both sides.
+	setCut(false)
+	waitFor(t, 10*time.Second, allAlive, "post-heal re-merge via dead-member anti-entropy")
 }

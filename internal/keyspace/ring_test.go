@@ -1,0 +1,219 @@
+package keyspace
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func ringAddrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.%d.%d:7000", i/256, i%256)
+	}
+	return out
+}
+
+// A ring is a pure function of its member set: construction order must not
+// matter, and delta application must land on the exact ring a full rebuild
+// of the final set produces — the property that lets a thousand nodes
+// apply deltas independently and still agree on placement.
+func TestMemberRingDeltaEqualsRebuild(t *testing.T) {
+	addrs := ringAddrs(64)
+	rng := rand.New(rand.NewPCG(7, 11))
+
+	base := NewMemberRing(addrs[:48], 3)
+	shuffled := append([]string(nil), addrs[:48]...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	if !reflect.DeepEqual(base.vnodes, NewMemberRing(shuffled, 3).vnodes) {
+		t.Fatal("construction order changed the ring")
+	}
+
+	joined := addrs[48:56]
+	left := addrs[:5]
+	next := base.Apply(joined, left)
+
+	want := make([]string, 0, 51)
+	want = append(want, addrs[5:48]...)
+	want = append(want, joined...)
+	rebuilt := NewMemberRing(want, 3)
+	if !reflect.DeepEqual(next.vnodes, rebuilt.vnodes) {
+		t.Fatal("Apply(joined, left) diverged from full rebuild of the same set")
+	}
+	if next.Size() != 51 {
+		t.Fatalf("Size = %d, want 51", next.Size())
+	}
+	// The base ring must be untouched (views are immutable snapshots).
+	if base.Size() != 48 || !base.Contains(addrs[0]) {
+		t.Fatal("Apply mutated the receiver")
+	}
+
+	// Redundant joins and leaves are ignored.
+	same := next.Apply([]string{addrs[50]}, []string{"never-joined:1"})
+	if !reflect.DeepEqual(same.vnodes, next.vnodes) {
+		t.Fatal("redundant delta changed the ring")
+	}
+}
+
+func TestMemberRingGroup(t *testing.T) {
+	addrs := ringAddrs(20)
+	r := NewMemberRing(addrs, 3)
+	for i := 0; i < 200; i++ {
+		k := Key(mix64(uint64(i) * 0x9e3779b97f4a7c15))
+		g := r.Group(k)
+		if len(g) != 3 {
+			t.Fatalf("group size %d, want 3", len(g))
+		}
+		seen := map[string]bool{}
+		for _, a := range g {
+			if seen[a] {
+				t.Fatalf("duplicate member %s in group", a)
+			}
+			seen[a] = true
+		}
+	}
+	// Tiny cluster: group clamps to the member count.
+	small := NewMemberRing(addrs[:2], 3)
+	if g := small.Group(42); len(g) != 2 {
+		t.Fatalf("clamped group size %d, want 2", len(g))
+	}
+	// Growth past repl un-clamps.
+	if g := small.Apply(addrs[2:8], nil).Group(42); len(g) != 3 {
+		t.Fatalf("post-growth group size %d, want 3", len(g))
+	}
+}
+
+func TestMemberRingRouteHops(t *testing.T) {
+	addrs := ringAddrs(256)
+	r := NewMemberRing(addrs, 3)
+	rng := rand.New(rand.NewPCG(3, 5))
+	maxHops := 0
+	for i := 0; i < 500; i++ {
+		from := addrs[rng.IntN(len(addrs))]
+		k := Key(rng.Uint64())
+		h := r.RouteHops(from, k)
+		if h < 0 || h > 96 {
+			t.Fatalf("hops %d out of range", h)
+		}
+		if h > maxHops {
+			maxHops = h
+		}
+		if containsAddr(r.Group(k), from) && h != 0 {
+			t.Fatalf("origin in group but hops = %d", h)
+		}
+	}
+	// An ideal-finger walk over 1024 vnodes should stay well under the
+	// 64-step worst case — log₂(vnodes) ≈ 10 plus the terminal hop.
+	if maxHops == 0 || maxHops > 16 {
+		t.Fatalf("max hops %d implausible for 256 members", maxHops)
+	}
+	// Non-member origins dial the primary directly.
+	if h := r.RouteHops("outsider:1", 42); h != 1 {
+		t.Fatalf("outsider hops = %d, want 1", h)
+	}
+}
+
+// The handoff-planning contract: Affected(changed) on the appropriate ring
+// must cover every key whose replica group differs across a transition —
+// keys outside the arcs provably keep their exact group, so the node skips
+// them without looking.
+func TestAffectedArcsCoverGroupChanges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 23))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.IntN(120)
+		addrs := ringAddrs(n + 8)
+		old := NewMemberRing(addrs[:n], 3)
+		var joined, left []string
+		for _, a := range addrs[n : n+1+rng.IntN(7)] {
+			joined = append(joined, a)
+		}
+		for i := 0; i < 1+rng.IntN(3) && i < n-1; i++ {
+			left = append(left, addrs[rng.IntN(n)])
+		}
+		next := old.Apply(joined, left)
+
+		arcs := old.Affected(left)
+		if !arcs.All {
+			more := next.Affected(joined)
+			if more.All {
+				arcs = more
+			} else {
+				arcs.Arcs = append(arcs.Arcs, more.Arcs...)
+			}
+		}
+
+		for i := 0; i < 2000; i++ {
+			k := Key(rng.Uint64())
+			same := reflect.DeepEqual(old.Group(k), next.Group(k))
+			if !same && !arcs.Contains(k) {
+				t.Fatalf("trial %d: key %v changed group outside affected arcs\nold=%v\nnew=%v",
+					trial, k, old.Group(k), next.Group(k))
+			}
+		}
+	}
+}
+
+// Affected must be exact per member on a single ring too: a key is inside
+// a member's arcs iff the member is in its group.
+func TestAffectedArcsExactForOneMember(t *testing.T) {
+	addrs := ringAddrs(40)
+	r := NewMemberRing(addrs, 3)
+	rng := rand.New(rand.NewPCG(29, 31))
+	for _, m := range []string{addrs[0], addrs[17], addrs[39]} {
+		arcs := r.Affected([]string{m})
+		if arcs.All {
+			t.Fatal("40-member ring should not be fully affected by one member")
+		}
+		for i := 0; i < 4000; i++ {
+			k := Key(rng.Uint64())
+			inGroup := containsAddr(r.Group(k), m)
+			if inGroup != arcs.Contains(k) {
+				t.Fatalf("member %s key %v: inGroup=%v inArcs=%v", m, k, inGroup, !inGroup)
+			}
+		}
+	}
+	// Changing a member a tiny cluster depends on everywhere → whole space.
+	tiny := NewMemberRing(addrs[:3], 3)
+	if !tiny.Affected([]string{addrs[0]}).All {
+		t.Fatal("3-member ring with repl 3: every key is affected")
+	}
+}
+
+func TestArcContains(t *testing.T) {
+	a := Arc{Lo: 100, Hi: 200}
+	for k, want := range map[Key]bool{100: false, 101: true, 200: true, 201: false, 50: false} {
+		if a.Contains(k) != want {
+			t.Fatalf("Arc(100,200].Contains(%d) = %v, want %v", k, !want, want)
+		}
+	}
+	// Wrapping arc.
+	w := Arc{Lo: ^Key(0) - 10, Hi: 10}
+	if !w.Contains(0) || !w.Contains(^Key(0)) || w.Contains(11) || w.Contains(^Key(0)-10) {
+		t.Fatal("wrapping arc membership wrong")
+	}
+	if !Everything().Contains(12345) {
+		t.Fatal("Everything must contain every key")
+	}
+}
+
+func TestMemberRingSortedMergeKeepsOrder(t *testing.T) {
+	addrs := ringAddrs(200)
+	r := NewMemberRing(addrs[:100], 3)
+	for i := 100; i < 200; i += 7 {
+		hi := i + 7
+		if hi > 200 {
+			hi = 200
+		}
+		r = r.Apply(addrs[i:hi], addrs[i-100:i-93])
+	}
+	if !sort.SliceIsSorted(r.vnodes, func(a, b int) bool {
+		if r.vnodes[a].pos != r.vnodes[b].pos {
+			return r.vnodes[a].pos < r.vnodes[b].pos
+		}
+		return r.vnodes[a].addr < r.vnodes[b].addr
+	}) {
+		t.Fatal("vnode array lost sort order across deltas")
+	}
+}

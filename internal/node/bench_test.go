@@ -2,6 +2,8 @@ package node
 
 import (
 	"context"
+	"fmt"
+	"sort"
 	"strconv"
 	"testing"
 	"time"
@@ -184,4 +186,60 @@ func BenchmarkHandoff(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkViewDelta pins the refactor that makes thousand-node fleets
+// viable: applying a membership delta to an installed view versus
+// rebuilding the view from scratch. Delta application is a single sorted
+// merge over the vnode array (O(n) memcpy, no hashing, no re-sort);
+// the rebuild re-hashes and re-sorts every member. The gap is the per-node
+// cost of every membership event across a large fleet.
+func BenchmarkViewDelta(b *testing.B) {
+	for _, n := range []int{128, 1000} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("peer-%04d", i)
+		}
+		base, err := buildView(members, BackendRing, 3, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		joined := []string{fmt.Sprintf("peer-%04d", n)}
+		left := []string{members[n/2]}
+		alive := make([]string, 0, n)
+		for _, m := range members {
+			if m != left[0] {
+				alive = append(alive, m)
+			}
+		}
+		alive = append(alive, joined...)
+		sort.Strings(alive)
+		// Sanity: the delta must land on the ring a rebuild produces.
+		if dv := base.applyDelta(alive, joined, left, 2); dv == nil || dv.hash != mustBuildView(b, alive).hash {
+			b.Fatal("delta view diverged from rebuild")
+		}
+		b.Run(fmt.Sprintf("delta/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if base.applyDelta(alive, joined, left, 2) == nil {
+					b.Fatal("applyDelta returned nil")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("rebuild/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustBuildView(b, alive)
+			}
+		})
+	}
+}
+
+func mustBuildView(b *testing.B, members []string) *view {
+	b.Helper()
+	v, err := buildView(members, BackendRing, 3, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return v
 }

@@ -3,6 +3,7 @@ package node
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +66,13 @@ type Config struct {
 	// tables are exchanged with one random peer. Zero means 4×
 	// GossipInterval.
 	SyncInterval time.Duration
+	// DeadSyncFraction is the fraction of anti-entropy rounds aimed at a
+	// retained dead member instead of a live peer — the only channel
+	// through which the two sides of a healed partition, each holding the
+	// other confirmed dead, rediscover each other. Zero takes the gossip
+	// default (0.125); negative disables. Large clusters on slow sync
+	// clocks shorten heal-to-convergence by raising it.
+	DeadSyncFraction float64
 	// Adaptive turns the query-adaptive control plane on: the node
 	// sketches its own query stream (internal/adapt), periodically refits
 	// the paper's model to it, attaches the tuned keyTtl to inserts and
@@ -340,6 +348,7 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 		ProbeInterval:    cfg.GossipInterval,
 		SuspicionTimeout: cfg.SuspicionTimeout,
 		SyncInterval:     cfg.SyncInterval,
+		DeadSyncFraction: cfg.DeadSyncFraction,
 		OnChange:         n.applyMembership,
 	}, n.gossipCall)
 	if err != nil {
@@ -353,9 +362,20 @@ func New(tr transport.Transport, cfg Config) (*Node, error) {
 	n.gossip = g
 	n.mu.Unlock()
 	if cfg.Seed != "" {
-		ctx, cancel := context.WithTimeout(context.Background(), cfg.CallTimeout)
-		err := n.gossip.Join(ctx, cfg.Seed)
-		cancel()
+		// The bootstrap join is one RPC on a network that may well be
+		// lossy — a single dropped packet must not kill the boot, so the
+		// exchange retries a few times before giving up. It also moves a
+		// full membership table each way, so it gets more patience than
+		// an ordinary call.
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 4*cfg.CallTimeout)
+			err = n.gossip.Join(ctx, cfg.Seed)
+			cancel()
+			if err == nil {
+				break
+			}
+		}
 		if err != nil {
 			srv.Close()
 			n.pool.close() // join may have pooled a connection to the seed
@@ -509,30 +529,64 @@ func (n *Node) gossipCall(ctx context.Context, addr string, msg transport.Gossip
 }
 
 // applyMembership is the gossip OnChange hook: a confirmed membership
-// change arrived, so rebuild the overlay view at the new version and, if
+// change arrived, so derive the next view at the new version and, if
 // replica groups moved, hand the affected index entries to their new
 // owners. Notifications can arrive out of order (gossip fires them from
 // the protocol loop and inbound handlers concurrently); stale versions are
 // discarded.
+//
+// The notification carries the full alive set, not a delta — deltas from
+// concurrent out-of-order notifications could not be replayed safely — so
+// the node computes its OWN delta against the view it actually holds (a
+// linear walk of two sorted lists) and applies it incrementally on the
+// ring backend: only the changed members' vnodes are spliced, and only
+// cache entries inside the transition's affected arcs are snapshotted for
+// handoff planning. At a thousand members this turns every membership
+// event from an O(n) rebuild plus a full-index scan into work proportional
+// to the change.
 func (n *Node) applyMembership(alive []string, version uint64) {
+	sorted := append([]string(nil), alive...)
+	sort.Strings(sorted)
 	n.mu.Lock()
 	if n.closing || version <= n.view.version {
 		n.mu.Unlock()
 		return
 	}
 	old := n.view
-	v, err := buildView(alive, n.cfg.Backend, n.cfg.Repl, n.cfg.MaintainEnv)
-	if err != nil {
-		// Cannot happen with a non-empty alive set (it includes self)
-		// and a validated config; keep the old view rather than dying.
+	joined, left := diffSorted(old.members, sorted)
+	if len(joined) == 0 && len(left) == 0 {
+		// Same membership at a newer version (e.g. an incarnation-only
+		// change): adopt the version, nothing to hand off. The view is
+		// immutable once installed, so install a shallow successor.
+		next := *old
+		next.version = version
+		n.view = &next
 		n.mu.Unlock()
 		return
 	}
-	v.version = version
+	arcs := keyspace.Everything()
+	v := old.applyDelta(sorted, joined, left, version)
+	if v != nil {
+		arcs = transitionArcs(old, v, joined, left)
+	} else {
+		built, err := buildView(sorted, n.cfg.Backend, n.cfg.Repl, n.cfg.MaintainEnv)
+		if err != nil {
+			// Cannot happen with a non-empty alive set (it includes self)
+			// and a validated config; keep the old view rather than dying.
+			n.mu.Unlock()
+			return
+		}
+		built.version = version
+		v = built
+	}
 	n.view = v
 	var entries []core.Entry
 	if old.hash != v.hash {
-		entries = n.cache.Entries(n.now())
+		if arcs.All {
+			entries = n.cache.Entries(n.now())
+		} else {
+			entries = n.cache.EntriesWhere(n.now(), arcs.Contains)
+		}
 	}
 	if len(entries) > 0 {
 		n.handoffs.Add(1)
@@ -553,6 +607,34 @@ func (n *Node) ViewVersion() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.view.version
+}
+
+// ViewHash returns the membership fingerprint of the installed view —
+// equal hashes on two nodes mean byte-identical member lists and identical
+// replica-group arithmetic. The chaos harness uses it for O(n) fleet
+// convergence checks instead of comparing member lists pairwise.
+func (n *Node) ViewHash() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.hash
+}
+
+// ReplicaSet returns the addresses this node's current view places key's
+// replica group on, primary first — the placement oracle chaos accounting
+// compares across a fleet to detect double ownership.
+func (n *Node) ReplicaSet(key uint64) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.replicas(keyspace.Key(key))
+}
+
+// IndexHas reports whether the node's index currently holds an unexpired
+// entry for key, without refreshing it — a read-only accounting probe.
+func (n *Node) IndexHas(key uint64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.cache.Expires(keyspace.Key(key), n.now())
+	return ok
 }
 
 // Membership returns the full gossip table — every member ever heard of

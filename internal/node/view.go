@@ -8,10 +8,11 @@
 // Each Node serves six RPCs (Query/Insert/Refresh/Broadcast/Gossip/Batch, see
 // internal/transport), keeps a TTL index cache (core.Cache) for the key
 // range it is responsible for, a local content store standing in for the
-// unstructured network's content, and a membership view over which it runs
-// a real structured-overlay instance (internal/dht's trie, ring or
-// Kademlia) to decide responsibility and replica placement — the same
-// routing structures the simulator uses, now consulted per live query.
+// unstructured network's content, and a membership view that decides
+// responsibility and replica placement — an incremental consistent-hash
+// ring (keyspace.MemberRing) for the default ring backend, or a full
+// simulator overlay instance (internal/dht's trie or Kademlia) for the
+// others.
 //
 // Every index entry lives at an r-member replica set (replica.Set: the
 // routing-designated primary plus the keyspace-ranked backups). Writes —
@@ -22,10 +23,13 @@
 // Config.FloodOnMiss gates the failover probing.
 //
 // Membership is owned by internal/gossip (SWIM: probing, suspicion,
-// incarnations, anti-entropy). Every confirmed change rebuilds the view at
-// a new version, and a repair pass (replica.PlanRepair) pushes index
-// entries whose replica set moved to the set's new members with their
-// remaining TTL, so the paper's expiry semantics survive the transfer.
+// incarnations, anti-entropy). Every confirmed change produces a new view
+// at a new version — by DELTA application on the ring backend (only the
+// changed members' virtual nodes are spliced, and only index entries in
+// the affected key arcs are even considered for handoff) — and a repair
+// pass (replica.PlanRepair) pushes index entries whose replica set moved
+// to the set's new members with their remaining TTL, so the paper's expiry
+// semantics survive the transfer.
 //
 // Rounds: the paper's clock unit (one round = one second) maps to a
 // configurable RoundDuration. TTLs cross the wire in rounds, so a cluster
@@ -36,6 +40,7 @@ package node
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand/v2"
 	"sort"
 	"strings"
@@ -52,7 +57,11 @@ type Backend string
 const (
 	// BackendRing is the Chord-style ring — the default: responsibility
 	// is fully deterministic in the membership list, so every node with
-	// the same view computes identical replica groups.
+	// the same view computes identical replica groups. It is the only
+	// backend with incremental view maintenance (keyspace.MemberRing):
+	// a membership delta splices the changed members' vnodes instead of
+	// rebuilding routing state over all n members, which is what makes
+	// thousand-node fleets affordable.
 	BackendRing Backend = "ring"
 	// BackendTrie is the P-Grid-style binary trie.
 	BackendTrie Backend = "trie"
@@ -60,41 +69,44 @@ const (
 	BackendKademlia Backend = "kademlia"
 )
 
-// view is a node's local instance of the structured overlay, built over the
-// current membership list. Every member maps to a deterministic
-// netsim.PeerID (its rank in the sorted address list) and the backend is
-// constructed with an rng seeded from the membership itself, so two nodes
-// sharing a view agree on replica groups without exchanging routing state.
+// view is a node's local instance of the membership-derived routing state.
 //
-// THE RANK-SHIFT HAZARD: that agreement holds only while the membership
-// lists are byte-identical. Ranks are positions in the sorted list, so two
-// nodes whose lists differ by a single member disagree on the rank — and
-// therefore the replica group — of potentially *every* key sorted after
-// the divergence point (TestRankShiftDisagreement demonstrates it). During
-// churn this is unavoidable: views transition at different instants on
-// different nodes. The silent failure mode would be a probe answered by a
+// For the ring backend it wraps a keyspace.MemberRing: virtual-node
+// positions are pure hashes of member ADDRESSES, so a member's placement
+// never depends on the rest of the list and a delta (the usual case: one
+// join or one confirmed death out of a thousand members) is applied by
+// splicing a handful of vnodes — O(changed) hashing plus one merge pass —
+// instead of the former O(n) rebuild per membership event. The trie and
+// Kademlia backends keep the simulator-overlay construction (netsim +
+// dht.Index over rank PeerIDs) and rebuild in full per change.
+//
+// THE RANK-SHIFT HAZARD (why agreement still needs a guard): placement
+// agreement holds only while two nodes' membership lists are
+// byte-identical. During churn, views transition at different instants on
+// different nodes, and two nodes whose lists differ by one member disagree
+// on the replica group of many keys (TestRankShiftDisagreement
+// demonstrates it). The silent failure mode would be a probe answered by a
 // peer that computed a different group — a false miss that costs a
 // broadcast, or an insert parked on a peer nobody else will ever probe.
-// The guard is hash: every view carries the fnv64a of its membership list
-// (the same value that seeds the backend rng), routed RPCs
-// (query/insert/refresh) carry the sender's hash, and a receiver whose
-// hash differs refuses with transport.StaleView plus its gossip state —
-// turning silent mis-routing into an explicit, convergence-accelerating
-// error the caller treats as a miss.
+// The guard is hash: every view carries the fnv64a of its membership list,
+// routed RPCs (query/insert/refresh) carry the sender's hash, and a
+// receiver whose hash differs refuses with transport.StaleView plus its
+// gossip state — turning silent mis-routing into an explicit,
+// convergence-accelerating error the caller treats as a miss.
 //
-// Routing happens locally — the view walks its own finger/trie/bucket
-// tables and reports the hop count the lookup would have cost (the
+// Routing happens locally — the view computes the replica group and
+// reports the hop count an ideal overlay lookup would have cost (the
 // measured cSIndx of eq. 7) — and only the terminal RPC to the responsible
 // peer crosses the wire. This is the standard client-side-routing
 // compromise: full iterative routing would make every hop a real message
 // without changing which peer answers.
+//
+// A view is immutable once installed (version is fixed at install time
+// under the node lock); concurrent readers — handoff pushers, report
+// snapshots — share it freely.
 type view struct {
 	members []string // sorted, includes self
-	rank    map[string]netsim.PeerID
-	net     *netsim.Network
-	idx     dht.Index
-	rng     *rand.Rand
-	repl    int // effective replication (clamped to cluster size)
+	repl    int      // effective replication (clamped to cluster size)
 	// hash fingerprints the membership list — equal hashes mean equal
 	// lists mean identical replica-group arithmetic on both ends.
 	hash uint64
@@ -102,6 +114,17 @@ type view struct {
 	// monotonically increasing; stale OnChange notifications (delivered
 	// out of order under concurrency) are discarded by comparing it.
 	version uint64
+
+	// ring is the incremental overlay (ring backend only).
+	ring *keyspace.MemberRing
+	env  float64    // maintenance environment (probe probability)
+	mrng *rand.Rand // maintenance cost model rng (ring backend)
+
+	// Legacy full-rebuild overlays (trie, kademlia).
+	rank map[string]netsim.PeerID
+	net  *netsim.Network
+	idx  dht.Index
+	rng  *rand.Rand
 }
 
 // viewSeed derives the shared rng seed from the membership list.
@@ -111,29 +134,42 @@ func viewSeed(members []string) uint64 {
 	return h.Sum64()
 }
 
-// buildView constructs the overlay over members. repl is clamped to the
-// cluster size — a 2-node cluster cannot hold 3 replicas.
+// buildView constructs routing state over members from scratch. repl is
+// clamped to the cluster size — a 2-node cluster cannot hold 3 replicas.
 func buildView(members []string, backend Backend, repl int, env float64) (*view, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("node: view needs at least one member")
 	}
 	sorted := append([]string(nil), members...)
 	sort.Strings(sorted)
-	if repl > len(sorted) {
-		repl = len(sorted)
-	}
 	if repl < 1 {
 		repl = 1
+	}
+	effective := repl
+	if effective > len(sorted) {
+		effective = len(sorted)
 	}
 	seed := viewSeed(sorted)
 	v := &view{
 		members: sorted,
-		rank:    make(map[string]netsim.PeerID, len(sorted)),
-		net:     netsim.New(len(sorted)),
-		rng:     rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
-		repl:    repl,
+		repl:    effective,
 		hash:    seed,
+		env:     env,
 	}
+	switch backend {
+	case BackendRing, "":
+		// The ring keeps the UNclamped target so growth past repl members
+		// un-clamps naturally on delta application.
+		v.ring = keyspace.NewMemberRing(sorted, repl)
+		v.mrng = rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+		return v, nil
+	case BackendTrie, BackendKademlia:
+	default:
+		return nil, fmt.Errorf("node: unknown backend %q", backend)
+	}
+	v.rank = make(map[string]netsim.PeerID, len(sorted))
+	v.net = netsim.New(len(sorted))
+	v.rng = rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
 	active := make([]netsim.PeerID, len(sorted))
 	for i, addr := range sorted {
 		v.rank[addr] = netsim.PeerID(i)
@@ -141,14 +177,10 @@ func buildView(members []string, backend Backend, repl int, env float64) (*view,
 	}
 	var err error
 	switch backend {
-	case BackendRing, "":
-		v.idx, err = dht.NewRing(v.net, active, dht.RingConfig{Repl: repl, Env: env}, v.rng)
 	case BackendTrie:
-		v.idx, err = dht.NewTrie(v.net, active, dht.TrieConfig{GroupSize: repl, Env: env}, v.rng)
+		v.idx, err = dht.NewTrie(v.net, active, dht.TrieConfig{GroupSize: effective, Env: env}, v.rng)
 	case BackendKademlia:
-		v.idx, err = dht.NewKademlia(v.net, active, dht.KademliaConfig{K: repl, Env: env}, v.rng)
-	default:
-		return nil, fmt.Errorf("node: unknown backend %q", backend)
+		v.idx, err = dht.NewKademlia(v.net, active, dht.KademliaConfig{K: effective, Env: env}, v.rng)
 	}
 	if err != nil {
 		return nil, err
@@ -156,9 +188,90 @@ func buildView(members []string, backend Backend, repl int, env float64) (*view,
 	return v, nil
 }
 
+// applyDelta derives the successor view from this one by splicing a
+// membership delta — the incremental path that replaced the full rebuild
+// per membership event. alive must be sorted; joined/left are the sorted
+// set differences versus v.members. Returns nil when this view has no
+// incremental overlay (trie/kademlia) — the caller falls back to
+// buildView.
+func (v *view) applyDelta(alive, joined, left []string, version uint64) *view {
+	if v.ring == nil {
+		return nil
+	}
+	ring := v.ring.Apply(joined, left)
+	seed := viewSeed(alive)
+	effective := ring.Repl()
+	if effective > len(alive) {
+		effective = len(alive)
+	}
+	return &view{
+		members: alive,
+		repl:    effective,
+		hash:    seed,
+		version: version,
+		ring:    ring,
+		env:     v.env,
+		mrng:    rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
+	}
+}
+
+// transitionArcs returns the set of key arcs whose replica group can
+// differ across the transition old→next: the arcs owned by leavers on the
+// old ring plus those owned by joiners on the new ring. Keys outside the
+// set provably keep their exact replica group (see keyspace.Affected), so
+// handoff planning skips them without looking. Falls back to the whole key
+// space when either view lacks ring geometry.
+func transitionArcs(old, next *view, joined, left []string) keyspace.ArcSet {
+	if old == nil || next == nil || old.ring == nil || next.ring == nil {
+		return keyspace.Everything()
+	}
+	arcs := old.ring.Affected(left)
+	if arcs.All {
+		return arcs
+	}
+	more := next.ring.Affected(joined)
+	if more.All {
+		return more
+	}
+	arcs.Arcs = append(arcs.Arcs, more.Arcs...)
+	return arcs
+}
+
+// diffSorted returns the set differences between two sorted string slices:
+// joined = in next but not prev, left = in prev but not next.
+func diffSorted(prev, next []string) (joined, left []string) {
+	i, j := 0, 0
+	for i < len(prev) && j < len(next) {
+		switch {
+		case prev[i] == next[j]:
+			i++
+			j++
+		case prev[i] < next[j]:
+			left = append(left, prev[i])
+			i++
+		default:
+			joined = append(joined, next[j])
+			j++
+		}
+	}
+	left = append(left, prev[i:]...)
+	joined = append(joined, next[j:]...)
+	return joined, left
+}
+
 // route resolves the responsible member for key starting from the member
 // at from, returning the address and the hop count the lookup cost.
 func (v *view) route(from string, key keyspace.Key) (addr string, hops int, ok bool) {
+	if v.ring != nil {
+		if !v.ring.Contains(from) {
+			return "", 0, false
+		}
+		group := v.ring.Group(key)
+		if len(group) == 0 {
+			return "", 0, false
+		}
+		return group[0], v.ring.RouteHops(from, key), true
+	}
 	pid, known := v.rank[from]
 	if !known {
 		return "", 0, false
@@ -174,6 +287,9 @@ func (v *view) route(from string, key keyspace.Key) (addr string, hops int, ok b
 // ordering preserved. The slice is freshly allocated — callers hold it
 // across lock boundaries.
 func (v *view) replicas(key keyspace.Key) []string {
+	if v.ring != nil {
+		return v.ring.Group(key)
+	}
 	group := v.idx.ReplicaGroup(key)
 	out := make([]string, len(group))
 	for i, p := range group {
@@ -190,6 +306,9 @@ func (v *view) Replicas(key keyspace.Key) []string { return v.replicas(key) }
 
 // Contains reports whether addr is a member of this view.
 func (v *view) Contains(addr string) bool {
+	if v.ring != nil {
+		return v.ring.Contains(addr)
+	}
 	_, ok := v.rank[addr]
 	return ok
 }
@@ -211,8 +330,27 @@ func (v *view) set(self string, key keyspace.Key) (s replicaSet, hops int) {
 // node signatures that the shorter name keeps them readable.
 type replicaSet = replica.Set
 
-// maintain runs one round of routing-table probing on the local overlay
-// instance and reports its cost.
+// maintain runs one round of routing-table probing and reports its cost.
+// The legacy overlays walk their materialized finger/trie/bucket tables;
+// the ring backend has no per-peer routing state to repair (fingers are
+// computed on demand from the vnode array), so it charges the same cost
+// model the simulator's ring would — each of ≈ vnodes·log₂(vnodes) ideal
+// finger entries probed with probability env per round — sampled from a
+// normal approximation of the binomial so a thousand-node fleet does not
+// burn CPU drawing per-entry Bernoulli variables.
 func (v *view) maintain() dht.MaintenanceStats {
-	return v.idx.Maintain(v.rng)
+	if v.ring == nil {
+		return v.idx.Maintain(v.rng)
+	}
+	if v.env <= 0 {
+		return dht.MaintenanceStats{}
+	}
+	vn := float64(len(v.members) * keyspace.RingVnodes)
+	entries := vn * math.Ceil(math.Log2(vn+1))
+	mean := entries * v.env
+	probes := int(mean + math.Sqrt(mean*(1-v.env))*v.mrng.NormFloat64() + 0.5)
+	if probes < 0 {
+		probes = 0
+	}
+	return dht.MaintenanceStats{Probes: probes}
 }

@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A dial to a bound-then-released port must classify as ErrRefused: the
+// host answered, nothing listens. The refinement still matches
+// ErrUnreachable, so every existing "peer did not answer" path holds.
+func TestDialRefusedKind(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	_, err = NewTCP().Dial(addr)
+	if err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	if !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v, want ErrRefused", err)
+	}
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("ErrRefused must still match ErrUnreachable: %v", err)
+	}
+	if errors.Is(err, ErrDialTimeout) {
+		t.Fatalf("a refusal must not classify as a timeout: %v", err)
+	}
+}
+
+// A dial whose deadline expires must classify as ErrDialTimeout — the SYN
+// blackhole shape of a partition or dead host. An expired dialer deadline
+// exercises the timeout path without depending on unroutable addresses.
+func TestDialTimeoutKind(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	tr := NewTCP()
+	tr.Dialer.Deadline = time.Now().Add(-time.Second)
+	_, err = tr.Dial(ln.Addr().String())
+	if err == nil {
+		t.Fatal("dial with expired deadline succeeded")
+	}
+	if !errors.Is(err, ErrDialTimeout) {
+		t.Fatalf("err = %v, want ErrDialTimeout", err)
+	}
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("ErrDialTimeout must still match ErrUnreachable: %v", err)
+	}
+	if errors.Is(err, ErrRefused) {
+		t.Fatalf("a timeout must not classify as a refusal: %v", err)
+	}
+}
+
+func TestDialErrorKindsAreDistinct(t *testing.T) {
+	if errors.Is(ErrDialTimeout, ErrRefused) || errors.Is(ErrRefused, ErrDialTimeout) {
+		t.Fatal("the two dial error kinds must not match each other")
+	}
+	if !errors.Is(ErrDialTimeout, ErrUnreachable) || !errors.Is(ErrRefused, ErrUnreachable) {
+		t.Fatal("both kinds must refine ErrUnreachable")
+	}
+}
+
+// TestTCPReuseAfterHealedPartition is the pool-shape regression: a client
+// whose peer dies mid-flight fails permanently (terminal error), and a
+// fresh dial to the SAME address after the peer returns must succeed —
+// the re-dial path a connection pool takes after a partition heals. Before
+// the error-kind split, both halves of that sequence reported the same
+// undifferentiated failure, hiding whether the peer was gone or merely
+// restarting.
+func TestTCPReuseAfterHealedPartition(t *testing.T) {
+	tr := NewTCP()
+	var calls atomic.Int64
+	echo := func(req Request) Response {
+		calls.Add(1)
+		return Response{OK: true, Value: req.Key}
+	}
+	srv, err := tr.Serve("127.0.0.1:0", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	cl, err := tr.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cl.Call(ctx, Request{Op: OpQuery, Key: 1}); err != nil {
+		t.Fatalf("healthy call failed: %v", err)
+	}
+
+	// Partition: the peer's endpoint dies. The pooled client becomes
+	// terminally broken — every further call on it must fail fast.
+	srv.Close()
+	if _, err := cl.Call(ctx, Request{Op: OpQuery, Key: 2}); err == nil {
+		t.Fatal("call on a dead connection succeeded")
+	}
+	if _, err := cl.Call(ctx, Request{Op: OpQuery, Key: 3}); err == nil {
+		t.Fatal("dead pooled client must stay failed until dropped")
+	}
+	cl.Close()
+
+	// While the peer is down, a re-dial classifies as a refusal.
+	if _, err := tr.Dial(addr); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial to downed peer: err = %v, want ErrRefused", err)
+	}
+
+	// Heal: the peer comes back on the same address; a fresh dial and
+	// call must work — the pool's drop-then-redial path end to end.
+	srv2, err := tr.Serve(addr, echo)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	cl2, err := tr.Dial(addr)
+	if err != nil {
+		t.Fatalf("re-dial after heal: %v", err)
+	}
+	defer cl2.Close()
+	if _, err := cl2.Call(ctx, Request{Op: OpQuery, Key: 4}); err != nil {
+		t.Fatalf("call after heal failed: %v", err)
+	}
+	if calls.Load() < 2 {
+		t.Fatalf("server saw %d calls, want ≥ 2", calls.Load())
+	}
+}

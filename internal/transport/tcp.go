@@ -2,10 +2,12 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -73,11 +75,26 @@ func (t *TCP) Dial(addr string) (Client, error) {
 	}
 	conn, err := d.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+		return nil, fmt.Errorf("%w: %s: %v", classifyDialError(err), addr, err)
 	}
 	c := &tcpClient{conn: t.countConn(conn), pending: make(map[uint64]chan Response)}
 	go c.readLoop()
 	return c, nil
+}
+
+// classifyDialError maps a net dial failure onto the transport's error
+// vocabulary: timeouts (SYN blackhole — partition or dead host) become
+// ErrDialTimeout, refusals (host up, port closed) ErrRefused, anything
+// else plain ErrUnreachable. All three match ErrUnreachable in errors.Is.
+func classifyDialError(err error) error {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return ErrDialTimeout
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return ErrRefused
+	}
+	return ErrUnreachable
 }
 
 // tcpServer is one listening endpoint.

@@ -77,4 +77,24 @@ var (
 	// ErrUnreachable reports that the remote endpoint does not exist or
 	// stopped existing.
 	ErrUnreachable = errors.New("transport: peer unreachable")
+
+	// ErrDialTimeout and ErrRefused are refinements of ErrUnreachable a
+	// dial failure is classified into: a timeout means the peer (or the
+	// path to it) blackholes SYNs — a partition or a dead host — while a
+	// refusal means the host answered but nothing listens on the port — a
+	// crashed or not-yet-started process. Both satisfy
+	// errors.Is(err, ErrUnreachable), so existing callers keep treating
+	// them as "that peer did not answer"; callers that care (retry
+	// policies, operator diagnostics) can tell them apart with errors.Is
+	// against the specific kind.
+	ErrDialTimeout error = &unreachableKind{"dial timeout"}
+	ErrRefused     error = &unreachableKind{"connection refused"}
 )
+
+// unreachableKind is a named refinement of ErrUnreachable.
+type unreachableKind struct{ kind string }
+
+func (e *unreachableKind) Error() string { return "transport: peer unreachable: " + e.kind }
+
+// Is makes every refinement match ErrUnreachable under errors.Is.
+func (e *unreachableKind) Is(target error) bool { return target == ErrUnreachable }
